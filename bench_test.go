@@ -1,0 +1,173 @@
+// Benchmark harness: one target per table/figure of the paper's
+// evaluation plus the DESIGN.md ablations, and microbenchmarks for the
+// simulator substrates.
+//
+// The experiment benches run a reduced configuration by default (two
+// benchmarks, short quanta) so `go test -bench=.` finishes in minutes
+// on one core; set HEATSTROKE_BENCH_FULL=1 to regenerate the figures at
+// full scale (all benchmarks, 8M-cycle quanta — use cmd/heatstroke for
+// the rendered tables).
+package heatstroke_test
+
+import (
+	"os"
+	"testing"
+
+	heatstroke "github.com/heatstroke-sim/heatstroke"
+)
+
+func benchOptions(b *testing.B) heatstroke.ExperimentOptions {
+	b.Helper()
+	cfg := heatstroke.DefaultConfig()
+	opts := heatstroke.ExperimentOptions{Config: &cfg}
+	if os.Getenv("HEATSTROKE_BENCH_FULL") == "1" {
+		cfg.Run.QuantumCycles = 8_000_000
+		return opts
+	}
+	cfg.Run.QuantumCycles = 1_000_000
+	opts.Benchmarks = []string{"crafty", "mcf"}
+	opts.Warmup = 200_000
+	return opts
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	opts := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		table, err := heatstroke.RunExperiment(name, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable1Config regenerates Table 1 (system parameters).
+func BenchmarkTable1Config(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFigure3AccessRates regenerates Figure 3 (average integer
+// register-file access rates, solo runs).
+func BenchmarkFigure3AccessRates(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFigure4Emergencies regenerates Figure 4 (temperature
+// emergencies per OS quantum).
+func BenchmarkFigure4Emergencies(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFigure5IPC regenerates Figure 5 (SPEC IPC under heat stroke
+// and selective sedation, eleven configurations per benchmark).
+func BenchmarkFigure5IPC(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFigure6Breakdown regenerates Figure 6 (execution-time
+// breakdown).
+func BenchmarkFigure6Breakdown(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkHeatSinkSensitivity regenerates the Section 5.5 study
+// (convection-resistance sweep).
+func BenchmarkHeatSinkSensitivity(b *testing.B) { runExperiment(b, "heatsink") }
+
+// BenchmarkThresholdSensitivity regenerates the Section 5.6 study
+// (upper/lower threshold sweep).
+func BenchmarkThresholdSensitivity(b *testing.B) { runExperiment(b, "thresholds") }
+
+// BenchmarkSpecPairFalsePositives regenerates the Section 5.7 study
+// (SPEC pairs, sedation vs stop-and-go).
+func BenchmarkSpecPairFalsePositives(b *testing.B) { runExperiment(b, "specpairs") }
+
+// BenchmarkTimingDutyCycle regenerates the Section 3.1 heat/cool
+// timing measurement.
+func BenchmarkTimingDutyCycle(b *testing.B) { runExperiment(b, "timing") }
+
+// BenchmarkPolicyComparison regenerates the five-policy DTM comparison.
+func BenchmarkPolicyComparison(b *testing.B) { runExperiment(b, "policies") }
+
+// BenchmarkAblationFetchPolicy regenerates the ICOUNT vs round-robin
+// fetch ablation.
+func BenchmarkAblationFetchPolicy(b *testing.B) { runExperiment(b, "ablation-fetchpolicy") }
+
+// BenchmarkAblationFlatAverage regenerates the weighted-average vs
+// flat-count culprit-identification ablation (Section 3.2.1).
+func BenchmarkAblationFlatAverage(b *testing.B) { runExperiment(b, "ablation-flatavg") }
+
+// BenchmarkAblationAbsoluteThreshold regenerates the temperature-trigger
+// vs absolute-threshold ablation (Section 3.2.1).
+func BenchmarkAblationAbsoluteThreshold(b *testing.B) { runExperiment(b, "ablation-absthresh") }
+
+// BenchmarkAblationMultiCulprit regenerates the two-attacker
+// re-examination ablation (Section 3.2.2) on a 4-context SMT.
+func BenchmarkAblationMultiCulprit(b *testing.B) { runExperiment(b, "ablation-multiculprit") }
+
+// ---- substrate microbenchmarks ----
+
+// BenchmarkPipelineCycles measures raw simulation speed: reported as
+// ns per simulated cycle of a busy 2-thread pipeline.
+func BenchmarkPipelineCycles(b *testing.B) {
+	cfg := heatstroke.DefaultConfig()
+	cfg.Run.QuantumCycles = 1 // unused; we drive the core directly
+	victim, err := heatstroke.SpecProgram("crafty", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	attacker, err := heatstroke.Variant(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := heatstroke.NewSimulator(cfg, []heatstroke.Thread{
+		{Name: "crafty", Prog: victim},
+		{Name: "variant2", Prog: attacker},
+	}, heatstroke.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	core := s.Core()
+	b.ResetTimer()
+	core.Run(int64(b.N))
+}
+
+// BenchmarkQuantumSimulation measures one full simulated quantum
+// (pipeline + power + thermal + policy) per iteration.
+func BenchmarkQuantumSimulation(b *testing.B) {
+	cfg := heatstroke.DefaultConfig()
+	cfg.Run.QuantumCycles = 500_000
+	prog, err := heatstroke.SpecProgram("gcc", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		s, err := heatstroke.NewSimulator(cfg, []heatstroke.Thread{{Name: "gcc", Prog: prog}},
+			heatstroke.Options{Policy: heatstroke.PolicyStopAndGo})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGeneration measures synthetic program synthesis.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := heatstroke.SpecProgram("gcc", int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssembler measures the two-pass assembler on a mid-sized
+// listing.
+func BenchmarkAssembler(b *testing.B) {
+	prog, err := heatstroke.Variant(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = prog
+	text := "L$1:\taddl $1, $2, $3\n\tldq $4, 8($2)\n\tstq $4, 16($2)\n\tbeqz $4, L$1\n\tbr L$1\n"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heatstroke.Assemble("bench", text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Command heatstroke-calibrate probes the simulator's operating points:
+// it runs benchmarks and attack variants solo and paired, printing IPC,
+// integer-register-file access rates, peak temperatures, and emergency
+// counts. Use it to check the power/thermal calibration targets
+// documented in package power before trusting experiment output.
+//
+// Usage:
+//
+//	heatstroke-calibrate [-cycles N] [-scale S] [-bench list] [-pairs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/isa"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+	"github.com/heatstroke-sim/heatstroke/internal/sim"
+	"github.com/heatstroke-sim/heatstroke/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("heatstroke-calibrate: ")
+	cycles := flag.Int64("cycles", 4_000_000, "cycles per run")
+	scale := flag.Float64("scale", 16, "thermal scale factor")
+	benches := flag.String("bench", "crafty,mcf,gcc,applu", "comma-separated benchmarks")
+	pairs := flag.Bool("pairs", false, "also run benchmark+variant pairs")
+	pairVariant := flag.Int("variant", 2, "malicious variant used by -pairs")
+	policy := flag.String("policy", "stopgo", "DTM policy: none|stopgo|dvs|sedation")
+	warmup := flag.Int64("warmup", 500_000, "warmup cycles before measurement")
+	noFlaky := flag.Bool("noflaky", false, "zero FlakyFrac in profiles (diagnostic)")
+	noMem := flag.Bool("nomem", false, "zero warm/cold memory fractions (diagnostic)")
+	ambient := flag.Float64("ambient", 0, "override ambient temperature (K)")
+	spsink := flag.Float64("spsink", 0, "override spreader-to-sink K factor")
+	diecap := flag.Float64("diecap", 0, "override die capacitance factor")
+	spcap := flag.Float64("spcap", 0, "override spreader capacitance factor")
+	escale := flag.Float64("escale", 0, "override the global per-access energy scale")
+	specPairs := flag.Bool("specpairs", false, "run SPEC+SPEC pairs (first benchmark with each other)")
+	flag.Parse()
+
+	cfg := config.Default()
+	cfg.Thermal.Scale = *scale
+	cfg.Run.QuantumCycles = *cycles
+	if *ambient > 0 {
+		cfg.Thermal.AmbientK = *ambient
+	}
+	if *spsink > 0 {
+		cfg.Thermal.SpreadToSinkK = *spsink
+	}
+	if *diecap > 0 {
+		cfg.Thermal.DieCapFactor = *diecap
+	}
+	if *spcap > 0 {
+		cfg.Thermal.SpreaderCapFactor = *spcap
+	}
+	if *escale > 0 {
+		cfg.Power.EnergyScale = *escale
+	}
+
+	names := strings.Split(*benches, ",")
+	fmt.Printf("%-22s %7s %7s %7s %8s %8s %6s %8s %8s\n",
+		"workload", "IPC", "RF/cyc", "IQ/cyc", "peakK", "peakUnit", "emerg", "stopgo%", "powerW")
+
+	run := func(label string, threads []sim.Thread) {
+		s, err := sim.New(cfg, threads, sim.Options{Policy: dtm.Kind(*policy), WarmupCycles: *warmup})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, tr := range res.Threads {
+			iq := float64(s.Core().Activity().Thread(i, power.UnitIntQ)) / float64(res.Cycles)
+			peak := ""
+			emerg := ""
+			stop := ""
+			pw := ""
+			if i == 0 {
+				peak = fmt.Sprintf("%8.2f", res.PeakTemp)
+				emerg = fmt.Sprintf("%6d", res.Emergencies)
+				stop = fmt.Sprintf("%7.1f%%", 100*float64(res.StopGoCycles)/float64(res.Cycles))
+				pw = fmt.Sprintf("%8.1f", res.TotalPowerW)
+			}
+			mp := 0.0
+			if tr.Mispredicts > 0 {
+				st := s.Core().Stats(i)
+				if st.Branches > 0 {
+					mp = 100 * float64(st.Mispredicts) / float64(st.Branches)
+				}
+			}
+			fmt.Printf("%-22s %7.3f %7.2f %7.2f %s %8s %s %s %s mp%%=%.1f\n",
+				label+"/"+tr.Name, tr.IPC, tr.IntRegRate, iq, peak, res.PeakUnit, emerg, stop, pw, mp)
+		}
+		fmt.Printf("%-22s final IntReg=%.2fK IntExec=%.2fK IntQ=%.2fK sink=%.2fK sedations=%d\n",
+			label, res.FinalTemps[power.UnitIntReg], res.FinalTemps[power.UnitIntExec],
+			res.FinalTemps[power.UnitIntQ], s.Network().SinkTemp(), res.Sedation.Sedations)
+	}
+
+	mkVariant := func(n int) *isa.Program {
+		p, err := workload.Variant(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+
+	mkSpec := func(n string) *isa.Program {
+		p, err := workload.SpecProfile(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *noFlaky {
+			p.FlakyFrac = 0
+		}
+		if *noMem {
+			p.WarmFrac, p.ColdFrac = 0, 0
+		}
+		prog, _, err := workload.Generate(p, cfg.Run.Seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return prog
+	}
+
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		run("solo", []sim.Thread{{Name: n, Prog: mkSpec(n)}})
+	}
+	for v := 1; v <= 3; v++ {
+		run("solo", []sim.Thread{{Name: fmt.Sprintf("variant%d", v), Prog: mkVariant(v)}})
+	}
+	if *pairs {
+		for _, n := range names {
+			n = strings.TrimSpace(n)
+			run("pair", []sim.Thread{{Name: n, Prog: mkSpec(n)}, {Name: fmt.Sprintf("variant%d", *pairVariant), Prog: mkVariant(*pairVariant)}})
+		}
+	}
+	if *specPairs {
+		first := strings.TrimSpace(names[0])
+		for _, n := range names[1:] {
+			n = strings.TrimSpace(n)
+			run("specpair", []sim.Thread{{Name: first, Prog: mkSpec(first)}, {Name: n, Prog: mkSpec(n)}})
+		}
+	}
+}

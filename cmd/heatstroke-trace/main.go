@@ -1,0 +1,86 @@
+// Command heatstroke-trace runs one attack scenario and exports the
+// full-system time series (per-unit die temperatures, chip power, stall
+// state, per-thread IPC, sedation state) as CSV for plotting.
+//
+// Usage:
+//
+//	heatstroke-trace -bench crafty -variant 2 -policy stopgo > run.csv
+//	heatstroke-trace -bench gcc -variant 1 -policy sedation -cycles 16000000 -o trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	heatstroke "github.com/heatstroke-sim/heatstroke"
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/sim"
+	"github.com/heatstroke-sim/heatstroke/internal/trace"
+	"github.com/heatstroke-sim/heatstroke/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("heatstroke-trace: ")
+	bench := flag.String("bench", "crafty", "victim benchmark (empty for none)")
+	variant := flag.Int("variant", 2, "malicious variant 1-3 (0 for none)")
+	policy := flag.String("policy", "stopgo", "DTM policy: none|stopgo|dvs|ttdfs|sedation")
+	cycles := flag.Int64("cycles", 12_000_000, "cycles to simulate")
+	warmup := flag.Int64("warmup", 500_000, "warmup cycles before tracing")
+	stride := flag.Int("stride", 1, "keep every n-th sensor sample")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	cfg := heatstroke.DefaultConfig()
+	cfg.Run.QuantumCycles = *cycles
+
+	var threads []sim.Thread
+	if *bench != "" {
+		prog, err := workload.Spec(*bench, cfg.Run.Seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		threads = append(threads, sim.Thread{Name: *bench, Prog: prog})
+	}
+	if *variant > 0 {
+		prog, err := workload.VariantForScale(*variant, cfg.Thermal.Scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		threads = append(threads, sim.Thread{Name: fmt.Sprintf("variant%d", *variant), Prog: prog})
+	}
+	if len(threads) == 0 {
+		log.Fatal("nothing to run: set -bench and/or -variant")
+	}
+
+	rec := &trace.Recorder{Stride: *stride}
+	s, err := sim.New(cfg, threads, sim.Options{
+		Policy:       dtm.Kind(*policy),
+		WarmupCycles: *warmup,
+		Recorder:     rec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rec.WriteCSV(w, nil); err != nil {
+		log.Fatal(err)
+	}
+	sum := rec.Summarize()
+	fmt.Fprintf(os.Stderr, "samples=%d peak=%.2fK@%s stalled=%.1f%% meanPower=%.1fW\n",
+		sum.Samples, sum.PeakTempK, sum.PeakUnit, 100*sum.StallFrac, sum.MeanPowerW)
+}

@@ -1,0 +1,78 @@
+// Command heatstroke regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	heatstroke -experiment fig5                 # one experiment
+//	heatstroke -experiment all                  # the whole evaluation
+//	heatstroke -experiment fig4 -bench crafty,mcf -quantum 8000000
+//	heatstroke -list                            # list experiments
+//
+// The -scale flag trades fidelity for speed (DESIGN.md §6): -scale 1
+// -quantum 500000000 is the paper's physical time base.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("heatstroke: ")
+	name := flag.String("experiment", "", "experiment to run (or 'all')")
+	list := flag.Bool("list", false, "list available experiments")
+	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
+	quantum := flag.Int64("quantum", 0, "cycles per OS quantum (default: config)")
+	scale := flag.Float64("scale", 0, "thermal scale factor (default 16; 1 = paper time base)")
+	seed := flag.Int64("seed", 0, "workload generation seed")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (default: GOMAXPROCS)")
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiment.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *name == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := config.Default()
+	if *scale > 0 {
+		cfg.Thermal.Scale = *scale
+	}
+	opts := experiment.Options{
+		Config:      &cfg,
+		Quantum:     *quantum,
+		Seed:        *seed,
+		Parallelism: *parallel,
+	}
+	if *benches != "" {
+		for _, b := range strings.Split(*benches, ",") {
+			opts.Benchmarks = append(opts.Benchmarks, strings.TrimSpace(b))
+		}
+	}
+
+	names := []string{*name}
+	if *name == "all" {
+		names = experiment.Names()
+	}
+	for _, n := range names {
+		start := time.Now()
+		table, err := experiment.Run(n, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.Render(os.Stdout)
+		fmt.Printf("  (%s in %.1fs)\n\n", n, time.Since(start).Seconds())
+	}
+}

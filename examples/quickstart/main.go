@@ -1,0 +1,63 @@
+// Quickstart: run one SPEC-like benchmark next to the paper's Variant2
+// attacker under the three interesting regimes — no co-runner, attack
+// under the stop-and-go base case, and attack under selective sedation —
+// and print the victim's IPC for each (the essence of Figure 5).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	heatstroke "github.com/heatstroke-sim/heatstroke"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := heatstroke.DefaultConfig()
+	cfg.Run.QuantumCycles = 8_000_000 // one scaled OS quantum
+
+	victim, err := heatstroke.SpecProgram("crafty", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker, err := heatstroke.Variant(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(label string, threads []heatstroke.Thread, policy heatstroke.Policy) *heatstroke.Result {
+		s, err := heatstroke.NewSimulator(cfg, threads, heatstroke.Options{
+			Policy:       policy,
+			WarmupCycles: 500_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s crafty IPC %.2f   emergencies %-3d stalled %4.1f%%\n",
+			label, res.Threads[0].IPC, res.Emergencies,
+			100*float64(res.StopGoCycles)/float64(res.Cycles))
+		return res
+	}
+
+	fmt.Println("Heat Stroke quickstart (crafty vs. Variant2)")
+	fmt.Println()
+	solo := run("solo",
+		[]heatstroke.Thread{{Name: "crafty", Prog: victim}},
+		heatstroke.PolicyStopAndGo)
+	attacked := run("under attack (stop-and-go)",
+		[]heatstroke.Thread{{Name: "crafty", Prog: victim}, {Name: "variant2", Prog: attacker}},
+		heatstroke.PolicyStopAndGo)
+	cured := run("under attack (sedation)",
+		[]heatstroke.Thread{{Name: "crafty", Prog: victim}, {Name: "variant2", Prog: attacker}},
+		heatstroke.PolicySelectiveSedation)
+
+	fmt.Println()
+	fmt.Printf("heat stroke cost the victim %.0f%% of its throughput;\n",
+		100*(1-attacked.Threads[0].IPC/solo.Threads[0].IPC))
+	fmt.Printf("selective sedation restored it to %.0f%% of solo performance.\n",
+		100*cured.Threads[0].IPC/solo.Threads[0].IPC)
+}

@@ -1,0 +1,71 @@
+// Scheduler integration: an OS-level view of the defense (Section 3.3).
+// Four tasks — three normal programs and one attacker — time-share a
+// 2-context SMT. The hardware's selective sedation reports the culprit
+// to the scheduler, which marks it ineligible; the remaining tasks then
+// run unharmed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	heatstroke "github.com/heatstroke-sim/heatstroke"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := heatstroke.DefaultConfig()
+	cfg.Run.QuantumCycles = 6_000_000
+
+	mk := func(name string, seed int64) *heatstroke.Task {
+		prog, err := heatstroke.SpecProgram(name, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return &heatstroke.Task{Name: name, Prog: prog}
+	}
+	attackProg, err := heatstroke.Variant(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tasks := []*heatstroke.Task{
+		mk("gcc", 1),
+		mk("crafty", 2),
+		mk("applu", 3),
+		{Name: "variant2", Prog: attackProg},
+	}
+
+	sched, err := heatstroke.NewScheduler(cfg, tasks, heatstroke.SchedulerOptions{
+		Policy:              heatstroke.PolicySelectiveSedation,
+		SuspendAfterReports: 12,
+		WarmupCycles:        300_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const quanta = 8
+	for q := 1; q <= quanta; q++ {
+		res, err := sched.RunQuantum()
+		if err != nil {
+			log.Fatal(err)
+		}
+		names := make([]string, len(res.Threads))
+		for i, tr := range res.Threads {
+			names[i] = fmt.Sprintf("%s(%.2f)", tr.Name, tr.IPC)
+		}
+		fmt.Printf("quantum %d: ran %v  reports=%d emergencies=%d\n",
+			q, names, len(res.Reports), res.Emergencies)
+	}
+
+	fmt.Println()
+	fmt.Printf("%-10s %8s %8s %10s %10s\n", "task", "quanta", "IPC", "reports", "state")
+	for _, task := range sched.Tasks() {
+		state := "runnable"
+		if task.Suspended {
+			state = "SUSPENDED"
+		}
+		fmt.Printf("%-10s %8d %8.2f %10d %10s\n",
+			task.Name, task.Quanta, task.IPC(cfg.Run.QuantumCycles), task.Reports, state)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/heatstroke-sim/heatstroke
+
+go 1.22

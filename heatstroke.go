@@ -1,0 +1,156 @@
+// Package heatstroke is a simulation library reproducing "Heat Stroke:
+// Power-Density-Based Denial of Service in SMT" (Hasan, Jalote,
+// Vijaykumar, Brodley — HPCA 2005).
+//
+// It bundles a cycle-level SMT out-of-order processor simulator, a
+// Wattch-like activity-based power model, a HotSpot-like RC thermal
+// model, synthetic SPEC2K-like workloads, the paper's malicious
+// attack variants, the dynamic-thermal-management baselines
+// (stop-and-go, DVS), and the paper's contribution — selective
+// sedation — plus a harness that regenerates every table and figure of
+// the paper's evaluation.
+//
+// # Quick start
+//
+//	cfg := heatstroke.DefaultConfig()
+//	victim, _ := heatstroke.SpecProgram("crafty", 1)
+//	attacker, _ := heatstroke.Variant(2)
+//	s, _ := heatstroke.NewSimulator(cfg,
+//		[]heatstroke.Thread{
+//			{Name: "crafty", Prog: victim},
+//			{Name: "variant2", Prog: attacker},
+//		},
+//		heatstroke.Options{Policy: heatstroke.PolicySelectiveSedation})
+//	res, _ := s.Run()
+//	fmt.Println(res.Threads[0].IPC, res.Emergencies)
+//
+// See the examples directory for runnable programs and DESIGN.md for
+// the system inventory.
+package heatstroke
+
+import (
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	score "github.com/heatstroke-sim/heatstroke/internal/core"
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/experiment"
+	"github.com/heatstroke-sim/heatstroke/internal/isa"
+	"github.com/heatstroke-sim/heatstroke/internal/osched"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+	"github.com/heatstroke-sim/heatstroke/internal/sim"
+	"github.com/heatstroke-sim/heatstroke/internal/workload"
+)
+
+// Config is the complete machine description (Table 1 of the paper plus
+// the sedation and reproduction knobs).
+type Config = config.Config
+
+// DefaultConfig returns the paper's machine with the reproduction
+// defaults (thermal scale 16, 4M-cycle quantum) documented in DESIGN.md.
+func DefaultConfig() Config { return config.Default() }
+
+// PaperConfig returns the machine exactly as in Table 1: unscaled
+// thermal constants and a 500M-cycle OS quantum.
+func PaperConfig() Config { return config.Paper() }
+
+// Program is a static instruction sequence for the simulated RISC ISA.
+type Program = isa.Program
+
+// Assemble parses assembler text (the paper's listing syntax) into a
+// program.
+func Assemble(name, text string) (*Program, error) { return isa.Assemble(name, text) }
+
+// Thread is one software thread scheduled onto an SMT context.
+type Thread = sim.Thread
+
+// Options tunes a simulation run.
+type Options = sim.Options
+
+// Result is one quantum's measurements.
+type Result = sim.Result
+
+// ThreadResult is one thread's measurements.
+type ThreadResult = sim.ThreadResult
+
+// Simulator couples the SMT core with the power, thermal, and DTM
+// models.
+type Simulator = sim.Simulator
+
+// NewSimulator builds a simulator; see sim.Options for the policy and
+// warmup knobs.
+func NewSimulator(cfg Config, threads []Thread, opts Options) (*Simulator, error) {
+	return sim.New(cfg, threads, opts)
+}
+
+// Policy identifies a dynamic thermal management policy.
+type Policy = dtm.Kind
+
+// The available DTM policies.
+const (
+	PolicyNone              = dtm.None
+	PolicyStopAndGo         = dtm.StopAndGo
+	PolicyDVS               = dtm.DVS
+	PolicySelectiveSedation = dtm.SelectiveSedation
+)
+
+// SedationReport is the notification raised to the OS when a thread is
+// sedated.
+type SedationReport = score.Report
+
+// Unit identifies a pipeline resource / floorplan block.
+type Unit = power.Unit
+
+// UnitIntReg is the integer register file, the attack's target.
+const UnitIntReg = power.UnitIntReg
+
+// SpecNames lists the built-in SPEC2K-like benchmark names.
+func SpecNames() []string { return workload.SpecNames() }
+
+// SpecProgram synthesizes the named benchmark (see internal/workload
+// for the profile definitions; the programs are synthetic stand-ins for
+// the SPEC2K binaries, DESIGN.md §2).
+func SpecProgram(name string, seed int64) (*Program, error) { return workload.Spec(name, seed) }
+
+// Variant builds the paper's malicious variant n (1-3, Figures 1-2)
+// with phase durations matching DefaultConfig's thermal scale.
+func Variant(n int) (*Program, error) { return workload.Variant(n) }
+
+// VariantForScale builds variant n tuned for a different thermal scale.
+func VariantForScale(n int, scale float64) (*Program, error) {
+	return workload.VariantForScale(n, scale)
+}
+
+// KernelNames lists the built-in microbenchmark kernels (stream,
+// pointerchase, fpblast, branchstorm, stores).
+func KernelNames() []string { return workload.KernelNames() }
+
+// Kernel builds a named microbenchmark kernel.
+func Kernel(name string) (*Program, error) { return workload.Kernel(name) }
+
+// Task is a software thread managed by the OS-scheduler substrate.
+type Task = osched.Task
+
+// SchedulerOptions tunes the OS-scheduler substrate.
+type SchedulerOptions = osched.Options
+
+// Scheduler time-slices tasks onto the SMT contexts and consumes the
+// culprit reports selective sedation raises (Section 3.3).
+type Scheduler = osched.Scheduler
+
+// NewScheduler builds the OS-scheduler substrate.
+func NewScheduler(cfg Config, tasks []*Task, opts SchedulerOptions) (*Scheduler, error) {
+	return osched.New(cfg, tasks, opts)
+}
+
+// ExperimentTable is a rendered experiment artifact.
+type ExperimentTable = experiment.Table
+
+// ExperimentOptions configures the evaluation harness.
+type ExperimentOptions = experiment.Options
+
+// ExperimentNames lists the reproducible tables and figures.
+func ExperimentNames() []string { return experiment.Names() }
+
+// RunExperiment regenerates one of the paper's tables or figures.
+func RunExperiment(name string, o ExperimentOptions) (*ExperimentTable, error) {
+	return experiment.Run(name, o)
+}

@@ -1,0 +1,97 @@
+package heatstroke_test
+
+import (
+	"strings"
+	"testing"
+
+	heatstroke "github.com/heatstroke-sim/heatstroke"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cfg := heatstroke.DefaultConfig()
+	cfg.Run.QuantumCycles = 500_000
+
+	victim, err := heatstroke.SpecProgram("crafty", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, err := heatstroke.Variant(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := heatstroke.NewSimulator(cfg,
+		[]heatstroke.Thread{
+			{Name: "crafty", Prog: victim},
+			{Name: "variant2", Prog: attacker},
+		},
+		heatstroke.Options{Policy: heatstroke.PolicySelectiveSedation, WarmupCycles: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Threads) != 2 || res.Threads[0].Committed == 0 {
+		t.Fatalf("unexpected result %+v", res.Threads)
+	}
+}
+
+func TestPublicConfigs(t *testing.T) {
+	d := heatstroke.DefaultConfig()
+	p := heatstroke.PaperConfig()
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	if p.Thermal.Scale != 1 {
+		t.Error("paper config must be unscaled")
+	}
+}
+
+func TestPublicAssemble(t *testing.T) {
+	prog, err := heatstroke.Assemble("demo", "L$1:\taddl $1, $2, $3\n\tbr L$1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Len() != 2 {
+		t.Errorf("len = %d", prog.Len())
+	}
+	if _, err := heatstroke.Assemble("bad", "junk!"); err == nil {
+		t.Error("bad assembly should fail")
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	if len(heatstroke.SpecNames()) < 16 {
+		t.Error("benchmark suite too small")
+	}
+	for v := 1; v <= 3; v++ {
+		if _, err := heatstroke.Variant(v); err != nil {
+			t.Errorf("variant %d: %v", v, err)
+		}
+	}
+	if _, err := heatstroke.VariantForScale(2, 8); err != nil {
+		t.Error(err)
+	}
+	if _, err := heatstroke.SpecProgram("nope", 1); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+}
+
+func TestPublicExperiment(t *testing.T) {
+	if len(heatstroke.ExperimentNames()) != 14 {
+		t.Errorf("experiments = %v", heatstroke.ExperimentNames())
+	}
+	cfg := heatstroke.DefaultConfig()
+	cfg.Run.QuantumCycles = 200_000
+	table, err := heatstroke.RunExperiment("table1", heatstroke.ExperimentOptions{Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "Table 1") {
+		t.Error("table1 render wrong")
+	}
+}

@@ -1,0 +1,292 @@
+// Package bpred implements the branch predictors used by the SMT
+// pipeline: bimodal, gshare, and a tournament (combining) predictor,
+// plus a branch target buffer and per-context return-address stacks.
+// State is private per hardware context, as in the paper's simulator.
+package bpred
+
+import "fmt"
+
+// Outcome is the resolved direction of a conditional branch.
+type Outcome bool
+
+// Branch directions.
+const (
+	NotTaken Outcome = false
+	Taken    Outcome = true
+)
+
+// Predictor predicts conditional-branch directions.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) Outcome
+	// Update trains the predictor with the resolved direction.
+	Update(pc uint64, actual Outcome)
+	// Reset clears all state.
+	Reset()
+}
+
+// twoBit is a saturating two-bit counter: 0,1 predict not-taken; 2,3
+// predict taken.
+type twoBit uint8
+
+func (c twoBit) taken() bool { return c >= 2 }
+
+func (c twoBit) train(actual Outcome) twoBit {
+	if actual == Taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a PC-indexed table of two-bit counters.
+type Bimodal struct {
+	table []twoBit
+	mask  uint64
+}
+
+// NewBimodal returns a bimodal predictor with 2^bits counters.
+func NewBimodal(bits int) *Bimodal {
+	size := 1 << bits
+	return &Bimodal{table: make([]twoBit, size), mask: uint64(size - 1)}
+}
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64) Outcome { return Outcome(b.table[pc&b.mask].taken()) }
+
+// Update implements Predictor.
+func (b *Bimodal) Update(pc uint64, actual Outcome) {
+	i := pc & b.mask
+	b.table[i] = b.table[i].train(actual)
+}
+
+// Reset implements Predictor.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 0
+	}
+}
+
+// Gshare XORs a global history register into the table index.
+type Gshare struct {
+	table   []twoBit
+	mask    uint64
+	history uint64
+	histLen uint
+}
+
+// NewGshare returns a gshare predictor with 2^bits counters and a
+// history length equal to bits (classic configuration).
+func NewGshare(bits int) *Gshare {
+	size := 1 << bits
+	return &Gshare{table: make([]twoBit, size), mask: uint64(size - 1), histLen: uint(bits)}
+}
+
+func (g *Gshare) index(pc uint64) uint64 { return (pc ^ g.history) & g.mask }
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint64) Outcome { return Outcome(g.table[g.index(pc)].taken()) }
+
+// Update implements Predictor. The global history is updated
+// speculatively at predict time in real designs; updating at resolve
+// time is the standard simulator simplification.
+func (g *Gshare) Update(pc uint64, actual Outcome) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].train(actual)
+	g.history = (g.history << 1) & ((1 << g.histLen) - 1)
+	if actual == Taken {
+		g.history |= 1
+	}
+}
+
+// Reset implements Predictor.
+func (g *Gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = 0
+	}
+	g.history = 0
+}
+
+// Tournament selects between a bimodal and a gshare component with a
+// table of two-bit chooser counters (0,1 favour bimodal; 2,3 gshare).
+type Tournament struct {
+	bimodal *Bimodal
+	gshare  *Gshare
+	chooser []twoBit
+	mask    uint64
+}
+
+// NewTournament returns a tournament predictor with 2^bits entries per
+// component.
+func NewTournament(bits int) *Tournament {
+	size := 1 << bits
+	return &Tournament{
+		bimodal: NewBimodal(bits),
+		gshare:  NewGshare(bits),
+		chooser: make([]twoBit, size),
+		mask:    uint64(size - 1),
+	}
+}
+
+// Predict implements Predictor.
+func (t *Tournament) Predict(pc uint64) Outcome {
+	if t.chooser[pc&t.mask].taken() {
+		return t.gshare.Predict(pc)
+	}
+	return t.bimodal.Predict(pc)
+}
+
+// Update implements Predictor: both components train; the chooser moves
+// toward whichever component was right when they disagree.
+func (t *Tournament) Update(pc uint64, actual Outcome) {
+	bp := t.bimodal.Predict(pc)
+	gp := t.gshare.Predict(pc)
+	if bp != gp {
+		i := pc & t.mask
+		if gp == actual {
+			t.chooser[i] = t.chooser[i].train(Taken)
+		} else {
+			t.chooser[i] = t.chooser[i].train(NotTaken)
+		}
+	}
+	t.bimodal.Update(pc, actual)
+	t.gshare.Update(pc, actual)
+}
+
+// Reset implements Predictor.
+func (t *Tournament) Reset() {
+	t.bimodal.Reset()
+	t.gshare.Reset()
+	for i := range t.chooser {
+		t.chooser[i] = 0
+	}
+}
+
+// New constructs a predictor by kind: "bimodal", "gshare", or
+// "tournament".
+func New(kind string, bits int) (Predictor, error) {
+	if bits < 1 || bits > 24 {
+		return nil, fmt.Errorf("bpred: table bits %d out of range [1,24]", bits)
+	}
+	switch kind {
+	case "bimodal":
+		return NewBimodal(bits), nil
+	case "gshare":
+		return NewGshare(bits), nil
+	case "tournament":
+		return NewTournament(bits), nil
+	default:
+		return nil, fmt.Errorf("bpred: unknown predictor kind %q", kind)
+	}
+}
+
+// BTB is a set-associative branch target buffer with LRU replacement.
+type BTB struct {
+	sets  int
+	assoc int
+	tags  []uint64
+	tgts  []int32
+	valid []bool
+	lru   []uint64
+	clock uint64
+}
+
+// NewBTB returns a BTB with the given total entries and associativity.
+func NewBTB(entries, assoc int) (*BTB, error) {
+	if entries <= 0 || assoc <= 0 || entries%assoc != 0 {
+		return nil, fmt.Errorf("bpred: bad BTB geometry %d entries / %d ways", entries, assoc)
+	}
+	sets := entries / assoc
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("bpred: BTB set count %d must be a power of two", sets)
+	}
+	return &BTB{
+		sets:  sets,
+		assoc: assoc,
+		tags:  make([]uint64, entries),
+		tgts:  make([]int32, entries),
+		valid: make([]bool, entries),
+		lru:   make([]uint64, entries),
+	}, nil
+}
+
+// Lookup returns the predicted target for the branch at pc.
+func (b *BTB) Lookup(pc uint64) (target int32, hit bool) {
+	set := int(pc) & (b.sets - 1)
+	base := set * b.assoc
+	for w := 0; w < b.assoc; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == pc {
+			b.clock++
+			b.lru[i] = b.clock
+			return b.tgts[i], true
+		}
+	}
+	return 0, false
+}
+
+// Insert records the resolved target for the branch at pc.
+func (b *BTB) Insert(pc uint64, target int32) {
+	set := int(pc) & (b.sets - 1)
+	base := set * b.assoc
+	victim := base
+	for w := 0; w < b.assoc; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == pc {
+			victim = i
+			break
+		}
+		if !b.valid[i] {
+			victim = i
+			break
+		}
+		if b.lru[i] < b.lru[victim] {
+			victim = i
+		}
+	}
+	b.clock++
+	b.tags[victim] = pc
+	b.tgts[victim] = target
+	b.valid[victim] = true
+	b.lru[victim] = b.clock
+}
+
+// RAS is a circular return-address stack.
+type RAS struct {
+	stack []int32
+	top   int
+	depth int
+}
+
+// NewRAS returns a return-address stack with the given capacity.
+func NewRAS(entries int) *RAS {
+	if entries < 1 {
+		entries = 1
+	}
+	return &RAS{stack: make([]int32, entries)}
+}
+
+// Push records a call's return address.
+func (r *RAS) Push(ret int32) {
+	r.top = (r.top + 1) % len(r.stack)
+	r.stack[r.top] = ret
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the return address for a ret.
+func (r *RAS) Pop() (ret int32, ok bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	ret = r.stack[r.top]
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return ret, true
+}

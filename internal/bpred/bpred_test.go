@@ -1,0 +1,222 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoBitCounter(t *testing.T) {
+	c := twoBit(0)
+	for i := 0; i < 5; i++ {
+		c = c.train(Taken)
+	}
+	if c != 3 {
+		t.Fatalf("saturate up: got %d", c)
+	}
+	c = c.train(NotTaken)
+	if !c.taken() {
+		t.Fatal("one not-taken from saturated should still predict taken")
+	}
+	c = c.train(NotTaken)
+	if c.taken() {
+		t.Fatal("two not-taken should flip prediction")
+	}
+	for i := 0; i < 5; i++ {
+		c = c.train(NotTaken)
+	}
+	if c != 0 {
+		t.Fatalf("saturate down: got %d", c)
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	p := NewBimodal(10)
+	const pc = 0x40
+	for i := 0; i < 4; i++ {
+		p.Update(pc, Taken)
+	}
+	if p.Predict(pc) != Taken {
+		t.Fatal("bimodal failed to learn all-taken branch")
+	}
+	// An aliasing-free second branch learns independently.
+	const pc2 = 0x41
+	for i := 0; i < 4; i++ {
+		p.Update(pc2, NotTaken)
+	}
+	if p.Predict(pc2) != NotTaken || p.Predict(pc) != Taken {
+		t.Fatal("independent branches interfered")
+	}
+}
+
+func accuracy(p Predictor, outcomes []Outcome, pc uint64) float64 {
+	correct := 0
+	for _, o := range outcomes {
+		if p.Predict(pc) == o {
+			correct++
+		}
+		p.Update(pc, o)
+	}
+	return float64(correct) / float64(len(outcomes))
+}
+
+func TestGshareLearnsAlternating(t *testing.T) {
+	// T,N,T,N... defeats bimodal but is perfectly history-predictable.
+	outcomes := make([]Outcome, 2000)
+	for i := range outcomes {
+		outcomes[i] = Outcome(i%2 == 0)
+	}
+	g := accuracy(NewGshare(12), outcomes, 0x99)
+	b := accuracy(NewBimodal(12), outcomes, 0x99)
+	if g < 0.95 {
+		t.Errorf("gshare accuracy %.2f on alternating pattern, want > 0.95", g)
+	}
+	if b > 0.7 {
+		t.Errorf("bimodal accuracy %.2f on alternating pattern, expected poor", b)
+	}
+}
+
+func TestTournamentTracksBest(t *testing.T) {
+	// Biased-random stream: bimodal should do well; tournament must not
+	// do noticeably worse than the better component.
+	rng := rand.New(rand.NewSource(42))
+	outcomes := make([]Outcome, 4000)
+	for i := range outcomes {
+		outcomes[i] = Outcome(rng.Float64() < 0.9)
+	}
+	tour := accuracy(NewTournament(12), append([]Outcome(nil), outcomes...), 0x7)
+	bim := accuracy(NewBimodal(12), append([]Outcome(nil), outcomes...), 0x7)
+	if tour < bim-0.05 {
+		t.Errorf("tournament %.3f much worse than bimodal %.3f", tour, bim)
+	}
+
+	// Alternating stream: must approach gshare.
+	for i := range outcomes {
+		outcomes[i] = Outcome(i%2 == 0)
+	}
+	tour = accuracy(NewTournament(12), outcomes, 0x7)
+	if tour < 0.9 {
+		t.Errorf("tournament %.3f on alternating pattern, want > 0.9", tour)
+	}
+}
+
+func TestPredictorReset(t *testing.T) {
+	for _, kind := range []string{"bimodal", "gshare", "tournament"} {
+		p, err := New(kind, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			p.Update(5, Taken)
+		}
+		p.Reset()
+		if p.Predict(5) != NotTaken {
+			t.Errorf("%s: reset did not clear state", kind)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New("neural", 10); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := New("bimodal", 0); err == nil {
+		t.Error("zero bits should fail")
+	}
+	if _, err := New("bimodal", 30); err == nil {
+		t.Error("oversized table should fail")
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b, err := NewBTB(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := b.Lookup(100); hit {
+		t.Fatal("empty BTB should miss")
+	}
+	b.Insert(100, 7)
+	if tgt, hit := b.Lookup(100); !hit || tgt != 7 {
+		t.Fatalf("lookup = %d,%v", tgt, hit)
+	}
+	// Re-insert updates in place.
+	b.Insert(100, 9)
+	if tgt, _ := b.Lookup(100); tgt != 9 {
+		t.Fatalf("update failed: %d", tgt)
+	}
+	// Fill one set (4 sets -> same set every 4 pcs) beyond capacity; the
+	// LRU entry is evicted.
+	for i := uint64(0); i < 5; i++ {
+		b.Insert(4+i*4, int32(i))
+	}
+	if _, hit := b.Lookup(4); hit {
+		t.Error("LRU entry should have been evicted")
+	}
+	if _, hit := b.Lookup(4 + 4*4); !hit {
+		t.Error("most recent entry missing")
+	}
+	if _, err := NewBTB(10, 4); err == nil {
+		t.Error("non-divisible geometry should fail")
+	}
+	if _, err := NewBTB(12, 4); err == nil {
+		t.Error("non-power-of-two sets should fail")
+	}
+}
+
+func TestRAS(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("empty RAS should not pop")
+	}
+	for i := int32(1); i <= 3; i++ {
+		r.Push(i)
+	}
+	for want := int32(3); want >= 1; want-- {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	// Overflow wraps, keeping the most recent entries.
+	for i := int32(1); i <= 6; i++ {
+		r.Push(i)
+	}
+	got, ok := r.Pop()
+	if !ok || got != 6 {
+		t.Fatalf("after wrap pop = %d, want 6", got)
+	}
+}
+
+// TestQuickPredictorsDeterministic property: a predictor fed the same
+// stream twice produces the same prediction sequence.
+func TestQuickPredictorsDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		stream := make([]Outcome, 300)
+		pcs := make([]uint64, 300)
+		for i := range stream {
+			stream[i] = Outcome(rng.Intn(2) == 0)
+			pcs[i] = uint64(rng.Intn(64))
+		}
+		run := func() []Outcome {
+			p := NewTournament(8)
+			out := make([]Outcome, len(stream))
+			for i := range stream {
+				out[i] = p.Predict(pcs[i])
+				p.Update(pcs[i], stream[i])
+			}
+			return out
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

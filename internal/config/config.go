@@ -1,0 +1,409 @@
+// Package config defines the simulated machine: every architectural,
+// power, and thermal parameter from Table 1 of the paper, plus the
+// knobs for the selective-sedation mechanism (Section 3.2) and the
+// reproduction-only scaling controls documented in DESIGN.md.
+package config
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Pipeline holds the architectural parameters of the SMT core
+// (Table 1, "Architectural Parameters").
+type Pipeline struct {
+	// FetchWidth is the maximum instructions fetched per cycle.
+	FetchWidth int
+	// FetchThreads is the maximum number of threads fetched from in a
+	// single cycle (the paper's simulator fetches from two threads every
+	// cycle under ICOUNT).
+	FetchThreads int
+	// FetchPolicy selects fetch arbitration: "icount" (default, fewest
+	// instructions in flight first, [Tullsen et al.]) or "rr" (strict
+	// round-robin; an ablation that removes ICOUNT's throughput bias).
+	FetchPolicy string
+	// DecodeWidth is the maximum instructions renamed/dispatched per cycle.
+	DecodeWidth int
+	// IssueWidth is the maximum instructions issued to functional units
+	// per cycle (Table 1: "Instruction issue 6, out-of-order").
+	IssueWidth int
+	// CommitWidth is the maximum instructions retired per cycle.
+	CommitWidth int
+	// RUUSize is the number of register-update-unit entries (shared
+	// reorder buffer + issue queue, SimpleScalar style). Table 1: 128.
+	RUUSize int
+	// LSQSize is the number of load/store queue entries. Table 1: 32.
+	LSQSize int
+	// Contexts is the number of SMT hardware contexts. Table 1: 2.
+	Contexts int
+	// MemPorts is the number of cache ports for loads/stores. Table 1: 2.
+	MemPorts int
+	// IntALUs, IntMulDiv, FPALUs, FPMulDiv size the functional-unit pool.
+	IntALUs   int
+	IntMulDiv int
+	FPALUs    int
+	FPMulDiv  int
+	// SquashOnL2Miss enables the common SMT optimization the paper's
+	// simulator implements: a thread whose load misses in the L2 is
+	// squashed past the miss so it cannot fill the issue queue.
+	SquashOnL2Miss bool
+}
+
+// CacheGeom describes one cache level.
+type CacheGeom struct {
+	// SizeBytes is the total capacity in bytes.
+	SizeBytes int
+	// LineBytes is the block size in bytes.
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// LatencyCycles is the hit latency in cycles.
+	LatencyCycles int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c CacheGeom) Sets() int { return c.SizeBytes / (c.LineBytes * c.Assoc) }
+
+// Memory describes the cache hierarchy and off-chip memory
+// (Table 1: 64KB 4-way I & D 2-cycle; 2MB 8-way shared L2 12-cycle;
+// 300-cycle off-chip latency).
+type Memory struct {
+	L1I            CacheGeom
+	L1D            CacheGeom
+	L2             CacheGeom
+	MemLatency     int
+	MemInterleave  int // independent memory banks (1 = fully serialized)
+	WritebackDirty bool
+}
+
+// Bpred describes the branch predictor.
+type Bpred struct {
+	// Kind selects the predictor: "bimodal", "gshare", or "tournament".
+	Kind string
+	// TableBits is log2 of the pattern-history table size.
+	TableBits int
+	// BTBEntries and BTBAssoc size the branch target buffer.
+	BTBEntries int
+	BTBAssoc   int
+	// RASEntries sizes the return-address stack.
+	RASEntries int
+	// MispredictPenalty is the extra front-end redirect latency in cycles.
+	MispredictPenalty int
+}
+
+// Power holds the circuit parameters of Table 1 ("Power Density
+// Parameters") plus the activity-energy calibration used by the
+// Wattch-like model.
+type Power struct {
+	// Vdd is the supply voltage in volts (Table 1: 1.1 V).
+	Vdd float64
+	// FrequencyHz is the clock frequency (Table 1: 4 GHz).
+	FrequencyHz float64
+	// EnergyScale multiplies every per-access energy; used only for
+	// calibration experiments.
+	EnergyScale float64
+	// LeakageWPerMM2 is static power density applied to every block.
+	LeakageWPerMM2 float64
+}
+
+// Thermal holds the package parameters of Table 1 and the sensor setup.
+type Thermal struct {
+	// AmbientK is the ambient air temperature in kelvin.
+	AmbientK float64
+	// ConvectionRes is the heat-sink convection resistance in K/W
+	// (Table 1: 0.8 K/W, air-cooled high-performance system).
+	ConvectionRes float64
+	// HeatSinkThicknessM is the sink base thickness in meters
+	// (Table 1: 6.9 mm).
+	HeatSinkThicknessM float64
+	// DieThicknessM is the silicon die thickness in meters.
+	DieThicknessM float64
+	// DieCapFactor scales every die-block heat capacitance; >1 lumps
+	// TIM and local spreader mass into the block node (fitted).
+	DieCapFactor float64
+	// SpreaderCapFactor scales the per-block spreader-section
+	// capacitance (the spreader is wider than the die block above it).
+	SpreaderCapFactor float64
+	// SpreadToSinkK sets each spreader section's resistance to the sink
+	// as SpreadToSinkK/sqrt(blockArea) (spreading-resistance form).
+	SpreadToSinkK float64
+	// SinkCapJPerK is the heat sink's lumped capacitance.
+	SinkCapJPerK float64
+	// SensorIntervalCycles is how often temperature sensors are read
+	// (paper: every 20,000 cycles, well under any thermal RC constant).
+	SensorIntervalCycles int
+	// EmergencyK is the highest allowable operating temperature
+	// (paper: 358 K / 358.5 K); reaching it engages the stop-and-go
+	// safety net.
+	EmergencyK float64
+	// StopGoResumeK is the temperature the pipeline is expected to be
+	// back near after a cooling period (normal operating temperature,
+	// paper: ~354 K). The DVS baseline releases its throttle at it.
+	StopGoResumeK float64
+	// CoolingTimeMs is the thermal-RC cooling time of Table 1 (10 ms):
+	// stop-and-go stalls the pipeline for this fixed duration after an
+	// emergency ("once this cooling time has elapsed, activity at the
+	// component can be resumed", Section 2.1), and selective sedation
+	// derives its re-examination delay from it. Scaled by Scale.
+	CoolingTimeMs float64
+	// IdealSink, when true, models a package with an infinite heat
+	// removal rate: temperatures never rise above the initial operating
+	// point. Used for the "ideal heat-sink" bars of Figure 5.
+	IdealSink bool
+	// Scale divides every thermal capacitance, speeding heating and
+	// cooling uniformly so experiments finish quickly. Scale 1 is the
+	// paper's physical time base. Duty cycles (and hence all relative
+	// results) are invariant; see DESIGN.md §6.
+	Scale float64
+	// InitialK is the die temperature at the start of a quantum. The
+	// zero value means "start at the steady idle temperature".
+	InitialK float64
+}
+
+// Sedation holds the parameters of the paper's contribution,
+// selective sedation (Section 3.2).
+type Sedation struct {
+	// SampleIntervalCycles is the access-rate sampling period
+	// (paper: 1000 cycles).
+	SampleIntervalCycles int
+	// EWMAShift encodes the weighting factor x = 1/2^EWMAShift. The
+	// paper uses x = 1/64 .. 1/128 (shift 6..7) so the multiply reduces
+	// to a shift.
+	EWMAShift uint
+	// UpperK is the upper temperature threshold: crossing it triggers
+	// culprit identification and sedation (paper: 356 K).
+	UpperK float64
+	// LowerK is the lower threshold: cooling to it restores sedated
+	// threads (paper: 355 K).
+	LowerK float64
+	// ReexamineFactor multiplies the expected cooling time to produce
+	// the re-examination delay for additional culprits (paper: 2x).
+	ReexamineFactor float64
+	// ExpectedCoolingCycles is the expected cooling time of a resource
+	// used to size the re-examination delay. The zero value derives it
+	// from the thermal RC constants.
+	ExpectedCoolingCycles int64
+	// UseFlatAverage is an ablation switch (Section 3.2.1 argues
+	// against it): identify culprits by total access count since the
+	// quantum began instead of by weighted average. A bursty attacker
+	// hides below a steady normal thread under this metric.
+	UseFlatAverage bool
+	// AbsoluteEWMAThreshold is an ablation switch (Section 3.2.1
+	// argues against it): when positive, sedate any thread whose
+	// weighted average at any resource exceeds this rate (accesses per
+	// cycle), ignoring temperature. Normal programs' bursts then cause
+	// false positives.
+	AbsoluteEWMAThreshold float64
+}
+
+// Run holds per-run controls.
+type Run struct {
+	// QuantumCycles is the length of one OS quantum in cycles
+	// (paper: 500 M cycles at 4 GHz ~ one scheduler quantum).
+	QuantumCycles int64
+	// Seed seeds every stochastic component (workload generation).
+	Seed int64
+}
+
+// Config is the complete machine + run description.
+type Config struct {
+	Pipeline Pipeline
+	Memory   Memory
+	Bpred    Bpred
+	Power    Power
+	Thermal  Thermal
+	Sedation Sedation
+	Run      Run
+}
+
+// Default returns the paper's Table 1 configuration with the
+// reproduction defaults documented in DESIGN.md (thermal scale 16,
+// 4 M-cycle quantum; use Paper() for the full-scale run).
+func Default() Config {
+	cfg := Paper()
+	cfg.Thermal.Scale = 16
+	cfg.Run.QuantumCycles = 4_000_000
+	return cfg
+}
+
+// Paper returns the configuration exactly as in Table 1 of the paper:
+// unscaled thermal constants and a 500 M-cycle quantum.
+func Paper() Config {
+	return Config{
+		Pipeline: Pipeline{
+			FetchWidth:     8,
+			FetchThreads:   2,
+			FetchPolicy:    "icount",
+			DecodeWidth:    8,
+			IssueWidth:     6,
+			CommitWidth:    6,
+			RUUSize:        128,
+			LSQSize:        32,
+			Contexts:       2,
+			MemPorts:       2,
+			IntALUs:        6,
+			IntMulDiv:      1,
+			FPALUs:         2,
+			FPMulDiv:       1,
+			SquashOnL2Miss: true,
+		},
+		Memory: Memory{
+			L1I:            CacheGeom{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 2},
+			L1D:            CacheGeom{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 2},
+			L2:             CacheGeom{SizeBytes: 2 << 20, LineBytes: 128, Assoc: 8, LatencyCycles: 12},
+			MemLatency:     300,
+			MemInterleave:  4,
+			WritebackDirty: true,
+		},
+		Bpred: Bpred{
+			Kind:              "tournament",
+			TableBits:         12,
+			BTBEntries:        2048,
+			BTBAssoc:          4,
+			RASEntries:        16,
+			MispredictPenalty: 3,
+		},
+		Power: Power{
+			Vdd:            1.1,
+			FrequencyHz:    4e9,
+			EnergyScale:    1.0,
+			LeakageWPerMM2: 0.5,
+		},
+		Thermal: Thermal{
+			AmbientK:             315,
+			ConvectionRes:        0.8,
+			HeatSinkThicknessM:   6.9e-3,
+			DieThicknessM:        0.5e-3,
+			DieCapFactor:         0.5,
+			SpreaderCapFactor:    1,
+			SpreadToSinkK:        5e-3,
+			SinkCapJPerK:         300,
+			CoolingTimeMs:        10,
+			SensorIntervalCycles: 20_000,
+			EmergencyK:           358.5,
+			StopGoResumeK:        354,
+			Scale:                1,
+		},
+		Sedation: Sedation{
+			SampleIntervalCycles: 1000,
+			EWMAShift:            6, // x = 1/64: ~0.5 M-cycle memory at 1000-cycle samples
+			UpperK:               356,
+			LowerK:               355,
+			ReexamineFactor:      2,
+		},
+		Run: Run{
+			QuantumCycles: 500_000_000,
+			Seed:          1,
+		},
+	}
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (c *Config) Validate() error {
+	p := c.Pipeline
+	switch {
+	case p.FetchWidth <= 0:
+		return fmt.Errorf("config: fetch width %d must be positive", p.FetchWidth)
+	case p.FetchThreads <= 0 || p.FetchThreads > p.Contexts:
+		return fmt.Errorf("config: fetch threads %d must be in [1,%d]", p.FetchThreads, p.Contexts)
+	case p.IssueWidth <= 0:
+		return fmt.Errorf("config: issue width %d must be positive", p.IssueWidth)
+	case p.CommitWidth <= 0:
+		return fmt.Errorf("config: commit width %d must be positive", p.CommitWidth)
+	case p.RUUSize <= 0:
+		return fmt.Errorf("config: RUU size %d must be positive", p.RUUSize)
+	case p.LSQSize <= 0:
+		return fmt.Errorf("config: LSQ size %d must be positive", p.LSQSize)
+	case p.Contexts <= 0:
+		return fmt.Errorf("config: contexts %d must be positive", p.Contexts)
+	case p.MemPorts <= 0:
+		return fmt.Errorf("config: memory ports %d must be positive", p.MemPorts)
+	case p.IntALUs <= 0 || p.FPALUs <= 0 || p.IntMulDiv <= 0 || p.FPMulDiv <= 0:
+		return fmt.Errorf("config: every functional-unit count must be positive")
+	}
+	switch p.FetchPolicy {
+	case "", "icount", "rr":
+	default:
+		return fmt.Errorf("config: unknown fetch policy %q", p.FetchPolicy)
+	}
+	for _, g := range []struct {
+		name string
+		g    CacheGeom
+	}{{"L1I", c.Memory.L1I}, {"L1D", c.Memory.L1D}, {"L2", c.Memory.L2}} {
+		if err := validateCache(g.name, g.g); err != nil {
+			return err
+		}
+	}
+	if c.Memory.MemLatency <= 0 {
+		return fmt.Errorf("config: memory latency %d must be positive", c.Memory.MemLatency)
+	}
+	if n := c.Memory.MemInterleave; n > 1 && n&(n-1) != 0 {
+		return fmt.Errorf("config: memory interleave %d must be a power of two", n)
+	}
+	switch c.Bpred.Kind {
+	case "bimodal", "gshare", "tournament":
+	default:
+		return fmt.Errorf("config: unknown branch predictor %q", c.Bpred.Kind)
+	}
+	if c.Bpred.TableBits <= 0 || c.Bpred.TableBits > 24 {
+		return fmt.Errorf("config: predictor table bits %d out of range", c.Bpred.TableBits)
+	}
+	if c.Power.Vdd <= 0 || c.Power.FrequencyHz <= 0 {
+		return fmt.Errorf("config: Vdd and frequency must be positive")
+	}
+	t := c.Thermal
+	switch {
+	case t.ConvectionRes <= 0:
+		return fmt.Errorf("config: convection resistance %g must be positive", t.ConvectionRes)
+	case t.SensorIntervalCycles <= 0:
+		return fmt.Errorf("config: sensor interval %d must be positive", t.SensorIntervalCycles)
+	case t.Scale <= 0:
+		return fmt.Errorf("config: thermal scale %g must be positive", t.Scale)
+	case t.EmergencyK <= t.AmbientK:
+		return fmt.Errorf("config: emergency temperature %g K must exceed ambient %g K", t.EmergencyK, t.AmbientK)
+	case t.StopGoResumeK >= t.EmergencyK:
+		return fmt.Errorf("config: stop-and-go resume temperature %g K must be below emergency %g K", t.StopGoResumeK, t.EmergencyK)
+	}
+	s := c.Sedation
+	switch {
+	case s.SampleIntervalCycles <= 0:
+		return fmt.Errorf("config: sedation sample interval %d must be positive", s.SampleIntervalCycles)
+	case s.EWMAShift == 0 || s.EWMAShift > 16:
+		return fmt.Errorf("config: EWMA shift %d out of range [1,16]", s.EWMAShift)
+	case s.UpperK <= s.LowerK:
+		return fmt.Errorf("config: upper threshold %g K must exceed lower threshold %g K", s.UpperK, s.LowerK)
+	case s.UpperK >= t.EmergencyK:
+		return fmt.Errorf("config: upper threshold %g K must be below emergency %g K", s.UpperK, t.EmergencyK)
+	case s.ReexamineFactor < 1:
+		return fmt.Errorf("config: re-examination factor %g must be at least 1", s.ReexamineFactor)
+	}
+	if c.Run.QuantumCycles <= 0 {
+		return fmt.Errorf("config: quantum %d cycles must be positive", c.Run.QuantumCycles)
+	}
+	return nil
+}
+
+func validateCache(name string, g CacheGeom) error {
+	switch {
+	case g.SizeBytes <= 0 || g.LineBytes <= 0 || g.Assoc <= 0:
+		return fmt.Errorf("config: %s geometry must be positive", name)
+	case bits.OnesCount(uint(g.LineBytes)) != 1:
+		return fmt.Errorf("config: %s line size %d must be a power of two", name, g.LineBytes)
+	case g.SizeBytes%(g.LineBytes*g.Assoc) != 0:
+		return fmt.Errorf("config: %s size %d not divisible by line*assoc", name, g.SizeBytes)
+	case bits.OnesCount(uint(g.Sets())) != 1:
+		return fmt.Errorf("config: %s set count %d must be a power of two", name, g.Sets())
+	case g.LatencyCycles <= 0:
+		return fmt.Errorf("config: %s latency must be positive", name)
+	}
+	return nil
+}
+
+// EWMAWindowCycles returns the effective memory of the weighted average
+// in cycles: with weight x per sample the average remembers roughly 1/x
+// samples (paper §3.2.1: x = 1/64 with 1000-cycle samples captures a
+// ~0.5 M-cycle window... the paper quotes both 1/64 and 1/128; either
+// shift is accepted).
+func (s Sedation) EWMAWindowCycles() int64 {
+	return int64(s.SampleIntervalCycles) << s.EWMAShift
+}

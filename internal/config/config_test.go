@@ -1,0 +1,116 @@
+package config
+
+import "testing"
+
+func TestDefaultValidates(t *testing.T) {
+	cfg := Default()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	p := Paper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("paper config invalid: %v", err)
+	}
+	if p.Thermal.Scale != 1 || p.Run.QuantumCycles != 500_000_000 {
+		t.Error("paper config should use the full time base")
+	}
+	if cfg.Thermal.Scale == 1 {
+		t.Error("default config should use a reproduction scale")
+	}
+}
+
+func TestTable1Values(t *testing.T) {
+	p := Paper()
+	checks := []struct {
+		name string
+		got  interface{}
+		want interface{}
+	}{
+		{"issue width", p.Pipeline.IssueWidth, 6},
+		{"RUU", p.Pipeline.RUUSize, 128},
+		{"LSQ", p.Pipeline.LSQSize, 32},
+		{"contexts", p.Pipeline.Contexts, 2},
+		{"mem ports", p.Pipeline.MemPorts, 2},
+		{"L1 size", p.Memory.L1I.SizeBytes, 64 << 10},
+		{"L1 assoc", p.Memory.L1D.Assoc, 4},
+		{"L1 latency", p.Memory.L1D.LatencyCycles, 2},
+		{"L2 size", p.Memory.L2.SizeBytes, 2 << 20},
+		{"L2 assoc", p.Memory.L2.Assoc, 8},
+		{"L2 latency", p.Memory.L2.LatencyCycles, 12},
+		{"memory latency", p.Memory.MemLatency, 300},
+		{"Vdd", p.Power.Vdd, 1.1},
+		{"frequency", p.Power.FrequencyHz, 4e9},
+		{"convection", p.Thermal.ConvectionRes, 0.8},
+		{"sink thickness", p.Thermal.HeatSinkThicknessM, 6.9e-3},
+		{"cooling time", p.Thermal.CoolingTimeMs, 10.0},
+		{"sensor interval", p.Thermal.SensorIntervalCycles, 20_000},
+		{"sample interval", p.Sedation.SampleIntervalCycles, 1000},
+		{"upper", p.Sedation.UpperK, 356.0},
+		{"lower", p.Sedation.LowerK, 355.0},
+		{"reexamine", p.Sedation.ReexamineFactor, 2.0},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if p.Thermal.EmergencyK < 358 || p.Thermal.EmergencyK > 359 {
+		t.Errorf("emergency %v, want 358-358.5", p.Thermal.EmergencyK)
+	}
+}
+
+func TestValidateCatchesEachField(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Pipeline.FetchWidth = 0 },
+		func(c *Config) { c.Pipeline.FetchThreads = 0 },
+		func(c *Config) { c.Pipeline.FetchThreads = c.Pipeline.Contexts + 1 },
+		func(c *Config) { c.Pipeline.IssueWidth = -1 },
+		func(c *Config) { c.Pipeline.CommitWidth = 0 },
+		func(c *Config) { c.Pipeline.RUUSize = 0 },
+		func(c *Config) { c.Pipeline.LSQSize = 0 },
+		func(c *Config) { c.Pipeline.Contexts = 0 },
+		func(c *Config) { c.Pipeline.MemPorts = 0 },
+		func(c *Config) { c.Pipeline.IntALUs = 0 },
+		func(c *Config) { c.Memory.L1I.LineBytes = 60 },
+		func(c *Config) { c.Memory.L1D.SizeBytes = 0 },
+		func(c *Config) { c.Memory.L2.SizeBytes = 3 << 20 },
+		func(c *Config) { c.Memory.MemLatency = 0 },
+		func(c *Config) { c.Bpred.Kind = "psychic" },
+		func(c *Config) { c.Bpred.TableBits = 0 },
+		func(c *Config) { c.Power.Vdd = 0 },
+		func(c *Config) { c.Thermal.ConvectionRes = 0 },
+		func(c *Config) { c.Thermal.SensorIntervalCycles = 0 },
+		func(c *Config) { c.Thermal.Scale = 0 },
+		func(c *Config) { c.Thermal.EmergencyK = c.Thermal.AmbientK - 1 },
+		func(c *Config) { c.Thermal.StopGoResumeK = c.Thermal.EmergencyK + 1 },
+		func(c *Config) { c.Sedation.SampleIntervalCycles = 0 },
+		func(c *Config) { c.Sedation.EWMAShift = 0 },
+		func(c *Config) { c.Sedation.EWMAShift = 40 },
+		func(c *Config) { c.Sedation.UpperK = c.Sedation.LowerK - 1 },
+		func(c *Config) { c.Sedation.UpperK = c.Thermal.EmergencyK + 1 },
+		func(c *Config) { c.Sedation.ReexamineFactor = 0.5 },
+		func(c *Config) { c.Run.QuantumCycles = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := Default()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestCacheGeometry(t *testing.T) {
+	g := CacheGeom{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 4, LatencyCycles: 2}
+	if g.Sets() != 256 {
+		t.Errorf("sets = %d", g.Sets())
+	}
+}
+
+func TestEWMAWindow(t *testing.T) {
+	s := Default().Sedation
+	// x = 1/64 with 1000-cycle samples: ~64k-cycle memory.
+	if got := s.EWMAWindowCycles(); got != int64(s.SampleIntervalCycles)<<s.EWMAShift {
+		t.Errorf("window = %d", got)
+	}
+}

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+func sedCfg() config.Sedation { return config.Default().Sedation }
+
+func newMon(t *testing.T, nthreads int) (*Monitor, *power.Activity) {
+	t.Helper()
+	act := power.NewActivity(nthreads)
+	m, err := NewMonitor(sedCfg(), act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, act
+}
+
+func TestEWMAConvergesToRate(t *testing.T) {
+	m, act := newMon(t, 1)
+	// Constant 3000 accesses per 1000-cycle interval.
+	for i := 0; i < 2000; i++ {
+		act.Add(power.UnitIntReg, 0, 3000)
+		m.Sample()
+	}
+	if rate := m.Rate(0, power.UnitIntReg); math.Abs(rate-3.0) > 0.1 {
+		t.Errorf("EWMA rate %.3f, want ~3.0", rate)
+	}
+}
+
+// TestQuickEWMAMatchesFloatReference property: the shift-based integer
+// EWMA tracks the floating-point definition
+// avg = (1-x)avg + x*sample within integer-truncation error.
+func TestQuickEWMAMatchesFloatReference(t *testing.T) {
+	cfg := sedCfg()
+	x := 1.0 / float64(int64(1)<<cfg.EWMAShift)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		act := power.NewActivity(1)
+		m, err := NewMonitor(cfg, act)
+		if err != nil {
+			return false
+		}
+		ref := 0.0
+		for i := 0; i < 500; i++ {
+			sample := int64(rng.Intn(12000))
+			act.Add(power.UnitIntReg, 0, uint64(sample))
+			m.Sample()
+			ref = (1-x)*ref + x*float64(sample)
+			// Truncation bias is bounded by the number of shifts: allow
+			// 2 units per shift step accumulated, i.e. loose absolute
+			// bound of 2^shift.
+			if math.Abs(float64(m.Raw(0, power.UnitIntReg))-ref) > float64(int64(2)<<cfg.EWMAShift) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMAForgetsOldBursts(t *testing.T) {
+	m, act := newMon(t, 1)
+	for i := 0; i < 500; i++ {
+		act.Add(power.UnitIntReg, 0, 10000)
+		m.Sample()
+	}
+	burst := m.Rate(0, power.UnitIntReg)
+	// Now go quiet for several windows.
+	for i := 0; i < 1000; i++ {
+		m.Sample()
+	}
+	quiet := m.Rate(0, power.UnitIntReg)
+	if quiet > burst/100 {
+		t.Errorf("EWMA did not decay: burst %.2f quiet %.2f", burst, quiet)
+	}
+}
+
+func TestFrozenThreadKeepsAverage(t *testing.T) {
+	m, act := newMon(t, 2)
+	for i := 0; i < 300; i++ {
+		act.Add(power.UnitIntReg, 0, 8000)
+		act.Add(power.UnitIntReg, 1, 2000)
+		m.Sample()
+	}
+	before := m.Raw(0, power.UnitIntReg)
+	m.SetFrozen(0, true)
+	if !m.Frozen(0) {
+		t.Fatal("frozen flag")
+	}
+	// Thread 0 is sedated: no accesses, but its average must not decay
+	// ("the period of inactivity will not artificially lower the
+	// weighted average").
+	for i := 0; i < 500; i++ {
+		act.Add(power.UnitIntReg, 1, 2000)
+		m.Sample()
+	}
+	if m.Raw(0, power.UnitIntReg) != before {
+		t.Error("frozen average changed")
+	}
+	// After resuming, the sedation gap must not be charged as a burst.
+	m.SetFrozen(0, false)
+	act.Add(power.UnitIntReg, 0, 100)
+	m.Sample()
+	if m.Raw(0, power.UnitIntReg) > before {
+		t.Error("resume charged the idle gap")
+	}
+}
+
+func TestCulpritSelection(t *testing.T) {
+	m, act := newMon(t, 3)
+	rates := []uint64{2000, 9000, 5000}
+	for i := 0; i < 400; i++ {
+		for tid, r := range rates {
+			act.Add(power.UnitIntReg, tid, r)
+		}
+		m.Sample()
+	}
+	all := func(int) bool { return true }
+	tid, ok := m.Culprit(power.UnitIntReg, all)
+	if !ok || tid != 1 {
+		t.Errorf("culprit = %d,%v want 1", tid, ok)
+	}
+	// Excluding the top thread picks the next.
+	tid, ok = m.Culprit(power.UnitIntReg, func(t int) bool { return t != 1 })
+	if !ok || tid != 2 {
+		t.Errorf("second culprit = %d,%v want 2", tid, ok)
+	}
+	if _, ok := m.Culprit(power.UnitIntReg, func(int) bool { return false }); ok {
+		t.Error("no eligible threads should return !ok")
+	}
+}
+
+func TestFlatCulpritHidesBurstyAttacker(t *testing.T) {
+	// The Section 3.2.1 failure mode: thread 0 is steady at 5/cycle;
+	// thread 1 bursts at 12/cycle for a short window then idles. The
+	// EWMA right after the burst identifies thread 1; the flat count
+	// over the long period identifies thread 0.
+	m, act := newMon(t, 2)
+	m.Prime()
+	for i := 0; i < 5000; i++ {
+		act.Add(power.UnitIntReg, 0, 5000)
+		if i >= 4800 { // recent short burst
+			act.Add(power.UnitIntReg, 1, 12000)
+		}
+		m.Sample()
+	}
+	all := func(int) bool { return true }
+	ewmaTid, _ := m.Culprit(power.UnitIntReg, all)
+	flatTid, _ := m.FlatCulprit(power.UnitIntReg, all)
+	if ewmaTid != 1 {
+		t.Errorf("EWMA culprit = %d, want the bursting thread", ewmaTid)
+	}
+	if flatTid != 0 {
+		t.Errorf("flat culprit = %d, want the steady thread (the metric's flaw)", flatTid)
+	}
+}
+
+func TestMonitorValidation(t *testing.T) {
+	act := power.NewActivity(1)
+	bad := sedCfg()
+	bad.SampleIntervalCycles = 0
+	if _, err := NewMonitor(bad, act); err == nil {
+		t.Error("zero interval should fail")
+	}
+	bad = sedCfg()
+	bad.EWMAShift = 0
+	if _, err := NewMonitor(bad, act); err == nil {
+		t.Error("zero shift should fail")
+	}
+}
+
+// fakeCtl is a CoreControl for engine tests.
+type fakeCtl struct {
+	n       int
+	enabled []bool
+	active  []bool
+}
+
+func newFakeCtl(n int) *fakeCtl {
+	f := &fakeCtl{n: n, enabled: make([]bool, n), active: make([]bool, n)}
+	for i := range f.enabled {
+		f.enabled[i] = true
+		f.active[i] = true
+	}
+	return f
+}
+
+func (f *fakeCtl) SetFetchEnabled(tid int, e bool) { f.enabled[tid] = e }
+func (f *fakeCtl) Threads() int                    { return f.n }
+func (f *fakeCtl) Active(tid int) bool             { return f.active[tid] }
+
+// engineHarness bundles an engine with driveable inputs.
+type engineHarness struct {
+	t      *testing.T
+	mon    *Monitor
+	act    *power.Activity
+	ctl    *fakeCtl
+	eng    *Engine
+	temps  [power.NumUnits]float64
+	cycle  int64
+	report []Report
+}
+
+func newHarness(t *testing.T, n int, cfg config.Sedation) *engineHarness {
+	t.Helper()
+	h := &engineHarness{t: t, ctl: newFakeCtl(n)}
+	h.act = power.NewActivity(n)
+	var err error
+	h.mon, err = NewMonitor(cfg, h.act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.eng, err = NewEngine(cfg, h.mon, h.ctl, 1000, func(r Report) { h.report = append(h.report, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range h.temps {
+		h.temps[u] = 350
+	}
+	return h
+}
+
+// feed gives each thread the given per-sample access count at IntReg
+// for n samples.
+func (h *engineHarness) feed(n int, counts ...uint64) {
+	for i := 0; i < n; i++ {
+		for tid, c := range counts {
+			if !h.ctl.enabled[tid] {
+				continue
+			}
+			h.act.Add(power.UnitIntReg, tid, c)
+		}
+		h.mon.Sample()
+	}
+}
+
+func (h *engineHarness) tick() {
+	h.cycle += 20000
+	h.eng.Tick(h.cycle, func(u power.Unit) float64 { return h.temps[u] })
+}
+
+func TestEngineSedatesCulpritAndResumes(t *testing.T) {
+	cfg := sedCfg()
+	h := newHarness(t, 2, cfg)
+	h.feed(200, 2000, 9000) // thread 1 is the aggressor
+	h.temps[power.UnitIntReg] = cfg.UpperK + 0.2
+	h.tick()
+	if h.ctl.enabled[1] || !h.ctl.enabled[0] {
+		t.Fatalf("culprit selection wrong: enabled=%v", h.ctl.enabled)
+	}
+	if !h.eng.Sedated(1) {
+		t.Fatal("Sedated(1) should be true")
+	}
+	if len(h.report) != 1 || h.report[0].Thread != 1 || h.report[0].Unit != power.UnitIntReg {
+		t.Fatalf("report = %+v", h.report)
+	}
+	if h.report[0].Rate < 8 {
+		t.Errorf("reported rate %.1f, want ~9", h.report[0].Rate)
+	}
+	// Still above lower threshold: stays sedated.
+	h.temps[power.UnitIntReg] = cfg.LowerK + 0.3
+	h.tick()
+	if h.ctl.enabled[1] {
+		t.Fatal("resumed above the lower threshold")
+	}
+	// Cooled: resumes.
+	h.temps[power.UnitIntReg] = cfg.LowerK - 0.1
+	h.tick()
+	if !h.ctl.enabled[1] {
+		t.Fatal("did not resume at the lower threshold")
+	}
+	st := h.eng.Stats()
+	if st.Sedations != 1 || st.Resumes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEngineReexaminationSedatesSecondCulprit(t *testing.T) {
+	cfg := sedCfg()
+	h := newHarness(t, 3, cfg)
+	h.feed(200, 2000, 9000, 8000)
+	h.temps[power.UnitIntReg] = cfg.UpperK + 0.5
+	h.tick() // sedates thread 1
+	if h.ctl.enabled[1] {
+		t.Fatal("first culprit not sedated")
+	}
+	// Resource stays hot past 2x cooling time (2000 cycles; ticks are
+	// 20000 cycles so the very next tick is past the deadline).
+	h.tick()
+	if h.ctl.enabled[2] {
+		t.Fatal("second culprit not sedated at re-examination")
+	}
+	if h.ctl.enabled[1] {
+		t.Fatal("first culprit must stay sedated")
+	}
+	if !h.ctl.enabled[0] {
+		t.Fatal("last un-sedated thread must keep running")
+	}
+	// Even though still hot, the last thread is never sedated.
+	h.tick()
+	if !h.ctl.enabled[0] {
+		t.Fatal("last-thread exception violated")
+	}
+	st := h.eng.Stats()
+	if st.Reexaminations == 0 || st.LastThreadExceptions == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Cooling resumes everyone sedated for the unit.
+	h.temps[power.UnitIntReg] = cfg.LowerK - 0.5
+	h.tick()
+	if !h.ctl.enabled[1] || !h.ctl.enabled[2] {
+		t.Fatal("resume-all failed")
+	}
+}
+
+func TestEngineLastThreadExceptionSolo(t *testing.T) {
+	cfg := sedCfg()
+	h := newHarness(t, 1, cfg)
+	h.feed(100, 9000)
+	h.temps[power.UnitIntReg] = cfg.UpperK + 1
+	h.tick()
+	if !h.ctl.enabled[0] {
+		t.Fatal("a solo thread must never be sedated")
+	}
+	if h.eng.Stats().LastThreadExceptions == 0 {
+		t.Error("exception not counted")
+	}
+}
+
+func TestEngineReleaseAll(t *testing.T) {
+	cfg := sedCfg()
+	h := newHarness(t, 2, cfg)
+	h.feed(100, 2000, 9000)
+	h.temps[power.UnitIntReg] = cfg.UpperK + 1
+	h.tick()
+	if h.ctl.enabled[1] {
+		t.Fatal("setup: thread 1 should be sedated")
+	}
+	h.eng.ReleaseAll()
+	if !h.ctl.enabled[1] {
+		t.Fatal("ReleaseAll did not restore the thread")
+	}
+	if h.eng.Sedated(1) {
+		t.Fatal("Sedated should be false after release")
+	}
+}
+
+func TestEngineInactiveThreadsIneligible(t *testing.T) {
+	cfg := sedCfg()
+	h := newHarness(t, 2, cfg)
+	h.ctl.active[1] = false
+	h.feed(100, 9000, 0)
+	h.temps[power.UnitIntReg] = cfg.UpperK + 1
+	h.tick()
+	// Only one active thread: last-thread exception.
+	if !h.ctl.enabled[0] {
+		t.Fatal("solo active thread sedated")
+	}
+}
+
+func TestEngineAbsoluteThresholdMode(t *testing.T) {
+	cfg := sedCfg()
+	cfg.AbsoluteEWMAThreshold = 6
+	h := newHarness(t, 2, cfg)
+	h.feed(300, 8000, 2000)         // thread 0 above the absolute threshold
+	h.temps[power.UnitIntReg] = 340 // temperature is ignored
+	h.tick()
+	if h.ctl.enabled[0] {
+		t.Fatal("absolute mode should sedate above-threshold thread regardless of temperature")
+	}
+	if h.ctl.enabled[1] == false {
+		t.Fatal("below-threshold thread sedated")
+	}
+	// Timed resume after the cooling period.
+	h.cycle += 2000
+	h.tick()
+	if !h.ctl.enabled[0] {
+		t.Fatal("absolute mode did not resume after the cooling period")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	m, _ := newMon(t, 2)
+	ctl := newFakeCtl(2)
+	if _, err := NewEngine(sedCfg(), m, ctl, 0, nil); err == nil {
+		t.Error("zero cooling time should fail")
+	}
+	bad := sedCfg()
+	bad.UpperK, bad.LowerK = 350, 355
+	if _, err := NewEngine(bad, m, ctl, 1000, nil); err == nil {
+		t.Error("inverted thresholds should fail")
+	}
+	if _, err := NewEngine(sedCfg(), m, newFakeCtl(3), 1000, nil); err == nil {
+		t.Error("thread-count mismatch should fail")
+	}
+	// ExpectedCoolingCycles override wins.
+	cfg := sedCfg()
+	cfg.ExpectedCoolingCycles = 777
+	e, err := NewEngine(cfg, m, ctl, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.reexamineDelay() != int64(cfg.ReexamineFactor*777) {
+		t.Errorf("re-examination delay %d", e.reexamineDelay())
+	}
+}

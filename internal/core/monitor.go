@@ -1,0 +1,160 @@
+// Package core implements the paper's contribution: selective sedation
+// (Section 3.2). A Monitor tracks every thread's access rate at every
+// potential-hot-spot resource with a shift-based exponentially weighted
+// moving average, and an Engine uses temperature thresholds to identify
+// and sedate the culprit thread when a resource approaches its
+// emergency temperature — slowing down only the offending thread
+// instead of the whole pipeline.
+package core
+
+import (
+	"fmt"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+// Monitor maintains the per-thread, per-resource weighted averages of
+// Section 3.2.1. Hardware cost per resource per thread is one access
+// counter, one weighted-average register, and shift/add logic: the
+// weighting factor x = 1/2^shift turns both multiplications of
+//
+//	WtAvg = (1-x)*WtAvg + x*rate
+//
+// into shifts:
+//
+//	WtAvg += (sample >> shift) - (WtAvg >> shift)
+//
+// Sampling is deliberately coarse (every 1000 cycles): hot spots take
+// millions of cycles to form, so the monitoring logic can be slow,
+// power- and space-efficient.
+type Monitor struct {
+	cfg      config.Sedation
+	act      *power.Activity
+	nthreads int
+
+	last     [][power.NumUnits]uint64
+	ewma     [][power.NumUnits]int64
+	flatBase [][power.NumUnits]uint64
+	frozen   []bool
+}
+
+// NewMonitor builds a monitor over the core's activity counters.
+func NewMonitor(cfg config.Sedation, act *power.Activity) (*Monitor, error) {
+	if cfg.SampleIntervalCycles <= 0 {
+		return nil, fmt.Errorf("core: sample interval %d must be positive", cfg.SampleIntervalCycles)
+	}
+	if cfg.EWMAShift == 0 || cfg.EWMAShift > 16 {
+		return nil, fmt.Errorf("core: EWMA shift %d out of range [1,16]", cfg.EWMAShift)
+	}
+	n := act.Threads()
+	return &Monitor{
+		cfg:      cfg,
+		act:      act,
+		nthreads: n,
+		last:     make([][power.NumUnits]uint64, n),
+		ewma:     make([][power.NumUnits]int64, n),
+		flatBase: make([][power.NumUnits]uint64, n),
+		frozen:   make([]bool, n),
+	}, nil
+}
+
+// SetFrozen marks a thread sedated: its counters are neither sampled
+// nor decayed, so the period of inactivity cannot artificially lower
+// its weighted average (Section 3.2.2).
+func (m *Monitor) SetFrozen(tid int, frozen bool) {
+	if frozen && !m.frozen[tid] {
+		// Swallow the activity accumulated so far so the thread's next
+		// sample after resuming starts from its resume point.
+		for u := power.Unit(0); u < power.NumUnits; u++ {
+			m.last[tid][u] = m.act.Thread(tid, u)
+		}
+	}
+	m.frozen[tid] = frozen
+}
+
+// Frozen reports whether tid's average is frozen.
+func (m *Monitor) Frozen(tid int) bool { return m.frozen[tid] }
+
+// Prime resets every thread's sample baseline to the current counters
+// and clears the weighted averages; call it after a warmup phase.
+func (m *Monitor) Prime() {
+	for tid := 0; tid < m.nthreads; tid++ {
+		for u := power.Unit(0); u < power.NumUnits; u++ {
+			m.last[tid][u] = m.act.Thread(tid, u)
+			m.flatBase[tid][u] = m.last[tid][u]
+			m.ewma[tid][u] = 0
+		}
+	}
+}
+
+// Sample ingests one sampling interval's activity; the caller invokes
+// it every SampleIntervalCycles cycles.
+func (m *Monitor) Sample() {
+	shift := m.cfg.EWMAShift
+	for tid := 0; tid < m.nthreads; tid++ {
+		if m.frozen[tid] {
+			continue
+		}
+		for u := power.Unit(0); u < power.NumUnits; u++ {
+			cur := m.act.Thread(tid, u)
+			sample := int64(cur - m.last[tid][u])
+			m.last[tid][u] = cur
+			m.ewma[tid][u] += (sample >> shift) - (m.ewma[tid][u] >> shift)
+		}
+	}
+}
+
+// Raw returns the weighted-average register value (accesses per
+// sampling interval) for thread tid at unit u.
+func (m *Monitor) Raw(tid int, u power.Unit) int64 { return m.ewma[tid][u] }
+
+// Rate returns the weighted average as accesses per cycle.
+func (m *Monitor) Rate(tid int, u power.Unit) float64 {
+	return float64(m.ewma[tid][u]) / float64(m.cfg.SampleIntervalCycles)
+}
+
+// FlatCount returns the total accesses by tid at u since the last
+// Prime; the flat-average ablation identifies culprits with it.
+func (m *Monitor) FlatCount(tid int, u power.Unit) uint64 {
+	return m.act.Thread(tid, u) - m.flatBase[tid][u]
+}
+
+// FlatCulprit returns the eligible thread with the highest total access
+// count at u (Section 3.2.1's strawman metric: a short aggressive burst
+// hides below a long steady stream).
+func (m *Monitor) FlatCulprit(u power.Unit, eligible func(tid int) bool) (tid int, ok bool) {
+	var best uint64
+	tid = -1
+	for t := 0; t < m.nthreads; t++ {
+		if !eligible(t) {
+			continue
+		}
+		if v := m.FlatCount(t, u); tid < 0 || v > best {
+			best = v
+			tid = t
+		}
+	}
+	return tid, tid >= 0
+}
+
+// Culprit returns the eligible thread with the highest weighted average
+// at unit u. eligible filters candidates (the engine passes "active and
+// not sedated"); ok is false if no thread is eligible.
+func (m *Monitor) Culprit(u power.Unit, eligible func(tid int) bool) (tid int, ok bool) {
+	best := int64(-1)
+	tid = -1
+	for t := 0; t < m.nthreads; t++ {
+		if !eligible(t) {
+			continue
+		}
+		if v := m.ewma[t][u]; v > best {
+			best = v
+			tid = t
+		}
+	}
+	return tid, tid >= 0
+}
+
+// Threads returns the number of monitored contexts.
+func (m *Monitor) Threads() int { return m.nthreads }

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+// CoreControl is the slice of the pipeline the sedation engine drives.
+type CoreControl interface {
+	// SetFetchEnabled gates one thread's fetch stage.
+	SetFetchEnabled(tid int, enabled bool)
+	// Threads returns the number of hardware contexts.
+	Threads() int
+	// Active reports whether a context is running a program.
+	Active(tid int) bool
+}
+
+// Report is the notification sent to the operating system when a thread
+// is sedated (Section 3.2.2: "we also report the offending threads to
+// the operating system").
+type Report struct {
+	Cycle int64
+	Unit  power.Unit
+	// Thread is the hardware context identified as the culprit.
+	Thread int
+	// Rate is the thread's weighted-average access rate (per cycle) at
+	// the triggering resource.
+	Rate float64
+}
+
+// Stats counts engine events.
+type Stats struct {
+	// Sedations is the number of sedation actions taken.
+	Sedations uint64
+	// Resumes is the number of lower-threshold resume events.
+	Resumes uint64
+	// Reexaminations counts the 2x-cooling-time re-checks that found
+	// the resource still hot and sedated an additional thread.
+	Reexaminations uint64
+	// LastThreadExceptions counts triggers ignored because only one
+	// un-sedated thread remained (it cannot degrade anyone else).
+	LastThreadExceptions uint64
+}
+
+// Engine is the selective-sedation state machine of Section 3.2.2. Each
+// resource has an upper temperature threshold (just below the emergency
+// temperature) and a lower threshold (just above normal operating
+// temperature):
+//
+//   - upper crossed -> sedate the un-sedated thread with the highest
+//     weighted average at that resource;
+//   - after ReexamineFactor x the expected cooling time, if the
+//     resource is still above the lower threshold and un-sedated
+//     threads remain, sedate the next culprit;
+//   - lower reached -> resume every thread sedated for that resource;
+//   - the last un-sedated thread is never sedated (it cannot degrade
+//     any other thread; the stop-and-go safety net catches it).
+type Engine struct {
+	cfg           config.Sedation
+	mon           *Monitor
+	ctl           CoreControl
+	coolingCycles int64
+
+	// sedatedFor[u] lists threads sedated because of unit u.
+	sedatedFor [power.NumUnits][]int
+	// sedations[tid] counts how many resources currently hold tid
+	// sedated; fetch re-enables only at zero.
+	sedations []int
+	// hot[u] is true between an upper trigger and the lower resume.
+	hot         [power.NumUnits]bool
+	reexamineAt [power.NumUnits]int64
+	// absSedatedUntil implements the absolute-threshold ablation: a
+	// timed per-thread sedation independent of temperature.
+	absSedatedUntil []int64
+
+	report func(Report)
+	stats  Stats
+}
+
+// NewEngine builds the engine. coolingCycles is the expected cooling
+// time of a resource in cycles (used for the re-examination delay); if
+// cfg.ExpectedCoolingCycles is set it wins. report may be nil.
+func NewEngine(cfg config.Sedation, mon *Monitor, ctl CoreControl, coolingCycles int64, report func(Report)) (*Engine, error) {
+	if cfg.ExpectedCoolingCycles > 0 {
+		coolingCycles = cfg.ExpectedCoolingCycles
+	}
+	if coolingCycles <= 0 {
+		return nil, fmt.Errorf("core: expected cooling time must be positive, got %d", coolingCycles)
+	}
+	if cfg.UpperK <= cfg.LowerK {
+		return nil, fmt.Errorf("core: upper threshold %g K must exceed lower %g K", cfg.UpperK, cfg.LowerK)
+	}
+	if mon.Threads() != ctl.Threads() {
+		return nil, fmt.Errorf("core: monitor tracks %d threads, core has %d", mon.Threads(), ctl.Threads())
+	}
+	return &Engine{
+		cfg:             cfg,
+		mon:             mon,
+		ctl:             ctl,
+		coolingCycles:   coolingCycles,
+		sedations:       make([]int, ctl.Threads()),
+		absSedatedUntil: make([]int64, ctl.Threads()),
+		report:          report,
+	}, nil
+}
+
+// Stats returns the engine's event counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Sedated reports whether thread tid is currently sedated.
+func (e *Engine) Sedated(tid int) bool { return e.sedations[tid] > 0 }
+
+// Tick runs the per-sensor-interval policy. temp returns the current
+// die temperature of a unit's block.
+func (e *Engine) Tick(cycle int64, temp func(power.Unit) float64) {
+	if e.cfg.AbsoluteEWMAThreshold > 0 {
+		e.tickAbsolute(cycle)
+		return
+	}
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		t := temp(u)
+		if !e.hot[u] {
+			if t >= e.cfg.UpperK {
+				e.hot[u] = true
+				e.sedateCulprit(cycle, u, false)
+				e.reexamineAt[u] = cycle + e.reexamineDelay()
+			}
+			continue
+		}
+		if t <= e.cfg.LowerK {
+			e.resumeAll(u)
+			continue
+		}
+		if cycle >= e.reexamineAt[u] {
+			// Still hot after 2x the expected cooling time: another
+			// thread must also have a power-density problem.
+			e.sedateCulprit(cycle, u, true)
+			e.reexamineAt[u] = cycle + e.reexamineDelay()
+		}
+	}
+}
+
+// tickAbsolute implements the Section 3.2.1 strawman: any thread whose
+// weighted average at any resource exceeds a fixed rate is sedated for
+// one cooling period, regardless of temperature.
+func (e *Engine) tickAbsolute(cycle int64) {
+	for tid := 0; tid < e.ctl.Threads(); tid++ {
+		if !e.ctl.Active(tid) {
+			continue
+		}
+		if e.sedations[tid] > 0 {
+			if cycle >= e.absSedatedUntil[tid] {
+				e.sedations[tid] = 0
+				e.ctl.SetFetchEnabled(tid, true)
+				e.mon.SetFrozen(tid, false)
+				e.stats.Resumes++
+			}
+			continue
+		}
+		if e.unsedatedActive() <= 1 {
+			continue
+		}
+		for u := power.Unit(0); u < power.NumUnits; u++ {
+			if e.mon.Rate(tid, u) >= e.cfg.AbsoluteEWMAThreshold {
+				e.stats.Sedations++
+				e.sedations[tid] = 1
+				e.absSedatedUntil[tid] = cycle + e.coolingCycles
+				e.ctl.SetFetchEnabled(tid, false)
+				e.mon.SetFrozen(tid, true)
+				if e.report != nil {
+					e.report(Report{Cycle: cycle, Unit: u, Thread: tid, Rate: e.mon.Rate(tid, u)})
+				}
+				break
+			}
+		}
+	}
+}
+
+func (e *Engine) reexamineDelay() int64 {
+	return int64(e.cfg.ReexamineFactor * float64(e.coolingCycles))
+}
+
+// unsedatedActive counts running threads not currently sedated.
+func (e *Engine) unsedatedActive() int {
+	n := 0
+	for tid := 0; tid < e.ctl.Threads(); tid++ {
+		if e.ctl.Active(tid) && e.sedations[tid] == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) sedateCulprit(cycle int64, u power.Unit, reexamine bool) {
+	// Last-thread exception: with a single un-sedated thread left, no
+	// other thread can be degraded; let it run and rely on the
+	// stop-and-go safety net.
+	if e.unsedatedActive() <= 1 {
+		e.stats.LastThreadExceptions++
+		return
+	}
+	eligible := func(t int) bool { return e.ctl.Active(t) && e.sedations[t] == 0 }
+	var tid int
+	var ok bool
+	if e.cfg.UseFlatAverage {
+		tid, ok = e.mon.FlatCulprit(u, eligible)
+	} else {
+		tid, ok = e.mon.Culprit(u, eligible)
+	}
+	if !ok {
+		return
+	}
+	if reexamine {
+		e.stats.Reexaminations++
+	}
+	e.stats.Sedations++
+	rate := e.mon.Rate(tid, u)
+	e.sedatedFor[u] = append(e.sedatedFor[u], tid)
+	e.sedations[tid]++
+	if e.sedations[tid] == 1 {
+		e.ctl.SetFetchEnabled(tid, false)
+		e.mon.SetFrozen(tid, true)
+	}
+	if e.report != nil {
+		e.report(Report{Cycle: cycle, Unit: u, Thread: tid, Rate: rate})
+	}
+}
+
+// resumeAll restores every thread sedated for unit u.
+func (e *Engine) resumeAll(u power.Unit) {
+	e.hot[u] = false
+	if len(e.sedatedFor[u]) == 0 {
+		return
+	}
+	e.stats.Resumes++
+	for _, tid := range e.sedatedFor[u] {
+		e.sedations[tid]--
+		if e.sedations[tid] == 0 {
+			e.ctl.SetFetchEnabled(tid, true)
+			e.mon.SetFrozen(tid, false)
+		}
+	}
+	e.sedatedFor[u] = e.sedatedFor[u][:0]
+}
+
+// ReleaseAll restores every sedated thread on every resource; the
+// stop-and-go safety net calls it when the pipeline halts globally
+// ("restoring all sedated threads to normal execution").
+func (e *Engine) ReleaseAll() {
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		e.resumeAll(u)
+	}
+}

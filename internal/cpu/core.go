@@ -1,0 +1,334 @@
+// Package cpu implements the cycle-level SMT out-of-order core the
+// paper's experiments run on: ICOUNT fetch from up to two threads per
+// cycle, renaming onto a shared register-update unit (RUU), a shared
+// load/store queue with store-to-load forwarding, multi-wide out-of-
+// order issue over a functional-unit pool, and in-order per-thread
+// commit. It models the two mechanisms the paper depends on:
+//
+//   - mispredicted branches stall a thread's fetch until the branch
+//     resolves (plus a redirect penalty), and
+//   - a load that misses in the shared L2 squashes the thread past the
+//     load and blocks its fetch until the miss returns, the common SMT
+//     optimization Table 1 lists ("squashing a thread on an L2 miss to
+//     avoid filling up the issue queue").
+//
+// The core is functional-first: instructions execute architecturally at
+// fetch (the functional frontier runs in program order per thread), and
+// the pipeline models timing only. Squashes roll the architectural
+// state back with per-instruction undo records, so timing-driven
+// squashes stay exact.
+//
+// Every structural access is counted into a power.Activity, chip-wide
+// and per hardware context; those counters drive both the Wattch-like
+// power model and the paper's per-thread sedation monitor.
+package cpu
+
+import (
+	"fmt"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/isa"
+	"github.com/heatstroke-sim/heatstroke/internal/mem"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+const ifqDepth = 16
+
+// ThreadStats counts per-context events.
+type ThreadStats struct {
+	Fetched       uint64
+	Committed     uint64
+	Branches      uint64
+	Mispredicts   uint64
+	L2Squashes    uint64
+	Squashed      uint64
+	SedatedCycles uint64
+}
+
+// Sub returns the counter deltas s - base; the simulator uses it to
+// exclude warmup activity from measurements.
+func (s ThreadStats) Sub(base ThreadStats) ThreadStats {
+	return ThreadStats{
+		Fetched:       s.Fetched - base.Fetched,
+		Committed:     s.Committed - base.Committed,
+		Branches:      s.Branches - base.Branches,
+		Mispredicts:   s.Mispredicts - base.Mispredicts,
+		L2Squashes:    s.L2Squashes - base.L2Squashes,
+		Squashed:      s.Squashed - base.Squashed,
+		SedatedCycles: s.SedatedCycles - base.SedatedCycles,
+	}
+}
+
+// IPC returns committed instructions per cycle over the given cycles.
+func (s ThreadStats) IPC(cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(cycles)
+}
+
+// Core is one SMT processor core.
+type Core struct {
+	cfg     *config.Config
+	hier    *mem.Hierarchy
+	act     *power.Activity
+	threads []*thread
+
+	entries []entry
+	free    []int32
+	ruuUsed int
+	lsqUsed int
+
+	seq    uint64
+	cycle  int64
+	events []event
+	// readyQ holds dispatched entries whose producers have all written
+	// back, one age-ordered queue per functional-unit class so issue
+	// never touches entries blocked on a busy unit.
+	readyQ [fuCount]readyQueue
+
+	globalStall bool
+	throttleNum int
+	throttleDen int
+
+	// fuLimit and fuUsed gate issue per cycle.
+	fuLimit [fuCount]int
+	fuUsed  [fuCount]int
+
+	dispatchRR int
+
+	stats []ThreadStats
+}
+
+const (
+	fuIntALU = iota
+	fuIntMulDiv
+	fuMem
+	fuFPAdd
+	fuFPMulDiv
+	fuCount
+)
+
+func fuIndex(c isa.FUClass) int {
+	switch c {
+	case isa.FUIntALU, isa.FUBranch, isa.FUNone:
+		return fuIntALU
+	case isa.FUIntMulDiv:
+		return fuIntMulDiv
+	case isa.FUMem:
+		return fuMem
+	case isa.FUFPAdd:
+		return fuFPAdd
+	case isa.FUFPMulDiv:
+		return fuFPMulDiv
+	}
+	return fuIntALU
+}
+
+// New builds a core running one program per hardware context. Contexts
+// beyond len(programs) stay idle.
+func New(cfg *config.Config, programs []*isa.Program) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(programs) == 0 || len(programs) > cfg.Pipeline.Contexts {
+		return nil, fmt.Errorf("cpu: %d programs for %d contexts", len(programs), cfg.Pipeline.Contexts)
+	}
+	hier, err := mem.NewHierarchy(cfg.Memory)
+	if err != nil {
+		return nil, err
+	}
+	nthreads := cfg.Pipeline.Contexts
+	c := &Core{
+		cfg:   cfg,
+		hier:  hier,
+		act:   power.NewActivity(nthreads),
+		stats: make([]ThreadStats, nthreads),
+	}
+	c.fuLimit[fuIntALU] = cfg.Pipeline.IntALUs
+	c.fuLimit[fuIntMulDiv] = cfg.Pipeline.IntMulDiv
+	c.fuLimit[fuMem] = cfg.Pipeline.MemPorts
+	c.fuLimit[fuFPAdd] = cfg.Pipeline.FPALUs
+	c.fuLimit[fuFPMulDiv] = cfg.Pipeline.FPMulDiv
+
+	poolSize := cfg.Pipeline.RUUSize + nthreads*ifqDepth
+	c.entries = make([]entry, poolSize)
+	c.free = make([]int32, 0, poolSize)
+	for i := poolSize - 1; i >= 0; i-- {
+		c.entries[i].id = int32(i)
+		c.entries[i].prev, c.entries[i].next = -1, -1
+		c.free = append(c.free, int32(i))
+	}
+
+	c.threads = make([]*thread, nthreads)
+	for i := 0; i < nthreads; i++ {
+		var prog *isa.Program
+		if i < len(programs) {
+			prog = programs[i]
+		}
+		t, err := newThread(i, prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.threads[i] = t
+	}
+	return c, nil
+}
+
+// Activity exposes the cumulative access counters.
+func (c *Core) Activity() *power.Activity { return c.act }
+
+// Hierarchy exposes the memory system (for tests).
+func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() int64 { return c.cycle }
+
+// Threads returns the number of hardware contexts.
+func (c *Core) Threads() int { return len(c.threads) }
+
+// Stats returns thread tid's counters.
+func (c *Core) Stats(tid int) ThreadStats { return c.stats[tid] }
+
+// RUUUsed returns current RUU occupancy (for tests).
+func (c *Core) RUUUsed() int { return c.ruuUsed }
+
+// LSQUsed returns current LSQ occupancy (for tests).
+func (c *Core) LSQUsed() int { return c.lsqUsed }
+
+// SetFetchEnabled gates a thread's fetch stage; selective sedation
+// sedates a thread by disabling its fetch. In-flight instructions
+// drain normally.
+func (c *Core) SetFetchEnabled(tid int, enabled bool) {
+	c.threads[tid].fetchEnabled = enabled
+}
+
+// FetchEnabled reports whether thread tid may fetch.
+func (c *Core) FetchEnabled(tid int) bool { return c.threads[tid].fetchEnabled }
+
+// SetGlobalStall freezes or thaws the whole pipeline (stop-and-go /
+// global clock gating). While stalled, cycles elapse but no pipeline
+// activity occurs and no dynamic power is consumed.
+func (c *Core) SetGlobalStall(stall bool) { c.globalStall = stall }
+
+// GlobalStalled reports whether the pipeline is frozen.
+func (c *Core) GlobalStalled() bool { return c.globalStall }
+
+// Active reports whether thread tid has a program.
+func (c *Core) Active(tid int) bool { return c.threads[tid].prog != nil }
+
+// IntRegValue returns the current architectural value of thread tid's
+// integer register r (the functional frontier's view).
+func (c *Core) IntRegValue(tid int, r int) int64 { return c.threads[tid].iregs[r] }
+
+// FPRegValue returns the architectural value of an FP register.
+func (c *Core) FPRegValue(tid int, r int) float64 { return c.threads[tid].fregs[r] }
+
+// MemWord returns the 8-byte word at addr in thread tid's memory image.
+func (c *Core) MemWord(tid int, addr uint64) int64 { return c.threads[tid].mem.Read(addr) }
+
+// InFlight returns thread tid's in-flight instruction count (ICOUNT's
+// metric; for tests).
+func (c *Core) InFlight(tid int) int { return c.threads[tid].inFlight }
+
+// SetThrottle gates the clock on num of every den cycles (interleaved
+// clock gating); the DVS baseline uses it to model a reduced effective
+// frequency. SetThrottle(0, 0) disables throttling.
+func (c *Core) SetThrottle(num, den int) {
+	c.throttleNum, c.throttleDen = num, den
+}
+
+func (c *Core) gatedCycle() bool {
+	return c.throttleDen > 0 && int(c.cycle%int64(c.throttleDen)) < c.throttleNum
+}
+
+// Step advances the core by one cycle.
+func (c *Core) Step() {
+	c.cycle++
+	if c.globalStall || c.gatedCycle() {
+		return
+	}
+	for _, t := range c.threads {
+		if t.prog != nil && !t.fetchEnabled {
+			c.stats[t.id].SedatedCycles++
+		}
+	}
+	c.writeback()
+	c.commit()
+	c.issue()
+	c.dispatch()
+	c.fetch()
+}
+
+// Run advances the core n cycles.
+func (c *Core) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		c.Step()
+	}
+}
+
+// event is a scheduled writeback.
+type event struct {
+	at  int64
+	id  int32
+	gen uint32
+}
+
+// readyRef is an issue-ready entry; gen guards against squash.
+type readyRef struct {
+	id  int32
+	gen uint32
+	seq uint64
+}
+
+// readyQueue keeps ready entries age-ordered. Pushes arrive in nearly
+// increasing age (dispatch and wakeup order), so an insertion-from-the-
+// back queue is O(1) amortized; pops take the oldest from the front.
+type readyQueue struct {
+	buf  []readyRef
+	head int
+}
+
+func (q *readyQueue) push(r readyRef) {
+	q.buf = append(q.buf, r)
+	for i := len(q.buf) - 1; i > q.head && q.buf[i-1].seq > q.buf[i].seq; i-- {
+		q.buf[i-1], q.buf[i] = q.buf[i], q.buf[i-1]
+	}
+}
+
+func (q *readyQueue) empty() bool { return q.head >= len(q.buf) }
+
+func (q *readyQueue) peek() readyRef { return q.buf[q.head] }
+
+func (q *readyQueue) pop() readyRef {
+	r := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 256 && q.head*2 > len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return r
+}
+
+func (c *Core) readyPush(e *entry) {
+	c.readyQ[fuIndex(e.inst.Op.FU())].push(readyRef{id: e.id, gen: e.gen, seq: e.seq})
+}
+
+// schedule enqueues a writeback event on the min-heap.
+func (c *Core) schedule(at int64, e *entry) {
+	c.events = append(c.events, event{at: at, id: e.id, gen: e.gen})
+	// Sift up.
+	i := len(c.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if c.events[parent].at <= c.events[i].at {
+			break
+		}
+		c.events[parent], c.events[i] = c.events[i], c.events[parent]
+		i = parent
+	}
+}

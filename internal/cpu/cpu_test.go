@@ -1,0 +1,698 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/isa"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+	"github.com/heatstroke-sim/heatstroke/internal/workload"
+)
+
+func testConfig() config.Config {
+	cfg := config.Default()
+	return cfg
+}
+
+func newCore(t *testing.T, cfg config.Config, progs ...*isa.Program) *Core {
+	t.Helper()
+	c, err := New(&cfg, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// loopOfAdds builds an unrolled loop of n independent adds.
+func loopOfAdds(n int) *isa.Program {
+	b := isa.NewBuilder("adds")
+	b.MovI(2, 1).MovI(3, 2)
+	b.Label("l")
+	for i := 0; i < n; i++ {
+		b.ALU(isa.OpAdd, 1, 2, 3)
+	}
+	return b.Br("l").MustBuild()
+}
+
+// serialChain builds a fully dependent add chain.
+func serialChain(n int) *isa.Program {
+	b := isa.NewBuilder("chain")
+	b.MovI(1, 0)
+	b.Label("l")
+	for i := 0; i < n; i++ {
+		b.ALUImm(isa.OpAdd, 1, 1, 1)
+	}
+	return b.Br("l").MustBuild()
+}
+
+func TestIndependentAddsSaturateALUs(t *testing.T) {
+	cfg := testConfig()
+	c := newCore(t, cfg, loopOfAdds(48))
+	c.Run(100_000)
+	ipc := c.Stats(0).IPC(c.Cycle())
+	// Independent adds should run near the integer-ALU limit (6/cycle,
+	// bounded by issue width 6 and loop overhead).
+	if ipc < float64(cfg.Pipeline.IntALUs)*0.8 {
+		t.Errorf("IPC %.2f, want near %d", ipc, cfg.Pipeline.IntALUs)
+	}
+}
+
+func TestSerialChainIPCOne(t *testing.T) {
+	c := newCore(t, testConfig(), serialChain(64))
+	c.Run(100_000)
+	ipc := c.Stats(0).IPC(c.Cycle())
+	if ipc < 0.9 || ipc > 1.2 {
+		t.Errorf("serial chain IPC %.2f, want ~1", ipc)
+	}
+}
+
+// TestFunctionalCorrectness runs a small program with a known result
+// and checks the architectural state: a counted loop summing 1..10 into
+// $5 and storing it.
+func TestFunctionalCorrectness(t *testing.T) {
+	prog, err := isa.Assemble("sum", `
+	movi $1, 10     # i
+	movi $5, 0      # sum
+	movi $6, 0x1000 # out pointer
+loop:
+	addl $5, $5, $1
+	subl $1, $1, 1
+	bnez $1, loop
+	stq  $5, 0($6)
+	movi $9, 1
+halt:
+	br halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCore(t, testConfig(), prog)
+	c.Run(2000)
+	if got := c.IntRegValue(0, 5); got != 55 {
+		t.Errorf("$5 = %d, want 55", got)
+	}
+	if got := c.MemWord(0, 0x1000); got != 55 {
+		t.Errorf("mem[0x1000] = %d, want 55", got)
+	}
+	if got := c.IntRegValue(0, 9); got != 1 {
+		t.Errorf("$9 = %d, want 1 (post-loop code must run)", got)
+	}
+}
+
+// TestStoreLoadForwarding checks memory dataflow through the pipeline:
+// a value stored then immediately loaded must arrive intact.
+func TestStoreLoadForwarding(t *testing.T) {
+	prog, err := isa.Assemble("fwd", `
+	movi $1, 0x2000
+	movi $2, 1234
+	stq  $2, 0($1)
+	ldq  $3, 0($1)
+	addl $4, $3, 1
+halt:
+	br halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCore(t, testConfig(), prog)
+	c.Run(1000)
+	if got := c.IntRegValue(0, 4); got != 1235 {
+		t.Errorf("$4 = %d, want 1235", got)
+	}
+}
+
+func TestMispredictsHurt(t *testing.T) {
+	// A data-dependent 50/50 branch stream vs an always-taken one.
+	flaky := func() *isa.Program {
+		b := isa.NewBuilder("flaky")
+		b.MovI(9, 12345)
+		b.Label("l")
+		for i := 0; i < 8; i++ {
+			b.ALUImm(isa.OpShl, 10, 9, 13)
+			b.ALU(isa.OpXor, 9, 9, 10)
+			b.ALUImm(isa.OpShr, 10, 9, 7)
+			b.ALU(isa.OpXor, 9, 9, 10)
+			b.ALUImm(isa.OpShl, 10, 9, 17)
+			b.ALU(isa.OpXor, 9, 9, 10)
+			b.ALUImm(isa.OpAnd, 11, 9, 1)
+			label := "s" + string(rune('a'+i))
+			b.Bnez(11, label)
+			b.ALUImm(isa.OpAdd, 12, 12, 1)
+			b.Label(label)
+		}
+		return b.Br("l").MustBuild()
+	}()
+	c := newCore(t, testConfig(), flaky)
+	c.Run(200_000)
+	st := c.Stats(0)
+	if st.Mispredicts == 0 {
+		t.Fatal("xorshift branches should mispredict")
+	}
+	rate := float64(st.Mispredicts) / float64(st.Branches)
+	if rate < 0.2 {
+		t.Errorf("mispredict rate %.2f suspiciously low for random branches", rate)
+	}
+}
+
+func TestBiasedBranchesPredictWell(t *testing.T) {
+	b := isa.NewBuilder("biased")
+	b.MovI(1, 1)
+	b.Label("l")
+	for i := 0; i < 8; i++ {
+		label := "s" + string(rune('a'+i))
+		b.Bnez(1, label)
+		b.Nop()
+		b.Label(label)
+		b.ALUImm(isa.OpAdd, 2, 2, 1)
+	}
+	prog := b.Br("l").MustBuild()
+	c := newCore(t, testConfig(), prog)
+	c.Run(100_000)
+	st := c.Stats(0)
+	rate := float64(st.Mispredicts) / float64(st.Branches)
+	if rate > 0.02 {
+		t.Errorf("always-taken branches mispredict at %.3f", rate)
+	}
+}
+
+// coldLoadLoop strides through a footprint far beyond the L2.
+func coldLoadLoop() *isa.Program {
+	b := isa.NewBuilder("cold")
+	b.MovI(1, 0x4000_0000)
+	b.Label("l")
+	b.Load(2, 1, 0)
+	b.ALUImm(isa.OpAdd, 1, 1, 4096)
+	return b.Br("l").MustBuild()
+}
+
+func TestL2MissSquash(t *testing.T) {
+	cfg := testConfig()
+	c := newCore(t, cfg, coldLoadLoop())
+	c.Run(100_000)
+	if c.Stats(0).L2Squashes == 0 {
+		t.Fatal("cold loads should trigger L2-miss squashes")
+	}
+	if c.Stats(0).Squashed == 0 {
+		t.Fatal("squashes should roll back younger instructions")
+	}
+
+	// With the optimization off there are no squashes.
+	cfg.Pipeline.SquashOnL2Miss = false
+	c2 := newCore(t, cfg, coldLoadLoop())
+	c2.Run(100_000)
+	if c2.Stats(0).L2Squashes != 0 {
+		t.Fatal("squash disabled but squashes occurred")
+	}
+}
+
+// TestSquashPreservesArchState: functional results must be identical
+// with and without the L2-miss squash (rollback must be exact).
+func TestSquashPreservesArchState(t *testing.T) {
+	mk := func() *isa.Program {
+		b := isa.NewBuilder("mix")
+		b.MovI(1, 0x4000_0000).MovI(5, 0).MovI(6, 0x100).MovI(7, 3)
+		b.MovI(8, 0).MovI(9, 100) // halt marker, iteration count
+		b.Label("l")
+		b.Load(2, 1, 0)                  // cold: misses L2, triggers squash
+		b.ALUImm(isa.OpAdd, 1, 1, 8192)  // next cold address
+		b.ALU(isa.OpAdd, 5, 5, 7)        // running sum (squashed + replayed)
+		b.Store(5, 6, 0)                 // store the sum
+		b.ALUImm(isa.OpAdd, 6, 6, 8)     // advance out pointer
+		b.ALUImm(isa.OpAnd, 6, 6, 0x1ff) // bounded
+		b.ALUImm(isa.OpSub, 9, 9, 1)
+		b.Bnez(9, "l")
+		b.MovI(8, 1) // halted
+		b.Label("halt")
+		return b.Br("halt").MustBuild()
+	}
+	cfgA := testConfig()
+	a := newCore(t, cfgA, mk())
+	a.Run(120_000)
+	if a.Stats(0).L2Squashes == 0 {
+		t.Fatal("test needs L2 squashes to exercise rollback")
+	}
+
+	cfgB := testConfig()
+	cfgB.Pipeline.SquashOnL2Miss = false
+	b := newCore(t, cfgB, mk())
+	b.Run(120_000)
+
+	// Both run the same finite 100-iteration loop and then spin on a
+	// halt branch with no architectural writes, so the final state is
+	// comparable regardless of timing.
+	for _, c := range []*Core{a, b} {
+		if got := c.IntRegValue(0, 8); got != 1 {
+			t.Fatalf("program did not reach halt (marker $8=%d)", got)
+		}
+	}
+	if av, bv := a.IntRegValue(0, 5), b.IntRegValue(0, 5); av != bv || av != 300 {
+		t.Errorf("$5: squash=%d nosquash=%d, want 300", av, bv)
+	}
+	if am, bm := a.MemWord(0, 0x100), b.MemWord(0, 0x100); am != bm {
+		t.Errorf("memory diverged: %d vs %d", am, bm)
+	}
+}
+
+func TestICOUNTSharesFairly(t *testing.T) {
+	// Two identical medium-ILP threads should get similar throughput.
+	cfg := testConfig()
+	p1 := loopOfAdds(16)
+	p2 := loopOfAdds(16)
+	c := newCore(t, cfg, p1, p2)
+	c.Run(100_000)
+	ipc0 := c.Stats(0).IPC(c.Cycle())
+	ipc1 := c.Stats(1).IPC(c.Cycle())
+	if ipc0 < 0.5 || ipc1 < 0.5 {
+		t.Fatalf("both threads should progress: %.2f %.2f", ipc0, ipc1)
+	}
+	ratio := ipc0 / ipc1
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("identical threads diverge under ICOUNT: %.2f vs %.2f", ipc0, ipc1)
+	}
+}
+
+func TestSedationGateStopsFetch(t *testing.T) {
+	c := newCore(t, testConfig(), loopOfAdds(16))
+	c.Run(10_000)
+	before := c.Stats(0).Fetched
+	c.SetFetchEnabled(0, false)
+	c.Run(10_000)
+	// In-flight work drains but fetch must stop almost immediately.
+	delta := c.Stats(0).Fetched - before
+	if delta > 64 {
+		t.Errorf("fetched %d instructions while sedated", delta)
+	}
+	if got := c.Stats(0).SedatedCycles; got < 9_000 {
+		t.Errorf("sedated cycles %d, want ~10000", got)
+	}
+	c.SetFetchEnabled(0, true)
+	resumePoint := c.Stats(0).Fetched
+	c.Run(10_000)
+	if c.Stats(0).Fetched == resumePoint {
+		t.Error("fetch did not resume")
+	}
+}
+
+func TestGlobalStallFreezesPipeline(t *testing.T) {
+	c := newCore(t, testConfig(), loopOfAdds(16))
+	c.Run(10_000)
+	before := c.Stats(0)
+	beforeAct := c.Activity().Total(power.UnitIntReg)
+	c.SetGlobalStall(true)
+	c.Run(10_000)
+	if c.Stats(0).Committed != before.Committed || c.Stats(0).Fetched != before.Fetched {
+		t.Error("work progressed during global stall")
+	}
+	if c.Activity().Total(power.UnitIntReg) != beforeAct {
+		t.Error("activity accumulated during global stall")
+	}
+	if c.Cycle() != 20_000 {
+		t.Errorf("cycles must still elapse: %d", c.Cycle())
+	}
+	c.SetGlobalStall(false)
+	c.Run(1_000)
+	if c.Stats(0).Committed == before.Committed {
+		t.Error("pipeline did not resume")
+	}
+}
+
+func TestThrottleHalvesThroughput(t *testing.T) {
+	full := newCore(t, testConfig(), loopOfAdds(32))
+	full.Run(100_000)
+	half := newCore(t, testConfig(), loopOfAdds(32))
+	half.SetThrottle(1, 2)
+	half.Run(100_000)
+	r := half.Stats(0).IPC(half.Cycle()) / full.Stats(0).IPC(full.Cycle())
+	if r < 0.4 || r > 0.6 {
+		t.Errorf("1/2 throttle throughput ratio %.2f, want ~0.5", r)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() ThreadStats {
+		c := newCore(t, testConfig(), loopOfAdds(16), coldLoadLoop())
+		c.Run(50_000)
+		return c.Stats(0)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestActivityCounting(t *testing.T) {
+	c := newCore(t, testConfig(), loopOfAdds(16))
+	c.Run(20_000)
+	act := c.Activity()
+	committed := c.Stats(0).Committed
+	// Each add reads two int registers and writes one: at least 2.5
+	// accesses per committed instruction (movi/br dilute slightly).
+	rf := act.Thread(0, power.UnitIntReg)
+	if rf < committed*2 {
+		t.Errorf("IntReg accesses %d too low for %d committed adds", rf, committed)
+	}
+	if act.Total(power.UnitIntReg) != rf {
+		t.Error("solo thread: total and per-thread counters must match")
+	}
+	if act.Thread(0, power.UnitICache) == 0 || act.Thread(0, power.UnitDecode) == 0 {
+		t.Error("front-end units should have activity")
+	}
+	if act.Thread(0, power.UnitFPAdd) != 0 {
+		t.Error("integer-only program should not touch the FP adder")
+	}
+}
+
+func TestZeroRegisterStaysZero(t *testing.T) {
+	prog, err := isa.Assemble("zero", `
+	movi $1, 7
+l:	addl $31, $1, $1
+	addl $2, $31, 0
+	br l
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCore(t, testConfig(), prog)
+	c.Run(10_000)
+	if got := c.IntRegValue(0, isa.ZeroReg); got != 0 {
+		t.Errorf("$31 = %d, want 0", got)
+	}
+	if got := c.IntRegValue(0, 2); got != 0 {
+		t.Errorf("$2 = %d, want 0 (reads of $31)", got)
+	}
+}
+
+// TestStructuralInvariants drives random programs and checks occupancy
+// bounds every cycle.
+func TestStructuralInvariants(t *testing.T) {
+	cfg := testConfig()
+	rng := rand.New(rand.NewSource(11))
+	prog := randomTimingProgram(rng)
+	prog2 := randomTimingProgram(rng)
+	c := newCore(t, cfg, prog, prog2)
+	for i := 0; i < 30_000; i++ {
+		c.Step()
+		if c.RUUUsed() < 0 || c.RUUUsed() > cfg.Pipeline.RUUSize {
+			t.Fatalf("cycle %d: RUU occupancy %d out of [0,%d]", i, c.RUUUsed(), cfg.Pipeline.RUUSize)
+		}
+		if c.LSQUsed() < 0 || c.LSQUsed() > cfg.Pipeline.LSQSize {
+			t.Fatalf("cycle %d: LSQ occupancy %d out of [0,%d]", i, c.LSQUsed(), cfg.Pipeline.LSQSize)
+		}
+		for tid := 0; tid < 2; tid++ {
+			if f := c.InFlight(tid); f < 0 || f > cfg.Pipeline.RUUSize+64 {
+				t.Fatalf("cycle %d: thread %d in-flight %d out of range", i, tid, f)
+			}
+		}
+	}
+	if c.Stats(0).Committed == 0 || c.Stats(1).Committed == 0 {
+		t.Fatal("random programs should make progress")
+	}
+}
+
+// randomTimingProgram emits a looping random mix exercising loads,
+// stores, branches, FP, and long-latency ops.
+func randomTimingProgram(rng *rand.Rand) *isa.Program {
+	b := isa.NewBuilder("rand")
+	b.MovI(1, 0x1000)
+	b.MovI(2, 1)
+	b.MovI(9, int64(rng.Uint32())|1)
+	b.Label("top")
+	n := 20 + rng.Intn(60)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0, 1, 2:
+			b.ALUImm(isa.OpAdd, uint8(10+rng.Intn(6)), uint8(10+rng.Intn(6)), int64(rng.Intn(100)))
+		case 3:
+			b.Load(3, 1, int64(rng.Intn(64))*8)
+		case 4:
+			b.Store(2, 1, int64(rng.Intn(64))*8)
+		case 5:
+			b.FP(isa.OpFAdd, 0, 1, 2)
+		case 6:
+			b.ALU(isa.OpMul, 4, 2, 2)
+		case 7:
+			label := "s" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+			b.ALUImm(isa.OpShl, 10, 9, 13)
+			b.ALU(isa.OpXor, 9, 9, 10)
+			b.ALUImm(isa.OpAnd, 10, 9, 1)
+			b.Bnez(10, label)
+			b.Nop()
+			b.Label(label)
+		}
+	}
+	b.Br("top")
+	return b.MustBuild()
+}
+
+// TestQuickFunctionalEquivalence property: the pipelined execution of a
+// random (branch-free dataflow) program leaves the same architectural
+// result as a simple sequential interpretation.
+func TestQuickFunctionalEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := isa.NewBuilder("eq")
+		regs := [8]int64{}
+		for i := range regs {
+			v := rng.Int63n(1 << 20)
+			regs[i] = v
+			b.MovI(uint8(16+i), v)
+		}
+		n := 20 + rng.Intn(40)
+		type trace struct {
+			op        isa.Op
+			d, s1, s2 int
+			imm       int64
+			useImm    bool
+		}
+		var tr []trace
+		for i := 0; i < n; i++ {
+			o := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpMul}[rng.Intn(6)]
+			d, s1, s2 := rng.Intn(8), rng.Intn(8), rng.Intn(8)
+			useImm := rng.Intn(2) == 0
+			imm := rng.Int63n(1 << 16)
+			tr = append(tr, trace{o, d, s1, s2, imm, useImm})
+			if useImm {
+				b.ALUImm(o, uint8(16+d), uint8(16+s1), imm)
+			} else {
+				b.ALU(o, uint8(16+d), uint8(16+s1), uint8(16+s2))
+			}
+		}
+		b.Label("halt")
+		prog := b.Br("halt").MustBuild()
+
+		// Reference interpretation.
+		for _, x := range tr {
+			a := regs[x.s1]
+			bv := x.imm
+			if !x.useImm {
+				bv = regs[x.s2]
+			}
+			var v int64
+			switch x.op {
+			case isa.OpAdd:
+				v = a + bv
+			case isa.OpSub:
+				v = a - bv
+			case isa.OpAnd:
+				v = a & bv
+			case isa.OpOr:
+				v = a | bv
+			case isa.OpXor:
+				v = a ^ bv
+			case isa.OpMul:
+				v = a * bv
+			}
+			regs[x.d] = v
+		}
+
+		cfg := testConfig()
+		c := newCore(t, cfg, prog)
+		c.Run(2000)
+		for i, want := range regs {
+			if got := c.IntRegValue(0, 16+i); got != want {
+				t.Fatalf("seed %d: $%d = %d, want %d", seed, 16+i, got, want)
+			}
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	cfg := testConfig()
+	if _, err := New(&cfg, nil); err == nil {
+		t.Error("no programs should fail")
+	}
+	if _, err := New(&cfg, []*isa.Program{loopOfAdds(4), loopOfAdds(4), loopOfAdds(4)}); err == nil {
+		t.Error("more programs than contexts should fail")
+	}
+	bad := cfg
+	bad.Pipeline.IssueWidth = 0
+	if _, err := New(&bad, []*isa.Program{loopOfAdds(4)}); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+// quickCheckUnused keeps testing/quick imported for this file's
+// property-style tests that use explicit seed loops.
+var _ = quick.Check
+
+func TestRoundRobinFetchPolicy(t *testing.T) {
+	cfg := testConfig()
+	cfg.Pipeline.FetchPolicy = "rr"
+	// A high-ILP thread paired with a serial thread: under ICOUNT the
+	// high-ILP thread wins most slots; round-robin keeps slot shares
+	// closer.
+	mk := func(cfg config.Config) (float64, float64) {
+		c := newCore(t, cfg, loopOfAdds(48), serialChain(48))
+		c.Run(100_000)
+		return float64(c.Stats(0).Fetched), float64(c.Stats(1).Fetched)
+	}
+	rrHigh, rrLow := mk(cfg)
+	cfg.Pipeline.FetchPolicy = "icount"
+	icHigh, icLow := mk(cfg)
+	if rrLow <= 0 || icLow <= 0 {
+		t.Fatal("both threads should fetch")
+	}
+	rrRatio := rrHigh / rrLow
+	icRatio := icHigh / icLow
+	if rrRatio >= icRatio {
+		t.Errorf("round-robin should even out fetch shares: rr %.2f vs icount %.2f", rrRatio, icRatio)
+	}
+	bad := testConfig()
+	bad.Pipeline.FetchPolicy = "lottery"
+	if _, err := New(&bad, []*isa.Program{loopOfAdds(4)}); err == nil {
+		t.Error("unknown fetch policy should fail")
+	}
+}
+
+func TestKernelBehaviours(t *testing.T) {
+	// The kernels' intended resource signatures show up in the pipeline.
+	run := func(name string) (ThreadStats, *Core) {
+		prog, err := workload.Kernel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := newCore(t, testConfig(), prog)
+		c.Run(150_000)
+		return c.Stats(0), c
+	}
+	stream, sc := run("stream")
+	chase, cc := run("pointerchase")
+	if stream.Committed <= chase.Committed {
+		t.Errorf("stream (%d) should outrun pointerchase (%d)", stream.Committed, chase.Committed)
+	}
+	if sc.Hierarchy().L2.Stats.Misses == 0 || cc.Hierarchy().L2.Stats.Misses == 0 {
+		t.Error("both memory kernels should miss in the L2")
+	}
+	fp, fc := run("fpblast")
+	if fc.Activity().Thread(0, power.UnitFPAdd) == 0 {
+		t.Error("fpblast should exercise the FP adder")
+	}
+	if rate := float64(fc.Activity().Thread(0, power.UnitIntReg)) / 150_000; rate > 1 {
+		t.Errorf("fpblast integer RF rate %.2f should be tiny", rate)
+	}
+	_ = fp
+	storm, _ := run("branchstorm")
+	if storm.Mispredicts == 0 {
+		t.Error("branchstorm should mispredict")
+	}
+	stores, stc := run("stores")
+	if stc.Hierarchy().L2.Stats.Writebacks == 0 {
+		t.Error("store kernel should cause dirty L2 writebacks")
+	}
+	_ = stores
+}
+
+func TestFPFunctionalSemantics(t *testing.T) {
+	prog, err := isa.Assemble("fp", `
+	movi $1, 0x3000
+	movi $2, 4
+	stq  $2, 0($1)
+	ldt  $f1, 0($1)   # f1 = bits(4) as float (tiny denormal)
+	addt $f2, $f1, $f1
+	mult $f3, $f2, $f2
+	stt  $f3, 8($1)
+halt:	br halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCore(t, testConfig(), prog)
+	c.Run(2000)
+	// f1 = float64frombits(4); f2 = 2*f1; f3 = f2*f2 = 0 (underflow).
+	if got := c.FPRegValue(0, 2); got <= 0 {
+		t.Errorf("f2 = %v, want positive denormal", got)
+	}
+	if got := c.MemWord(0, 0x3008); got != 0 {
+		t.Errorf("stored f3 bits = %d, want 0 (underflow to zero)", got)
+	}
+}
+
+func TestDivisionByZeroDefined(t *testing.T) {
+	prog, err := isa.Assemble("div", `
+	movi $1, 100
+	movi $2, 0
+	divl $3, $1, $2
+	movi $4, 7
+	divl $5, $1, $4
+halt:	br halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCore(t, testConfig(), prog)
+	c.Run(2000)
+	if got := c.IntRegValue(0, 3); got != 0 {
+		t.Errorf("div by zero = %d, want 0", got)
+	}
+	if got := c.IntRegValue(0, 5); got != 14 {
+		t.Errorf("100/7 = %d, want 14", got)
+	}
+}
+
+func TestShiftAmountMasked(t *testing.T) {
+	prog, err := isa.Assemble("shift", `
+	movi $1, 1
+	movi $2, 65
+	sll  $3, $1, $2   # shift of 65 masks to 1
+	srl  $4, $3, 1
+halt:	br halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCore(t, testConfig(), prog)
+	c.Run(1000)
+	if got := c.IntRegValue(0, 3); got != 2 {
+		t.Errorf("1<<65 = %d, want 2 (masked)", got)
+	}
+	if got := c.IntRegValue(0, 4); got != 1 {
+		t.Errorf("srl = %d", got)
+	}
+}
+
+func TestFourContextSMT(t *testing.T) {
+	cfg := testConfig()
+	cfg.Pipeline.Contexts = 4
+	progs := []*isa.Program{loopOfAdds(8), serialChain(8), loopOfAdds(8), serialChain(8)}
+	c, err := New(&cfg, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(50_000)
+	for tid := 0; tid < 4; tid++ {
+		if c.Stats(tid).Committed == 0 {
+			t.Errorf("thread %d made no progress", tid)
+		}
+	}
+	// Fewer programs than contexts is allowed; idle contexts stay idle.
+	c2, err := New(&cfg, progs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Run(10_000)
+	if c2.Stats(3).Fetched != 0 {
+		t.Error("idle context fetched")
+	}
+}

@@ -1,0 +1,193 @@
+package cpu
+
+import "github.com/heatstroke-sim/heatstroke/internal/isa"
+
+// eState is an entry's pipeline state.
+type eState uint8
+
+const (
+	esFree eState = iota
+	// esFetched: in a thread's fetch queue, architecturally executed,
+	// not yet renamed into the RUU.
+	esFetched
+	// esDispatched: in the RUU waiting for operands / a functional unit.
+	esDispatched
+	// esIssued: executing.
+	esIssued
+	// esDone: result written back, waiting for in-order commit.
+	esDone
+)
+
+// ref identifies an entry at a point in time; gen guards against the
+// entry having been freed and recycled.
+type ref struct {
+	id  int32
+	gen uint32
+}
+
+var noRef = ref{id: -1}
+
+func (r ref) valid() bool { return r.id >= 0 }
+
+// entry is one dynamic instruction, from fetch to commit. It carries
+// the undo record that makes thread squashes exact.
+type entry struct {
+	id    int32
+	gen   uint32
+	state eState
+
+	tid  int32
+	seq  uint64
+	pc   int32
+	inst isa.Instruction
+
+	// prev/next link the owning thread's dispatch-order RUU list.
+	prev, next int32
+
+	// prod are the timing producers: src1, src2, and (for forwarded
+	// loads) the store supplying the value.
+	prod [3]ref
+	// waitCount is how many producers have not yet written back; the
+	// entry is issue-ready at zero.
+	waitCount int8
+	// consHead is the head of this entry's consumer list: a packed
+	// value consumerID*4+slot, or -1. Each consumer chains onward via
+	// nextCons[slot].
+	consHead int32
+	nextCons [3]int32
+
+	// Memory behaviour.
+	addr    uint64 // word-aligned effective address
+	isLoad  bool
+	isStore bool
+	inLSQ   bool
+	l2miss  bool
+
+	// Branch behaviour.
+	isCond      bool
+	brTaken     bool // actual outcome
+	brPredTaken bool
+	brMispred   bool
+	brPCAddr    uint64
+
+	// Undo record: architectural effects applied at fetch.
+	dstClass isa.RegClass
+	dstReg   uint8
+	oldVal   int64 // previous register value (FP stored as bits)
+	memOld   int64 // previous memory word (stores)
+	// prevProd is the rename-table mapping this entry displaced at
+	// dispatch (restored on squash).
+	prevProd ref
+}
+
+// alloc takes an entry from the free pool; it returns nil if exhausted.
+func (c *Core) alloc() *entry {
+	if len(c.free) == 0 {
+		return nil
+	}
+	id := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	e := &c.entries[id]
+	*e = entry{id: id, gen: e.gen, prev: -1, next: -1, consHead: -1}
+	e.prod[0], e.prod[1], e.prod[2] = noRef, noRef, noRef
+	e.nextCons[0], e.nextCons[1], e.nextCons[2] = -1, -1, -1
+	e.prevProd = noRef
+	return e
+}
+
+// release invalidates an entry and returns it to the pool.
+func (c *Core) release(e *entry) {
+	e.gen++
+	e.state = esFree
+	c.free = append(c.free, e.id)
+}
+
+// lookup resolves a ref, or nil if stale.
+func (c *Core) lookup(r ref) *entry {
+	if !r.valid() {
+		return nil
+	}
+	e := &c.entries[r.id]
+	if e.gen != r.gen || e.state == esFree {
+		return nil
+	}
+	return e
+}
+
+// opReady reports whether a producer reference no longer blocks issue.
+func (c *Core) opReady(r ref) bool {
+	e := c.lookup(r)
+	return e == nil || e.state == esDone
+}
+
+// link registers e as a consumer of producer p for operand slot, and
+// counts the outstanding producer.
+func (c *Core) link(p, e *entry, slot int) {
+	e.waitCount++
+	e.nextCons[slot] = p.consHead
+	p.consHead = e.id*4 + int32(slot)
+}
+
+// unlink removes e (slot) from producer p's consumer list; used when e
+// is squashed while p is still pending.
+func (c *Core) unlink(p, e *entry, slot int) {
+	want := e.id*4 + int32(slot)
+	if p.consHead == want {
+		p.consHead = e.nextCons[slot]
+		return
+	}
+	for cur := p.consHead; cur >= 0; {
+		holder := &c.entries[cur/4]
+		hslot := int(cur % 4)
+		next := holder.nextCons[hslot]
+		if next == want {
+			holder.nextCons[hslot] = e.nextCons[slot]
+			return
+		}
+		cur = next
+	}
+}
+
+// wake walks producer p's consumer list after writeback, decrementing
+// wait counts and queueing newly-ready entries for issue.
+func (c *Core) wake(p *entry) {
+	for cur := p.consHead; cur >= 0; {
+		e := &c.entries[cur/4]
+		slot := int(cur % 4)
+		next := e.nextCons[slot]
+		// The consumer is guaranteed live: squashed consumers are
+		// unlinked before release.
+		if e.waitCount--; e.waitCount == 0 && e.state == esDispatched {
+			c.readyPush(e)
+		}
+		cur = next
+	}
+	p.consHead = -1
+}
+
+// listAppend adds e at the tail of its thread's dispatch-order list.
+func (c *Core) listAppend(t *thread, e *entry) {
+	e.prev = t.listTail
+	e.next = -1
+	if t.listTail >= 0 {
+		c.entries[t.listTail].next = e.id
+	} else {
+		t.listHead = e.id
+	}
+	t.listTail = e.id
+}
+
+// listRemove unlinks e from its thread's list.
+func (c *Core) listRemove(t *thread, e *entry) {
+	if e.prev >= 0 {
+		c.entries[e.prev].next = e.next
+	} else {
+		t.listHead = e.next
+	}
+	if e.next >= 0 {
+		c.entries[e.next].prev = e.prev
+	} else {
+		t.listTail = e.prev
+	}
+	e.prev, e.next = -1, -1
+}

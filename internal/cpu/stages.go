@@ -1,0 +1,497 @@
+package cpu
+
+import (
+	"sort"
+
+	"github.com/heatstroke-sim/heatstroke/internal/bpred"
+	"github.com/heatstroke-sim/heatstroke/internal/isa"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+// fetch implements ICOUNT.n.w: up to FetchThreads threads are selected
+// each cycle, fewest-instructions-in-flight first, and share FetchWidth
+// fetch slots. A thread's fetch breaks on a taken branch, an icache
+// miss, a full fetch queue, or a fetch block (mispredict / L2 squash /
+// sedation).
+func (c *Core) fetch() {
+	type cand struct {
+		t        *thread
+		inFlight int
+	}
+	var cands []cand
+	for _, t := range c.threads {
+		if t.prog == nil || !t.fetchEnabled {
+			continue
+		}
+		if t.blocker.valid() && c.lookup(t.blocker) != nil {
+			continue
+		}
+		t.blocker = noRef
+		if c.cycle < t.fetchResumeAt || c.cycle < t.icacheStallEnd {
+			continue
+		}
+		if len(t.ifq) >= ifqDepth {
+			continue
+		}
+		cands = append(cands, cand{t: t, inFlight: t.inFlight})
+	}
+	if len(cands) == 0 {
+		return
+	}
+	if c.cfg.Pipeline.FetchPolicy == "rr" {
+		// Round-robin ablation: rotate priority each cycle instead of
+		// favouring the thread with the fewest instructions in flight.
+		rot := int(c.cycle) % len(cands)
+		cands = append(cands[rot:], cands[:rot]...)
+	} else {
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].inFlight < cands[j].inFlight })
+	}
+	if len(cands) > c.cfg.Pipeline.FetchThreads {
+		cands = cands[:c.cfg.Pipeline.FetchThreads]
+	}
+	budget := c.cfg.Pipeline.FetchWidth
+	for _, cd := range cands {
+		if budget <= 0 {
+			break
+		}
+		budget = c.fetchThread(cd.t, budget)
+	}
+}
+
+// fetchThread fetches up to budget instructions from t; it returns the
+// remaining budget.
+func (c *Core) fetchThread(t *thread, budget int) int {
+	for budget > 0 && len(t.ifq) < ifqDepth {
+		iaddr := t.instAddr(t.pc)
+		line := int64(iaddr >> 6)
+		if line != t.curLine {
+			res := c.hier.InstAt(iaddr, c.cycle)
+			c.act.Add(power.UnitICache, int(t.id), 1)
+			if res.L1Miss {
+				c.act.Add(power.UnitL2, int(t.id), 1)
+			}
+			t.curLine = line
+			if res.L1Miss {
+				t.icacheStallEnd = c.cycle + int64(res.Latency)
+				return budget
+			}
+		}
+		e := c.alloc()
+		if e == nil {
+			return budget
+		}
+		e.state = esFetched
+		e.tid = t.id
+		e.pc = t.pc
+		e.inst = t.prog.Insts[t.pc]
+		nextPC := t.exec(e)
+
+		t.ifq = append(t.ifq, e.id)
+		t.inFlight++
+		c.stats[t.id].Fetched++
+		budget--
+
+		if e.inst.Op.IsBranch() {
+			c.stats[t.id].Branches++
+			if e.isCond {
+				e.brPCAddr = iaddr
+				c.act.Add(power.UnitBpred, int(t.id), 1)
+				e.brPredTaken = bool(t.pred.Predict(iaddr))
+				if e.brPredTaken != e.brTaken {
+					e.brMispred = true
+					c.stats[t.id].Mispredicts++
+					t.blocker = ref{id: e.id, gen: e.gen}
+					t.pc = nextPC
+					t.curLine = -1
+					return budget
+				}
+			}
+			if e.brTaken {
+				// Correctly-predicted taken branch: redirect and end
+				// this thread's fetch group.
+				t.pc = nextPC
+				t.curLine = -1
+				return budget
+			}
+		}
+		t.pc = nextPC
+	}
+	return budget
+}
+
+// dispatch renames instructions from the fetch queues into the RUU,
+// DecodeWidth per cycle, round-robin across threads.
+func (c *Core) dispatch() {
+	budget := c.cfg.Pipeline.DecodeWidth
+	n := len(c.threads)
+	for i := 0; i < n && budget > 0; i++ {
+		t := c.threads[(c.dispatchRR+i)%n]
+		if t.prog == nil {
+			continue
+		}
+		for budget > 0 && len(t.ifq) > 0 {
+			if c.ruuUsed >= c.cfg.Pipeline.RUUSize {
+				break
+			}
+			e := &c.entries[t.ifq[0]]
+			if (e.isLoad || e.isStore) && c.lsqUsed >= c.cfg.Pipeline.LSQSize {
+				break
+			}
+			t.ifq = t.ifq[1:]
+			c.rename(t, e)
+			budget--
+		}
+	}
+	c.dispatchRR++
+}
+
+// rename installs e into the RUU: source operands resolve to their
+// producing entries, loads pick up store-forwarding dependences, and
+// the destination register's rename-table slot is displaced (recorded
+// for squash undo).
+func (c *Core) rename(t *thread, e *entry) {
+	in := &e.inst
+	if cl := in.Op.Src1Class(); cl == isa.IntClass {
+		e.prod[0] = t.renInt[in.Src1]
+	} else if cl == isa.FPClass {
+		e.prod[0] = t.renFP[in.Src1]
+	}
+	if cl := in.Op.Src2Class(); !in.UseImm {
+		if cl == isa.IntClass {
+			e.prod[1] = t.renInt[in.Src2]
+		} else if cl == isa.FPClass {
+			e.prod[1] = t.renFP[in.Src2]
+		}
+	}
+
+	tid := int(t.id)
+	c.act.Add(power.UnitDecode, tid, 1)
+	c.act.Add(power.UnitIntQ, tid, 1)
+
+	if e.isLoad || e.isStore {
+		c.lsqUsed++
+		e.inLSQ = true
+		c.act.Add(power.UnitLSQ, tid, 1)
+	}
+	if e.isLoad {
+		// Store-to-load forwarding: youngest older store to the same
+		// word becomes a producer; the load then skips the cache.
+		for i := len(t.stores) - 1; i >= 0; i-- {
+			if s := c.lookup(t.stores[i]); s != nil && s.addr == e.addr {
+				e.prod[2] = t.stores[i]
+				break
+			}
+		}
+	}
+	if e.isStore {
+		t.stores = append(t.stores, ref{id: e.id, gen: e.gen})
+	}
+
+	// Displace the rename table for the destination.
+	if e.dstClass == isa.IntClass {
+		e.prevProd = t.renInt[e.dstReg]
+		t.renInt[e.dstReg] = ref{id: e.id, gen: e.gen}
+	} else if e.dstClass == isa.FPClass {
+		e.prevProd = t.renFP[e.dstReg]
+		t.renFP[e.dstReg] = ref{id: e.id, gen: e.gen}
+	}
+
+	c.seq++
+	e.seq = c.seq
+	e.state = esDispatched
+	c.listAppend(t, e)
+	c.ruuUsed++
+
+	// Register with pending producers (wakeup lists); an entry whose
+	// producers are all complete is ready immediately.
+	for slot := 0; slot < 3; slot++ {
+		if p := c.lookup(e.prod[slot]); p != nil && p.state != esDone {
+			c.link(p, e, slot)
+		}
+	}
+	if e.waitCount == 0 {
+		c.readyPush(e)
+	}
+}
+
+// issue picks the globally oldest ready instruction among the
+// functional-unit classes that still have a free unit, up to
+// IssueWidth per cycle. Entries blocked on a busy unit class are never
+// scanned.
+func (c *Core) issue() {
+	for i := range c.fuUsed {
+		c.fuUsed[i] = 0
+	}
+	for budget := c.cfg.Pipeline.IssueWidth; budget > 0; budget-- {
+		best := -1
+		var bestSeq uint64
+		for f := 0; f < fuCount; f++ {
+			if c.fuUsed[f] >= c.fuLimit[f] {
+				continue
+			}
+			q := &c.readyQ[f]
+			// Drop squashed heads lazily.
+			for !q.empty() {
+				top := q.peek()
+				e := &c.entries[top.id]
+				if e.gen != top.gen || e.state != esDispatched {
+					q.pop()
+					continue
+				}
+				break
+			}
+			if q.empty() {
+				continue
+			}
+			if best < 0 || q.peek().seq < bestSeq {
+				best = f
+				bestSeq = q.peek().seq
+			}
+		}
+		if best < 0 {
+			return
+		}
+		r := c.readyQ[best].pop()
+		c.fuUsed[best]++
+		c.issueOne(&c.entries[r.id])
+	}
+}
+
+func (c *Core) issueOne(e *entry) {
+	tid := int(e.tid)
+	e.state = esIssued
+	c.act.Add(power.UnitIntQ, tid, 1) // issue-queue read-out
+
+	// Register-file read ports.
+	if n := e.inst.IntRegReads(); n > 0 {
+		c.act.Add(power.UnitIntReg, tid, uint64(n))
+	}
+	if n := e.inst.FPRegReads(); n > 0 {
+		c.act.Add(power.UnitFPReg, tid, uint64(n))
+	}
+
+	lat := int64(e.inst.Op.Latency())
+	switch e.inst.Op.FU() {
+	case isa.FUIntALU, isa.FUIntMulDiv, isa.FUBranch, isa.FUNone:
+		c.act.Add(power.UnitIntExec, tid, 1)
+	case isa.FUFPAdd:
+		c.act.Add(power.UnitFPAdd, tid, 1)
+	case isa.FUFPMulDiv:
+		c.act.Add(power.UnitFPMul, tid, 1)
+	case isa.FUMem:
+		c.act.Add(power.UnitLSQ, tid, 1)
+		if e.isLoad {
+			if c.lookup(e.prod[2]) != nil {
+				// Forwarded from an in-flight store: no cache access.
+				lat = 2
+			} else {
+				res := c.hier.DataAt(c.threads[e.tid].dataAddr(e.addr), false, c.cycle)
+				c.act.Add(power.UnitDCache, tid, 1)
+				if res.L1Miss {
+					c.act.Add(power.UnitL2, tid, 1)
+				}
+				lat = int64(res.Latency)
+				if res.L2Miss {
+					e.l2miss = true
+					if c.cfg.Pipeline.SquashOnL2Miss {
+						c.squashAfter(e)
+					}
+				}
+			}
+		} else {
+			// Stores probe/write the cache at issue.
+			res := c.hier.DataAt(c.threads[e.tid].dataAddr(e.addr), true, c.cycle)
+			c.act.Add(power.UnitDCache, tid, 1)
+			if res.L1Miss {
+				c.act.Add(power.UnitL2, tid, 1)
+			}
+			lat = 1
+		}
+	}
+	c.schedule(c.cycle+lat, e)
+}
+
+// writeback retires completed executions: wakes consumers (implicitly,
+// via opReady), redirects fetch for resolved mispredicts and completed
+// squash-blocking loads, and trains the branch predictor.
+func (c *Core) writeback() {
+	for len(c.events) > 0 && c.events[0].at <= c.cycle {
+		ev := c.events[0]
+		// Pop.
+		n := len(c.events) - 1
+		c.events[0] = c.events[n]
+		c.events = c.events[:n]
+		if n > 0 {
+			c.siftDown(0)
+		}
+		e := c.lookup(ref{id: ev.id, gen: ev.gen})
+		if e == nil || e.state != esIssued {
+			continue
+		}
+		e.state = esDone
+		c.wake(e)
+		tid := int(e.tid)
+		t := c.threads[e.tid]
+
+		// Register-file write ports.
+		if n := e.inst.IntRegWrites(); n > 0 {
+			c.act.Add(power.UnitIntReg, tid, uint64(n))
+		}
+		if n := e.inst.FPRegWrites(); n > 0 {
+			c.act.Add(power.UnitFPReg, tid, uint64(n))
+		}
+
+		if e.isCond {
+			c.act.Add(power.UnitBpred, tid, 1)
+			t.pred.Update(e.brPCAddr, bpred.Outcome(e.brTaken))
+		}
+
+		// Unblock fetch if this entry was the thread's blocker.
+		if t.blocker.valid() && t.blocker.id == e.id && t.blocker.gen == e.gen {
+			t.blocker = noRef
+			resume := c.cycle + 1
+			if e.brMispred {
+				resume = c.cycle + int64(c.cfg.Bpred.MispredictPenalty)
+			}
+			if resume > t.fetchResumeAt {
+				t.fetchResumeAt = resume
+			}
+		}
+	}
+}
+
+// siftDown restores the event heap property from index i.
+func (c *Core) siftDown(i int) {
+	n := len(c.events)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && c.events[l].at < c.events[small].at {
+			small = l
+		}
+		if r < n && c.events[r].at < c.events[small].at {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		c.events[i], c.events[small] = c.events[small], c.events[i]
+		i = small
+	}
+}
+
+// commit retires done instructions in per-thread program order, up to
+// CommitWidth per cycle across all threads (round-robin between
+// threads for fairness).
+func (c *Core) commit() {
+	budget := c.cfg.Pipeline.CommitWidth
+	n := len(c.threads)
+	start := int(c.cycle) % n
+	for i := 0; i < n && budget > 0; i++ {
+		t := c.threads[(start+i)%n]
+		for budget > 0 && t.listHead >= 0 {
+			e := &c.entries[t.listHead]
+			if e.state != esDone {
+				break
+			}
+			c.commitOne(t, e)
+			budget--
+		}
+	}
+}
+
+func (c *Core) commitOne(t *thread, e *entry) {
+	c.stats[e.tid].Committed++
+	t.inFlight--
+	c.ruuUsed--
+	if e.inLSQ {
+		c.lsqUsed--
+	}
+	if e.isStore {
+		// Drop from the forwarding list (it is the oldest store).
+		for i, r := range t.stores {
+			if r.id == e.id && r.gen == e.gen {
+				t.stores = append(t.stores[:i], t.stores[i+1:]...)
+				break
+			}
+		}
+	}
+	// Clear the rename table if this entry is still the youngest writer.
+	if e.dstClass == isa.IntClass {
+		if r := t.renInt[e.dstReg]; r.id == e.id && r.gen == e.gen {
+			t.renInt[e.dstReg] = noRef
+		}
+	} else if e.dstClass == isa.FPClass {
+		if r := t.renFP[e.dstReg]; r.id == e.id && r.gen == e.gen {
+			t.renFP[e.dstReg] = noRef
+		}
+	}
+	c.listRemove(t, e)
+	c.release(e)
+}
+
+// squashAfter implements the L2-miss thread squash: every instruction
+// of e's thread younger than e is rolled back (fetch queue first, then
+// RUU entries newest-first) and fetch blocks until e completes.
+func (c *Core) squashAfter(e *entry) {
+	t := c.threads[e.tid]
+	c.stats[e.tid].L2Squashes++
+
+	// Undo the fetch queue (all younger than anything dispatched).
+	for i := len(t.ifq) - 1; i >= 0; i-- {
+		y := &c.entries[t.ifq[i]]
+		t.undo(y)
+		t.inFlight--
+		c.stats[e.tid].Squashed++
+		c.release(y)
+	}
+	t.ifq = t.ifq[:0]
+
+	// Undo younger RUU entries of this thread, newest-first.
+	for id := t.listTail; id >= 0; {
+		y := &c.entries[id]
+		id = y.prev
+		if y.seq <= e.seq {
+			break
+		}
+		// Remove y from the wakeup lists of still-pending producers so
+		// recycling y cannot corrupt their chains.
+		for slot := 0; slot < 3; slot++ {
+			if p := c.lookup(y.prod[slot]); p != nil && p.state != esDone {
+				c.unlink(p, y, slot)
+			}
+		}
+		t.undo(y)
+		// Restore the rename table mapping this entry displaced.
+		if y.dstClass == isa.IntClass {
+			if r := t.renInt[y.dstReg]; r.id == y.id && r.gen == y.gen {
+				t.renInt[y.dstReg] = y.prevProd
+			}
+		} else if y.dstClass == isa.FPClass {
+			if r := t.renFP[y.dstReg]; r.id == y.id && r.gen == y.gen {
+				t.renFP[y.dstReg] = y.prevProd
+			}
+		}
+		if y.isStore {
+			for i := len(t.stores) - 1; i >= 0; i-- {
+				if t.stores[i].id == y.id && t.stores[i].gen == y.gen {
+					t.stores = append(t.stores[:i], t.stores[i+1:]...)
+					break
+				}
+			}
+		}
+		t.inFlight--
+		c.ruuUsed--
+		if y.inLSQ {
+			c.lsqUsed--
+		}
+		c.stats[e.tid].Squashed++
+		c.listRemove(t, y)
+		c.release(y)
+	}
+
+	// Resume fetching right after the load once it completes.
+	t.pc = t.nextPC(e.pc)
+	t.curLine = -1
+	t.blocker = ref{id: e.id, gen: e.gen}
+}

@@ -1,0 +1,244 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/heatstroke-sim/heatstroke/internal/bpred"
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/isa"
+	"github.com/heatstroke-sim/heatstroke/internal/mem"
+)
+
+// thread is one hardware context: architectural state (the functional
+// frontier), fetch state, rename tables, and its private memory image.
+type thread struct {
+	id   int32
+	prog *isa.Program
+
+	// Architectural register state, updated at fetch (functional-first).
+	iregs [isa.NumIntRegs]int64
+	fregs [isa.NumFPRegs]float64
+	mem   *mem.Memory
+
+	pc int32
+
+	// Fetch state.
+	fetchEnabled   bool
+	fetchResumeAt  int64 // cycle fetch may resume after a redirect
+	icacheStallEnd int64
+	curLine        int64 // instruction cache line being fetched, -1 none
+	// blocker is the entry fetch is waiting on: a mispredicted branch
+	// awaiting resolution, or an L2-missing load after a thread squash.
+	blocker ref
+
+	// ifq is the fetch queue: fetched-but-not-dispatched entry ids in
+	// program order.
+	ifq []int32
+
+	// Rename tables: architectural register -> youngest producing entry.
+	renInt [isa.NumIntRegs]ref
+	renFP  [isa.NumFPRegs]ref
+
+	// stores lists in-flight store entries in program order for
+	// store-to-load forwarding.
+	stores []ref
+
+	// listHead/listTail bound this thread's dispatch-order RUU list.
+	listHead, listTail int32
+
+	inFlight int
+
+	pred bpred.Predictor
+	ras  *bpred.RAS
+}
+
+func newThread(id int, prog *isa.Program, cfg *config.Config) (*thread, error) {
+	t := &thread{
+		id:           int32(id),
+		prog:         prog,
+		mem:          mem.NewMemory(),
+		fetchEnabled: true,
+		curLine:      -1,
+		listHead:     -1,
+		listTail:     -1,
+	}
+	for i := range t.renInt {
+		t.renInt[i] = noRef
+	}
+	for i := range t.renFP {
+		t.renFP[i] = noRef
+	}
+	if prog != nil {
+		if err := prog.Validate(); err != nil {
+			return nil, fmt.Errorf("cpu: thread %d: %w", id, err)
+		}
+		t.pc = prog.Entry
+		p, err := bpred.New(cfg.Bpred.Kind, cfg.Bpred.TableBits)
+		if err != nil {
+			return nil, err
+		}
+		t.pred = p
+		t.ras = bpred.NewRAS(cfg.Bpred.RASEntries)
+	}
+	return t, nil
+}
+
+// Address-space layout: each context's cache-visible addresses carry
+// the context id in high bits, so contexts share cache sets (and so
+// conflict) but never alias each other's lines. Instruction addresses
+// live in a window disjoint from data.
+const (
+	threadShift = 40
+	instWindow  = uint64(1) << 36
+)
+
+func (t *thread) dataAddr(addr uint64) uint64 {
+	return (uint64(t.id+1) << threadShift) | (addr &^ 7)
+}
+
+func (t *thread) instAddr(pc int32) uint64 {
+	return (uint64(t.id+1) << threadShift) | instWindow | uint64(pc)*8
+}
+
+// nextPC returns the fall-through successor, wrapping a program that
+// runs off the end back to its entry.
+func (t *thread) nextPC(pc int32) int32 {
+	n := pc + 1
+	if int(n) >= t.prog.Len() {
+		return t.prog.Entry
+	}
+	return n
+}
+
+// intSrc2 returns the second ALU operand (register or immediate).
+func (t *thread) intSrc2(in *isa.Instruction) int64 {
+	if in.UseImm {
+		return in.Imm
+	}
+	return t.iregs[in.Src2]
+}
+
+// exec architecturally executes the instruction at t.pc into e, filling
+// e's undo record, and returns the next PC. It must be called in
+// program order (at fetch).
+func (t *thread) exec(e *entry) int32 {
+	in := &e.inst
+	e.dstClass = isa.NoClass
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		t.writeInt(e, in.Dst, t.iregs[in.Src1]+t.intSrc2(in))
+	case isa.OpSub:
+		t.writeInt(e, in.Dst, t.iregs[in.Src1]-t.intSrc2(in))
+	case isa.OpAnd:
+		t.writeInt(e, in.Dst, t.iregs[in.Src1]&t.intSrc2(in))
+	case isa.OpOr:
+		t.writeInt(e, in.Dst, t.iregs[in.Src1]|t.intSrc2(in))
+	case isa.OpXor:
+		t.writeInt(e, in.Dst, t.iregs[in.Src1]^t.intSrc2(in))
+	case isa.OpShl:
+		t.writeInt(e, in.Dst, t.iregs[in.Src1]<<(uint64(t.intSrc2(in))&63))
+	case isa.OpShr:
+		t.writeInt(e, in.Dst, int64(uint64(t.iregs[in.Src1])>>(uint64(t.intSrc2(in))&63)))
+	case isa.OpCmpLT:
+		t.writeInt(e, in.Dst, b2i(t.iregs[in.Src1] < t.intSrc2(in)))
+	case isa.OpCmpEQ:
+		t.writeInt(e, in.Dst, b2i(t.iregs[in.Src1] == t.intSrc2(in)))
+	case isa.OpMovI:
+		t.writeInt(e, in.Dst, in.Imm)
+	case isa.OpMul:
+		t.writeInt(e, in.Dst, t.iregs[in.Src1]*t.intSrc2(in))
+	case isa.OpDiv:
+		d := t.intSrc2(in)
+		if d == 0 {
+			t.writeInt(e, in.Dst, 0)
+		} else {
+			t.writeInt(e, in.Dst, t.iregs[in.Src1]/d)
+		}
+	case isa.OpLoad:
+		e.addr = uint64(t.iregs[in.Src1]+in.Imm) &^ 7
+		e.isLoad = true
+		t.writeInt(e, in.Dst, t.mem.Read(e.addr))
+	case isa.OpLoadF:
+		e.addr = uint64(t.iregs[in.Src1]+in.Imm) &^ 7
+		e.isLoad = true
+		t.writeFP(e, in.Dst, math.Float64frombits(uint64(t.mem.Read(e.addr))))
+	case isa.OpStore:
+		e.addr = uint64(t.iregs[in.Src1]+in.Imm) &^ 7
+		e.isStore = true
+		e.memOld = t.mem.Write(e.addr, t.iregs[in.Src2])
+	case isa.OpStoreF:
+		e.addr = uint64(t.iregs[in.Src1]+in.Imm) &^ 7
+		e.isStore = true
+		e.memOld = t.mem.Write(e.addr, int64(math.Float64bits(t.fregs[in.Src2])))
+	case isa.OpFAdd:
+		t.writeFP(e, in.Dst, t.fregs[in.Src1]+t.fregs[in.Src2])
+	case isa.OpFMul:
+		t.writeFP(e, in.Dst, t.fregs[in.Src1]*t.fregs[in.Src2])
+	case isa.OpFDiv:
+		d := t.fregs[in.Src2]
+		if d == 0 {
+			t.writeFP(e, in.Dst, 0)
+		} else {
+			t.writeFP(e, in.Dst, t.fregs[in.Src1]/d)
+		}
+	case isa.OpBr, isa.OpCall:
+		e.brTaken = true
+		return in.Target
+	case isa.OpRet:
+		// No link-register semantics in this ISA: fall through.
+		e.brTaken = false
+	case isa.OpBeqz:
+		e.isCond = true
+		if t.iregs[in.Src1] == 0 {
+			e.brTaken = true
+			return in.Target
+		}
+	case isa.OpBnez:
+		e.isCond = true
+		if t.iregs[in.Src1] != 0 {
+			e.brTaken = true
+			return in.Target
+		}
+	}
+	return t.nextPC(e.pc)
+}
+
+func (t *thread) writeInt(e *entry, dst uint8, v int64) {
+	if dst == isa.ZeroReg {
+		return
+	}
+	e.dstClass = isa.IntClass
+	e.dstReg = dst
+	e.oldVal = t.iregs[dst]
+	t.iregs[dst] = v
+}
+
+func (t *thread) writeFP(e *entry, dst uint8, v float64) {
+	e.dstClass = isa.FPClass
+	e.dstReg = dst
+	e.oldVal = int64(math.Float64bits(t.fregs[dst]))
+	t.fregs[dst] = v
+}
+
+// undo reverses e's architectural effects. Entries must be undone
+// newest-first.
+func (t *thread) undo(e *entry) {
+	if e.isStore {
+		t.mem.Write(e.addr, e.memOld)
+	}
+	switch e.dstClass {
+	case isa.IntClass:
+		t.iregs[e.dstReg] = e.oldVal
+	case isa.FPClass:
+		t.fregs[e.dstReg] = math.Float64frombits(uint64(e.oldVal))
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

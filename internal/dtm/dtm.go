@@ -1,0 +1,258 @@
+// Package dtm implements the dynamic thermal management policies the
+// paper evaluates:
+//
+//   - None: no management (paired with an ideal heat sink for the
+//     Figure 5 baseline bars);
+//   - StopAndGo: global clock gating, the paper's base case — halt the
+//     whole pipeline at the emergency temperature until the hot spot
+//     cools to the normal operating temperature;
+//   - DVS: throttle frequency and drop Vdd while hot (kept as an
+//     ablation baseline; the paper argues it performs like stop-and-go
+//     and scales worse);
+//   - SelectiveSedation: the paper's contribution (package core), with
+//     stop-and-go retained underneath as a safety net.
+package dtm
+
+import (
+	"fmt"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/core"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+// Kind names a policy.
+type Kind string
+
+// Policy kinds.
+const (
+	None              Kind = "none"
+	StopAndGo         Kind = "stopgo"
+	DVS               Kind = "dvs"
+	TTDFS             Kind = "ttdfs"
+	SelectiveSedation Kind = "sedation"
+)
+
+// Kinds lists the available policies.
+func Kinds() []Kind { return []Kind{None, StopAndGo, DVS, TTDFS, SelectiveSedation} }
+
+// Pipeline is the slice of the core a policy drives.
+type Pipeline interface {
+	SetGlobalStall(stall bool)
+	GlobalStalled() bool
+	SetThrottle(num, den int)
+}
+
+// VddControl lets the DVS policy scale the supply voltage.
+type VddControl interface {
+	SetVdd(v float64)
+	Vdd() float64
+}
+
+// Policy reacts to temperatures once per sensor interval.
+type Policy interface {
+	// Name returns the policy kind.
+	Name() Kind
+	// Tick observes the sensors and actuates the pipeline. temp reads
+	// a unit's current die temperature; maxT is the hottest unit's.
+	Tick(cycle int64, maxT float64, temp func(power.Unit) float64)
+	// Engine returns the sedation engine, or nil for other policies.
+	Engine() *core.Engine
+}
+
+// nonePolicy does nothing.
+type nonePolicy struct{}
+
+func (nonePolicy) Name() Kind                                    { return None }
+func (nonePolicy) Tick(int64, float64, func(power.Unit) float64) {}
+func (nonePolicy) Engine() *core.Engine                          { return nil }
+
+// NewNone returns the do-nothing policy.
+func NewNone() Policy { return nonePolicy{} }
+
+// stopGo is global clock gating: at the emergency temperature the whole
+// pipeline halts for the package's fixed thermal-RC cooling time
+// (Section 2.1: "once this cooling time has elapsed, activity at the
+// component can be resumed to full speed").
+type stopGo struct {
+	pipe          Pipeline
+	emergency     float64
+	coolingCycles int64
+	engaged       bool
+	resumeAt      int64
+	Engagements   uint64
+}
+
+// newStopGo builds the shared stop-and-go mechanism.
+func newStopGo(pipe Pipeline, t config.Thermal, coolingCycles int64) *stopGo {
+	return &stopGo{pipe: pipe, emergency: t.EmergencyK, coolingCycles: coolingCycles}
+}
+
+// NewStopAndGo returns the stop-and-go base case. coolingCycles is the
+// package's thermal-RC cooling time in (scaled) cycles.
+func NewStopAndGo(pipe Pipeline, t config.Thermal, coolingCycles int64) Policy {
+	return newStopGo(pipe, t, coolingCycles)
+}
+
+func (s *stopGo) Name() Kind           { return StopAndGo }
+func (s *stopGo) Engine() *core.Engine { return nil }
+
+func (s *stopGo) Tick(cycle int64, maxT float64, _ func(power.Unit) float64) {
+	if s.engaged {
+		if cycle >= s.resumeAt {
+			s.engaged = false
+			s.pipe.SetGlobalStall(false)
+		}
+		return
+	}
+	if maxT >= s.emergency {
+		s.engaged = true
+		s.Engagements++
+		s.resumeAt = cycle + s.coolingCycles
+		s.pipe.SetGlobalStall(true)
+	}
+}
+
+// dvs throttles the clock to half speed and drops Vdd while above the
+// trigger temperature, with stop-and-go retained at the emergency
+// temperature (DVS alone cannot bound a sustained attack).
+type dvs struct {
+	pipe      Pipeline
+	vdd       VddControl
+	trigger   float64
+	release   float64
+	lowVdd    float64
+	nomVdd    float64
+	stopGo    *stopGo
+	throttled bool
+}
+
+// NewDVS returns the DVS baseline. trigger engages throttling a little
+// below the emergency temperature.
+func NewDVS(pipe Pipeline, vdd VddControl, t config.Thermal, coolingCycles int64) Policy {
+	return &dvs{
+		pipe:    pipe,
+		vdd:     vdd,
+		trigger: t.EmergencyK - 2.5,
+		release: t.StopGoResumeK,
+		nomVdd:  vdd.Vdd(),
+		lowVdd:  vdd.Vdd() * 0.85,
+		stopGo:  newStopGo(pipe, t, coolingCycles),
+	}
+}
+
+func (d *dvs) Name() Kind           { return DVS }
+func (d *dvs) Engine() *core.Engine { return nil }
+
+func (d *dvs) Tick(cycle int64, maxT float64, temp func(power.Unit) float64) {
+	d.stopGo.Tick(cycle, maxT, temp)
+	if !d.throttled && maxT >= d.trigger {
+		d.throttled = true
+		d.pipe.SetThrottle(1, 2)
+		d.vdd.SetVdd(d.lowVdd)
+	} else if d.throttled && maxT <= d.release {
+		d.throttled = false
+		d.pipe.SetThrottle(0, 0)
+		d.vdd.SetVdd(d.nomVdd)
+	}
+}
+
+// ttdfs is Temperature-Tracking Dynamic Frequency Scaling ([12] via the
+// paper's Section 4): the clock slows in proportion to how far the
+// hottest sensor sits above the trigger, and — the scheme's defining
+// flaw — there is no hard stop: the processor is allowed to keep
+// operating above the emergency temperature, because the scheme assumes
+// circuit timing is the only constraint. The paper excludes it as a
+// base case for exactly that reason ("TTDFS does not reduce maximum
+// temperature or prevent physical overheating"); it is kept here as an
+// ablation.
+type ttdfs struct {
+	pipe    Pipeline
+	trigger float64
+	// step is the temperature band per extra throttle notch.
+	step float64
+	// level is the current throttle notch (0..maxLevel).
+	level int
+	// PeakLevel records the deepest throttle reached.
+	PeakLevel int
+}
+
+const ttdfsMaxLevel = 6 // deepest slowdown: 6/8 cycles gated
+
+// NewTTDFS returns the TTDFS ablation baseline.
+func NewTTDFS(pipe Pipeline, t config.Thermal) Policy {
+	return &ttdfs{pipe: pipe, trigger: t.EmergencyK - 2.5, step: 1.0}
+}
+
+func (d *ttdfs) Name() Kind           { return TTDFS }
+func (d *ttdfs) Engine() *core.Engine { return nil }
+
+func (d *ttdfs) Tick(_ int64, maxT float64, _ func(power.Unit) float64) {
+	level := 0
+	if maxT > d.trigger {
+		level = 1 + int((maxT-d.trigger)/d.step)
+		if level > ttdfsMaxLevel {
+			level = ttdfsMaxLevel
+		}
+	}
+	if level != d.level {
+		d.level = level
+		if level > d.PeakLevel {
+			d.PeakLevel = level
+		}
+		d.pipe.SetThrottle(level, 8)
+	}
+}
+
+// sedation wraps the core engine with the stop-and-go safety net: if,
+// despite sedation, any resource reaches the emergency temperature
+// (e.g. the last un-sedated thread keeps heating it), the whole
+// pipeline halts, every sedated thread is restored, and execution
+// resumes at the normal operating temperature.
+type sedation struct {
+	engine *core.Engine
+	net    *stopGo
+}
+
+// NewSelectiveSedation returns the paper's policy.
+func NewSelectiveSedation(pipe Pipeline, t config.Thermal, engine *core.Engine, coolingCycles int64) (Policy, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("dtm: selective sedation needs an engine")
+	}
+	return &sedation{
+		engine: engine,
+		net:    newStopGo(pipe, t, coolingCycles),
+	}, nil
+}
+
+func (s *sedation) Name() Kind           { return SelectiveSedation }
+func (s *sedation) Engine() *core.Engine { return s.engine }
+
+func (s *sedation) Tick(cycle int64, maxT float64, temp func(power.Unit) float64) {
+	wasEngaged := s.net.engaged
+	s.net.Tick(cycle, maxT, temp)
+	if !wasEngaged && s.net.engaged {
+		// Safety net fired: restore all sedated threads (they resume
+		// when the stall lifts).
+		s.engine.ReleaseAll()
+		return
+	}
+	if s.net.engaged {
+		return
+	}
+	s.engine.Tick(cycle, temp)
+}
+
+// SafetyNetEngagements returns how many times a policy's underlying
+// stop-and-go fired (0 for policies without one).
+func SafetyNetEngagements(p Policy) uint64 {
+	switch v := p.(type) {
+	case *stopGo:
+		return v.Engagements
+	case *dvs:
+		return v.stopGo.Engagements
+	case *sedation:
+		return v.net.Engagements
+	}
+	return 0
+}

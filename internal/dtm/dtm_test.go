@@ -1,0 +1,172 @@
+package dtm
+
+import (
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	score "github.com/heatstroke-sim/heatstroke/internal/core"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+// fakePipe implements Pipeline and VddControl.
+type fakePipe struct {
+	stalled bool
+	thNum   int
+	thDen   int
+	vdd     float64
+}
+
+func (f *fakePipe) SetGlobalStall(s bool) { f.stalled = s }
+func (f *fakePipe) GlobalStalled() bool   { return f.stalled }
+func (f *fakePipe) SetThrottle(n, d int)  { f.thNum, f.thDen = n, d }
+func (f *fakePipe) SetVdd(v float64)      { f.vdd = v }
+func (f *fakePipe) Vdd() float64          { return f.vdd }
+
+func flatTemps(v float64) func(power.Unit) float64 {
+	return func(power.Unit) float64 { return v }
+}
+
+func TestStopAndGoFixedCoolingTime(t *testing.T) {
+	th := config.Default().Thermal
+	pipe := &fakePipe{}
+	p := NewStopAndGo(pipe, th, 1000)
+	if p.Name() != StopAndGo || p.Engine() != nil {
+		t.Fatal("identity wrong")
+	}
+	p.Tick(0, th.EmergencyK-1, flatTemps(0))
+	if pipe.stalled {
+		t.Fatal("stalled below emergency")
+	}
+	p.Tick(100, th.EmergencyK+0.1, flatTemps(0))
+	if !pipe.stalled {
+		t.Fatal("must stall at emergency")
+	}
+	// Stays stalled for the fixed cooling period even if the sensor
+	// cools immediately (paper: a fixed thermal-RC timeout).
+	p.Tick(600, th.EmergencyK-20, flatTemps(0))
+	if !pipe.stalled {
+		t.Fatal("resumed before the cooling time elapsed")
+	}
+	p.Tick(1100, th.EmergencyK-20, flatTemps(0))
+	if pipe.stalled {
+		t.Fatal("did not resume after the cooling time")
+	}
+	if SafetyNetEngagements(p) != 1 {
+		t.Errorf("engagements = %d", SafetyNetEngagements(p))
+	}
+	// Re-engages on a second emergency.
+	p.Tick(1200, th.EmergencyK+1, flatTemps(0))
+	if !pipe.stalled || SafetyNetEngagements(p) != 2 {
+		t.Error("second engagement failed")
+	}
+}
+
+func TestDVSThrottlesAndRestores(t *testing.T) {
+	th := config.Default().Thermal
+	pipe := &fakePipe{vdd: 1.1}
+	p := NewDVS(pipe, pipe, th, 1000)
+	if p.Name() != DVS {
+		t.Fatal("name")
+	}
+	p.Tick(0, th.EmergencyK-2.6, flatTemps(0))
+	if pipe.thDen != 0 {
+		t.Fatal("throttled below trigger")
+	}
+	p.Tick(1, th.EmergencyK-2.4, flatTemps(0))
+	if pipe.thDen == 0 || pipe.vdd >= 1.1 {
+		t.Fatal("DVS should throttle and drop Vdd above trigger")
+	}
+	p.Tick(2, th.StopGoResumeK-0.1, flatTemps(0))
+	if pipe.thDen != 0 || pipe.vdd != 1.1 {
+		t.Fatal("DVS should restore below release")
+	}
+	// Emergency still falls back to stop-and-go.
+	p.Tick(3, th.EmergencyK+0.1, flatTemps(0))
+	if !pipe.stalled {
+		t.Fatal("DVS safety net missing")
+	}
+}
+
+func TestSelectiveSedationSafetyNet(t *testing.T) {
+	cfg := config.Default()
+	act := power.NewActivity(2)
+	mon, err := score.NewMonitor(cfg.Sedation, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := &fakeCtl{enabled: []bool{true, true}}
+	eng, err := score.NewEngine(cfg.Sedation, mon, ctl, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := &fakePipe{}
+	p, err := NewSelectiveSedation(pipe, cfg.Thermal, eng, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Engine() != eng || p.Name() != SelectiveSedation {
+		t.Fatal("identity wrong")
+	}
+
+	// Prime the monitor so thread 1 is the culprit, then cross the
+	// upper threshold at the register file only: engine sedates, no
+	// global stall.
+	for i := 0; i < 100; i++ {
+		act.Add(power.UnitIntReg, 1, 9000)
+		mon.Sample()
+	}
+	rfHot := func(temp float64) func(power.Unit) float64 {
+		return func(u power.Unit) float64 {
+			if u == power.UnitIntReg {
+				return temp
+			}
+			return 350
+		}
+	}
+	p.Tick(20_000, cfg.Sedation.UpperK+0.1, rfHot(cfg.Sedation.UpperK+0.1))
+	if pipe.stalled {
+		t.Fatal("sedation should not stall globally below emergency")
+	}
+	if ctl.enabled[1] {
+		t.Fatal("culprit not sedated")
+	}
+
+	// Emergency: safety net stalls and releases all sedated threads.
+	p.Tick(40_000, cfg.Thermal.EmergencyK+0.1, rfHot(cfg.Thermal.EmergencyK+0.1))
+	if !pipe.stalled {
+		t.Fatal("safety net did not stall")
+	}
+	if !ctl.enabled[1] {
+		t.Fatal("safety net must restore sedated threads")
+	}
+	if SafetyNetEngagements(p) != 1 {
+		t.Errorf("engagements = %d", SafetyNetEngagements(p))
+	}
+	if _, err := NewSelectiveSedation(pipe, cfg.Thermal, nil, 1000); err == nil {
+		t.Error("nil engine should fail")
+	}
+}
+
+func TestNonePolicy(t *testing.T) {
+	p := NewNone()
+	p.Tick(0, 1000, flatTemps(1000))
+	if p.Name() != None || p.Engine() != nil {
+		t.Error("none policy identity")
+	}
+	if SafetyNetEngagements(p) != 0 {
+		t.Error("none policy has no safety net")
+	}
+}
+
+func TestKinds(t *testing.T) {
+	if len(Kinds()) != 5 {
+		t.Errorf("kinds = %v", Kinds())
+	}
+}
+
+// fakeCtl implements score.CoreControl.
+type fakeCtl struct{ enabled []bool }
+
+func (f *fakeCtl) SetFetchEnabled(tid int, e bool) { f.enabled[tid] = e }
+func (f *fakeCtl) Threads() int                    { return len(f.enabled) }
+func (f *fakeCtl) Active(int) bool                 { return true }

@@ -1,0 +1,45 @@
+package dtm
+
+import (
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+)
+
+func TestTTDFSThrottleTracksTemperature(t *testing.T) {
+	th := config.Default().Thermal
+	pipe := &fakePipe{}
+	p := NewTTDFS(pipe, th)
+	if p.Name() != TTDFS || p.Engine() != nil {
+		t.Fatal("identity wrong")
+	}
+	trigger := th.EmergencyK - 2.5
+
+	p.Tick(0, trigger-0.5, flatTemps(0))
+	if pipe.thDen != 0 && pipe.thNum != 0 {
+		t.Fatal("should not throttle below trigger")
+	}
+	p.Tick(1, trigger+0.5, flatTemps(0))
+	lvl1 := pipe.thNum
+	if lvl1 < 1 {
+		t.Fatal("should throttle above trigger")
+	}
+	p.Tick(2, trigger+2.5, flatTemps(0))
+	if pipe.thNum <= lvl1 {
+		t.Fatalf("deeper throttle expected: %d -> %d", lvl1, pipe.thNum)
+	}
+	// The defining flaw: no global stall even far above the emergency
+	// temperature.
+	p.Tick(3, th.EmergencyK+10, flatTemps(0))
+	if pipe.stalled {
+		t.Fatal("TTDFS must not stall (its documented flaw)")
+	}
+	if pipe.thNum > ttdfsMaxLevel {
+		t.Fatalf("throttle level %d beyond max", pipe.thNum)
+	}
+	// Cooling releases the throttle.
+	p.Tick(4, trigger-1, flatTemps(0))
+	if pipe.thNum != 0 {
+		t.Fatal("throttle should release when cool")
+	}
+}

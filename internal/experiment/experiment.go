@@ -1,0 +1,265 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section 5): Table 1's configuration, Figures 3-6, the
+// heat-sink and threshold sensitivity studies (Sections 5.5-5.6), the
+// SPEC-pair false-positive study (Section 5.7), and the design-choice
+// ablations DESIGN.md calls out. Each experiment runs a set of
+// independent simulations (in parallel) and renders an ASCII table
+// whose rows mirror what the paper plots.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/sim"
+	"github.com/heatstroke-sim/heatstroke/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Config is the base machine; zero value means config.Default().
+	Config *config.Config
+	// Benchmarks selects the SPEC2K-like workloads; nil means all.
+	Benchmarks []string
+	// Quantum overrides the per-run cycle count (0 = Config's).
+	Quantum int64
+	// Warmup is the unmeasured warmup prefix (default 500k cycles).
+	Warmup int64
+	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
+	Parallelism int
+	// Seed seeds workload generation (default Config's).
+	Seed int64
+}
+
+func (o Options) normalized() Options {
+	if o.Config == nil {
+		c := config.Default()
+		o.Config = &c
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = workload.SpecNames()
+	}
+	if o.Quantum <= 0 {
+		o.Quantum = o.Config.Run.QuantumCycles
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 500_000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = o.Config.Run.Seed
+	}
+	return o
+}
+
+// specThread builds one benchmark thread.
+func specThread(name string, seed int64) (sim.Thread, error) {
+	prog, err := workload.Spec(name, seed)
+	if err != nil {
+		return sim.Thread{}, err
+	}
+	return sim.Thread{Name: name, Prog: prog}, nil
+}
+
+// variantThread builds malicious variant n with phase durations matched
+// to the thermal scale.
+func variantThread(n int, scale float64) (sim.Thread, error) {
+	prog, err := workload.VariantForScale(n, scale)
+	if err != nil {
+		return sim.Thread{}, err
+	}
+	return sim.Thread{Name: fmt.Sprintf("variant%d", n), Prog: prog}, nil
+}
+
+// job is one independent simulation.
+type job struct {
+	key     string
+	cfg     config.Config
+	threads []sim.Thread
+	opts    sim.Options
+}
+
+// runJobs executes jobs with bounded parallelism and returns results by
+// key. The first error aborts the remainder.
+func runJobs(jobs []job, parallelism int) (map[string]*sim.Result, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	results := make(map[string]*sim.Result, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		mu.Lock()
+		aborted := firstErr != nil
+		mu.Unlock()
+		if aborted {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s, err := sim.New(j.cfg, j.threads, j.opts)
+			if err == nil {
+				var res *sim.Result
+				res, err = s.Run()
+				if err == nil {
+					mu.Lock()
+					results[j.key] = res
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiment: job %s: %w", j.key, err)
+			}
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// Table is a rendered experiment artifact.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// Experiment names, usable from the CLI and bench harness.
+const (
+	NameTable1     = "table1"
+	NameFigure3    = "fig3"
+	NameFigure4    = "fig4"
+	NameFigure5    = "fig5"
+	NameFigure6    = "fig6"
+	NameHeatSink   = "heatsink"
+	NameThresholds = "thresholds"
+	NameSpecPairs  = "specpairs"
+	NameTiming     = "timing"
+	NamePolicies   = "policies"
+	NameFlatAvg    = "ablation-flatavg"
+	NameAbsThresh  = "ablation-absthresh"
+	NameMulti      = "ablation-multiculprit"
+	NameFetch      = "ablation-fetchpolicy"
+)
+
+// Names lists every experiment in presentation order.
+func Names() []string {
+	return []string{
+		NameTable1, NameFigure3, NameFigure4, NameFigure5, NameFigure6,
+		NameHeatSink, NameThresholds, NameSpecPairs, NameTiming, NamePolicies,
+		NameFlatAvg, NameAbsThresh, NameMulti, NameFetch,
+	}
+}
+
+// Run executes the named experiment.
+func Run(name string, o Options) (*Table, error) {
+	switch name {
+	case NameTable1:
+		return Table1(o)
+	case NameFigure3:
+		return Figure3(o)
+	case NameFigure4:
+		return Figure4(o)
+	case NameFigure5:
+		return Figure5(o)
+	case NameFigure6:
+		return Figure6(o)
+	case NameHeatSink:
+		return HeatSink(o)
+	case NameThresholds:
+		return Thresholds(o)
+	case NameSpecPairs:
+		return SpecPairs(o)
+	case NameTiming:
+		return Timing(o)
+	case NamePolicies:
+		return Policies(o)
+	case NameFetch:
+		return AblationFetchPolicy(o)
+	case NameFlatAvg:
+		return AblationFlatAverage(o)
+	case NameAbsThresh:
+		return AblationAbsoluteThreshold(o)
+	case NameMulti:
+		return AblationMultiCulprit(o)
+	default:
+		return nil, fmt.Errorf("experiment: unknown experiment %q (have %v)", name, Names())
+	}
+}
+
+func sortedKeys(m map[string]*sim.Result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+)
+
+// tinyOptions keeps experiment smoke tests fast: two benchmarks, short
+// quanta.
+func tinyOptions() Options {
+	cfg := config.Default()
+	cfg.Run.QuantumCycles = 300_000
+	return Options{
+		Config:     &cfg,
+		Benchmarks: []string{"crafty", "mcf"},
+		Warmup:     100_000,
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:   "T",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"xxx", "y"}},
+		Notes:   []string{"n"},
+	}
+	out := tb.String()
+	for _, want := range []string{"T\n", "a", "bb", "xxx", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tb, err := Table1(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 15 {
+		t.Errorf("only %d parameter rows", len(tb.Rows))
+	}
+	if !strings.Contains(tb.String(), "6, out-of-order") {
+		t.Error("issue width missing")
+	}
+}
+
+func TestFigure3Smoke(t *testing.T) {
+	tb, err := Figure3(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 benchmarks + 3 variants.
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	rates := map[string]float64{}
+	for _, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad rate %q", row[1])
+		}
+		rates[row[0]] = v
+	}
+	if rates["crafty"] <= rates["mcf"] {
+		t.Error("crafty should out-access mcf at the register file")
+	}
+	for name, r := range rates {
+		if r < 0 || r > 20 {
+			t.Errorf("%s rate %f implausible", name, r)
+		}
+	}
+}
+
+func TestFigure4Smoke(t *testing.T) {
+	tb, err := Figure4(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 || len(tb.Columns) != 4 {
+		t.Fatalf("shape = %dx%d", len(tb.Rows), len(tb.Columns))
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[1:] {
+			if _, err := strconv.Atoi(cell); err != nil {
+				t.Errorf("non-integer emergency count %q", cell)
+			}
+		}
+	}
+}
+
+func TestFigure5Smoke(t *testing.T) {
+	o := tinyOptions()
+	o.Benchmarks = []string{"crafty"}
+	tb, err := Figure5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || len(tb.Columns) != 12 {
+		t.Fatalf("shape = %dx%d", len(tb.Rows), len(tb.Columns))
+	}
+	if len(tb.Notes) == 0 {
+		t.Error("figure 5 should carry the degradation note")
+	}
+}
+
+func TestFigure6Smoke(t *testing.T) {
+	o := tinyOptions()
+	o.Benchmarks = []string{"mcf"}
+	tb, err := Figure6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, cell := range tb.Rows[0][1:] {
+		if !strings.HasSuffix(cell, "%") {
+			t.Errorf("breakdown cell %q not a percentage", cell)
+		}
+	}
+}
+
+func TestThresholdsSmoke(t *testing.T) {
+	o := tinyOptions()
+	o.Benchmarks = []string{"crafty"}
+	tb, err := Thresholds(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || len(tb.Columns) != 7 {
+		t.Fatalf("shape = %dx%d", len(tb.Rows), len(tb.Columns))
+	}
+}
+
+func TestSpecPairsSmoke(t *testing.T) {
+	tb, err := SpecPairs(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	o := tinyOptions()
+	o.Benchmarks = []string{"crafty"}
+	if _, err := SpecPairs(o); err == nil {
+		t.Error("single benchmark should fail")
+	}
+}
+
+func TestAblationMultiCulpritSmoke(t *testing.T) {
+	o := tinyOptions()
+	tb, err := AblationMultiCulprit(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d (want 4 threads)", len(tb.Rows))
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	if len(Names()) != 14 {
+		t.Errorf("names = %v", Names())
+	}
+	if _, err := Run("nonsense", tinyOptions()); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	tb, err := Run(NameTable1, tinyOptions())
+	if err != nil || tb == nil {
+		t.Errorf("dispatch failed: %v", err)
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	o := Options{}.normalized()
+	if o.Config == nil || len(o.Benchmarks) < 16 || o.Quantum <= 0 || o.Parallelism < 1 || o.Warmup <= 0 {
+		t.Errorf("normalized = %+v", o)
+	}
+	sub := Options{Benchmarks: []string{"a", "b", "c", "d", "e", "f", "g", "h"}}.subset()
+	if len(sub) == 0 || len(sub) > 6 {
+		t.Errorf("subset = %v", sub)
+	}
+}
+
+func TestRunJobsPropagatesErrors(t *testing.T) {
+	o := tinyOptions()
+	spec, err := specThread("crafty", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := soloJob(o, "bad", spec, "voodoo-policy", false)
+	if _, err := runJobs([]job{j}, 1); err == nil {
+		t.Error("bad policy job should surface an error")
+	}
+}

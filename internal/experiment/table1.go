@@ -1,0 +1,39 @@
+package experiment
+
+import "fmt"
+
+// Table1 renders the system parameters (the paper's Table 1) from the
+// active configuration.
+func Table1(o Options) (*Table, error) {
+	o = o.normalized()
+	c := o.Config
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rows := [][]string{
+		{"Instruction issue", fmt.Sprintf("%d, out-of-order", c.Pipeline.IssueWidth)},
+		{"Fetch", fmt.Sprintf("%d-wide, %d threads/cycle (ICOUNT)", c.Pipeline.FetchWidth, c.Pipeline.FetchThreads)},
+		{"L1", fmt.Sprintf("%dKB %d-way i & d, %d-cycle", c.Memory.L1I.SizeBytes>>10, c.Memory.L1I.Assoc, c.Memory.L1I.LatencyCycles)},
+		{"L2", fmt.Sprintf("%dM %d-way shared, %d-cycle", c.Memory.L2.SizeBytes>>20, c.Memory.L2.Assoc, c.Memory.L2.LatencyCycles)},
+		{"RUU/LSQ", fmt.Sprintf("%d/%d entries", c.Pipeline.RUUSize, c.Pipeline.LSQSize)},
+		{"Memory ports", fmt.Sprintf("%d", c.Pipeline.MemPorts)},
+		{"Off-chip memory latency", fmt.Sprintf("%d cycles", c.Memory.MemLatency)},
+		{"SMT", fmt.Sprintf("%d contexts", c.Pipeline.Contexts)},
+		{"Branch predictor", fmt.Sprintf("%s, %d-entry tables", c.Bpred.Kind, 1<<c.Bpred.TableBits)},
+		{"Vdd", fmt.Sprintf("%.1f V", c.Power.Vdd)},
+		{"Base frequency", fmt.Sprintf("%.0f GHz", c.Power.FrequencyHz/1e9)},
+		{"Convection resistance", fmt.Sprintf("%.1f K/W", c.Thermal.ConvectionRes)},
+		{"Heat-sink thickness", fmt.Sprintf("%.1f mm", c.Thermal.HeatSinkThicknessM*1e3)},
+		{"Thermal RC cooling time", fmt.Sprintf("%.0f ms", c.Thermal.CoolingTimeMs)},
+		{"Emergency temperature", fmt.Sprintf("%.1f K", c.Thermal.EmergencyK)},
+		{"Sedation thresholds", fmt.Sprintf("upper %.1f K / lower %.1f K", c.Sedation.UpperK, c.Sedation.LowerK)},
+		{"Access-rate sampling", fmt.Sprintf("every %d cycles, x = 1/%d", c.Sedation.SampleIntervalCycles, 1<<c.Sedation.EWMAShift)},
+		{"Thermal scale (repro)", fmt.Sprintf("%.0fx", c.Thermal.Scale)},
+		{"OS quantum", fmt.Sprintf("%d cycles", o.Quantum)},
+	}
+	return &Table{
+		Title:   "Table 1: System parameters",
+		Columns: []string{"Parameter", "Value"},
+		Rows:    rows,
+	}, nil
+}

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/sim"
+)
+
+func TestHeatCoolDurations(t *testing.T) {
+	// Synthetic trace: 3 samples heating, 2 above emergency, 3 heating,
+	// 1 above.
+	r := &sim.Result{
+		RFTrace:      []float64{350, 353, 356, 359, 359, 352, 354, 357, 359, 350},
+		Emergencies:  2,
+		StopGoCycles: 4_000_000,
+	}
+	heat, cool := heatCoolDurations(r, 358.5, 20_000)
+	if len(heat) != 2 {
+		t.Fatalf("heat runs = %v", heat)
+	}
+	// First run: crossings at index 3 from start 0 -> 3 intervals;
+	// second: crossing at index 8 from restart index 5 -> 3 intervals.
+	if heat[0] != 3*20_000 || heat[1] != 3*20_000 {
+		t.Errorf("heat = %v", heat)
+	}
+	if len(cool) != 2 || cool[0] != 2_000_000 {
+		t.Errorf("cool = %v", cool)
+	}
+	// Empty trace.
+	h, c := heatCoolDurations(&sim.Result{}, 358.5, 20_000)
+	if h != nil || c != nil {
+		t.Error("empty trace should yield nothing")
+	}
+}
+
+func TestTimingSmoke(t *testing.T) {
+	o := tinyOptions()
+	o.Benchmarks = []string{"crafty"}
+	tb, err := Timing(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || len(tb.Columns) != 7 {
+		t.Fatalf("shape = %dx%d", len(tb.Rows), len(tb.Columns))
+	}
+	// Duty cycle is a number in (0,1].
+	duty, err := strconv.ParseFloat(tb.Rows[0][6], 64)
+	if err != nil || duty <= 0 || duty > 1 {
+		t.Errorf("duty = %q (%v)", tb.Rows[0][6], err)
+	}
+}
+
+func TestPoliciesSmoke(t *testing.T) {
+	o := tinyOptions()
+	o.Benchmarks = []string{"mcf"}
+	tb, err := Policies(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || len(tb.Columns) != 6 {
+		t.Fatalf("shape = %dx%d", len(tb.Rows), len(tb.Columns))
+	}
+}
+
+func TestAblationFetchPolicySmoke(t *testing.T) {
+	o := tinyOptions()
+	o.Benchmarks = []string{"mcf"}
+	tb, err := AblationFetchPolicy(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || len(tb.Columns) != 6 {
+		t.Fatalf("shape = %dx%d", len(tb.Rows), len(tb.Columns))
+	}
+}

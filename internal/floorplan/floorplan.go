@@ -1,0 +1,197 @@
+// Package floorplan describes the die geometry the thermal model is
+// built from: one rectangular block per power unit (plus a spare
+// block), with adjacency derived from shared edges. The layout is an
+// Alpha-21264-like core with the shared L2 along the bottom of the die,
+// in the spirit of the floorplan the paper takes from the HotSpot
+// distribution.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+// Block is one rectangle on the die. Coordinates are in meters with the
+// origin at the die's lower-left corner.
+type Block struct {
+	Name string
+	// Unit is the power unit dissipating in this block; Spare for none.
+	Unit power.Unit
+	// HasUnit is false for fill blocks that only leak.
+	HasUnit    bool
+	X, Y, W, H float64
+}
+
+// Area returns the block area in square meters.
+func (b Block) Area() float64 { return b.W * b.H }
+
+// Adjacency records a shared edge between two blocks.
+type Adjacency struct {
+	A, B int
+	// SharedLen is the length of the common edge in meters.
+	SharedLen float64
+	// Dist is the center-to-center distance along the axis normal to
+	// the shared edge (used for lateral thermal resistance).
+	Dist float64
+}
+
+// Floorplan is a validated set of blocks tiling a rectangular die.
+type Floorplan struct {
+	Blocks []Block
+	DieW   float64
+	DieH   float64
+	adj    []Adjacency
+}
+
+const mm = 1e-3
+
+// Default returns the built-in 6 mm x 6 mm die:
+//
+//	y 6.0 ┌────────┬──────────┬───────┬─────────┐
+//	      │ Decode │  LSQ     │ FPMul │ (spare) │
+//	  4.8 ├────────┤      5.0 ├───────┤     4.0 │
+//	      │ Bpred  ├──────────┤  4.5  ├─────────┤
+//	  4.0 ├────────┤ IntExec  │ FPAdd │         │
+//	      │        │      3.6 ├───────┤ DCache  │
+//	      │ ICache ├──────────┤  3.0  │         │
+//	      │        │ IntReg   ├───────┤         │
+//	      │        │      2.8 │ FPReg │         │
+//	      │        ├──────────┤       │         │
+//	      │        │ IntQ     │       │         │
+//	  2.0 ├────────┴──────────┴───────┴─────────┤
+//	      │                L2                   │
+//	  0.0 └─────────────────────────────────────┘
+//	      0       1.5        3.5     4.5       6.0
+//
+// The integer register file — the attack's target — is a small
+// (1.6 mm^2) block in the middle of the core, flanked by the issue
+// queue and the integer execution units, so its power density is the
+// highest on the die during a register burst.
+func Default() *Floorplan {
+	blocks := []Block{
+		{Name: "L2", Unit: power.UnitL2, HasUnit: true, X: 0, Y: 0, W: 6 * mm, H: 2 * mm},
+		{Name: "ICache", Unit: power.UnitICache, HasUnit: true, X: 0, Y: 2 * mm, W: 1.5 * mm, H: 2 * mm},
+		{Name: "Bpred", Unit: power.UnitBpred, HasUnit: true, X: 0, Y: 4 * mm, W: 1.5 * mm, H: 0.8 * mm},
+		{Name: "Decode", Unit: power.UnitDecode, HasUnit: true, X: 0, Y: 4.8 * mm, W: 1.5 * mm, H: 1.2 * mm},
+		{Name: "IntQ", Unit: power.UnitIntQ, HasUnit: true, X: 1.5 * mm, Y: 2 * mm, W: 2 * mm, H: 0.8 * mm},
+		{Name: "IntReg", Unit: power.UnitIntReg, HasUnit: true, X: 1.5 * mm, Y: 2.8 * mm, W: 2 * mm, H: 0.8 * mm},
+		{Name: "IntExec", Unit: power.UnitIntExec, HasUnit: true, X: 1.5 * mm, Y: 3.6 * mm, W: 2 * mm, H: 1.4 * mm},
+		{Name: "LSQ", Unit: power.UnitLSQ, HasUnit: true, X: 1.5 * mm, Y: 5 * mm, W: 2 * mm, H: 1 * mm},
+		{Name: "FPReg", Unit: power.UnitFPReg, HasUnit: true, X: 3.5 * mm, Y: 2 * mm, W: 1 * mm, H: 1 * mm},
+		{Name: "FPAdd", Unit: power.UnitFPAdd, HasUnit: true, X: 3.5 * mm, Y: 3 * mm, W: 1 * mm, H: 1.5 * mm},
+		{Name: "FPMul", Unit: power.UnitFPMul, HasUnit: true, X: 3.5 * mm, Y: 4.5 * mm, W: 1 * mm, H: 1.5 * mm},
+		{Name: "DCache", Unit: power.UnitDCache, HasUnit: true, X: 4.5 * mm, Y: 2 * mm, W: 1.5 * mm, H: 2 * mm},
+		{Name: "Spare", HasUnit: false, X: 4.5 * mm, Y: 4 * mm, W: 1.5 * mm, H: 2 * mm},
+	}
+	fp, err := New(blocks, 6*mm, 6*mm)
+	if err != nil {
+		panic("floorplan: default floorplan invalid: " + err.Error())
+	}
+	return fp
+}
+
+// New validates the blocks (non-overlapping, inside the die, exactly
+// tiling it, one block per power unit) and computes adjacency.
+func New(blocks []Block, dieW, dieH float64) (*Floorplan, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("floorplan: no blocks")
+	}
+	var area float64
+	seen := make(map[power.Unit]bool)
+	for i, b := range blocks {
+		if b.W <= 0 || b.H <= 0 {
+			return nil, fmt.Errorf("floorplan: block %s has non-positive size", b.Name)
+		}
+		if b.X < -eps || b.Y < -eps || b.X+b.W > dieW+eps || b.Y+b.H > dieH+eps {
+			return nil, fmt.Errorf("floorplan: block %s extends outside the die", b.Name)
+		}
+		if b.HasUnit {
+			if b.Unit >= power.NumUnits {
+				return nil, fmt.Errorf("floorplan: block %s has invalid unit", b.Name)
+			}
+			if seen[b.Unit] {
+				return nil, fmt.Errorf("floorplan: unit %s appears in two blocks", b.Unit)
+			}
+			seen[b.Unit] = true
+		}
+		for j := 0; j < i; j++ {
+			if overlap1D(b.X, b.X+b.W, blocks[j].X, blocks[j].X+blocks[j].W) > eps &&
+				overlap1D(b.Y, b.Y+b.H, blocks[j].Y, blocks[j].Y+blocks[j].H) > eps {
+				return nil, fmt.Errorf("floorplan: blocks %s and %s overlap", b.Name, blocks[j].Name)
+			}
+		}
+		area += b.Area()
+	}
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		if !seen[u] {
+			return nil, fmt.Errorf("floorplan: no block for unit %s", u)
+		}
+	}
+	if math.Abs(area-dieW*dieH) > dieW*dieH*1e-6 {
+		return nil, fmt.Errorf("floorplan: blocks cover %.3f mm^2 of a %.3f mm^2 die",
+			area*1e6, dieW*dieH*1e6)
+	}
+	fp := &Floorplan{Blocks: blocks, DieW: dieW, DieH: dieH}
+	fp.computeAdjacency()
+	return fp, nil
+}
+
+const eps = 1e-9
+
+func overlap1D(a0, a1, b0, b1 float64) float64 {
+	lo := math.Max(a0, b0)
+	hi := math.Min(a1, b1)
+	if hi > lo {
+		return hi - lo
+	}
+	return 0
+}
+
+func (f *Floorplan) computeAdjacency() {
+	for i := range f.Blocks {
+		for j := i + 1; j < len(f.Blocks); j++ {
+			a, b := f.Blocks[i], f.Blocks[j]
+			// Vertical shared edge: a's right against b's left or vice
+			// versa, with overlapping y ranges.
+			if shared := overlap1D(a.Y, a.Y+a.H, b.Y, b.Y+b.H); shared > eps {
+				if math.Abs((a.X+a.W)-b.X) < eps || math.Abs((b.X+b.W)-a.X) < eps {
+					f.adj = append(f.adj, Adjacency{A: i, B: j, SharedLen: shared, Dist: (a.W + b.W) / 2})
+					continue
+				}
+			}
+			// Horizontal shared edge.
+			if shared := overlap1D(a.X, a.X+a.W, b.X, b.X+b.W); shared > eps {
+				if math.Abs((a.Y+a.H)-b.Y) < eps || math.Abs((b.Y+b.H)-a.Y) < eps {
+					f.adj = append(f.adj, Adjacency{A: i, B: j, SharedLen: shared, Dist: (a.H + b.H) / 2})
+				}
+			}
+		}
+	}
+}
+
+// Adjacencies returns the shared-edge list.
+func (f *Floorplan) Adjacencies() []Adjacency { return f.adj }
+
+// BlockFor returns the index of the block hosting unit u.
+func (f *Floorplan) BlockFor(u power.Unit) int {
+	for i, b := range f.Blocks {
+		if b.HasUnit && b.Unit == u {
+			return i
+		}
+	}
+	return -1
+}
+
+// UnitAreas returns each power unit's block area in square meters,
+// indexed by unit.
+func (f *Floorplan) UnitAreas() [power.NumUnits]float64 {
+	var areas [power.NumUnits]float64
+	for _, b := range f.Blocks {
+		if b.HasUnit {
+			areas[b.Unit] = b.Area()
+		}
+	}
+	return areas
+}

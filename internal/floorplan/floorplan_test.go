@@ -1,0 +1,107 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+func TestDefaultFloorplanValid(t *testing.T) {
+	fp := Default()
+	var area float64
+	for _, b := range fp.Blocks {
+		area += b.Area()
+	}
+	if math.Abs(area-fp.DieW*fp.DieH) > 1e-12 {
+		t.Errorf("blocks cover %.3g of %.3g", area, fp.DieW*fp.DieH)
+	}
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		if fp.BlockFor(u) < 0 {
+			t.Errorf("no block for %s", u)
+		}
+	}
+}
+
+func TestDefaultAdjacency(t *testing.T) {
+	fp := Default()
+	adj := fp.Adjacencies()
+	if len(adj) < 12 {
+		t.Fatalf("only %d adjacencies for 13 blocks", len(adj))
+	}
+	for _, a := range adj {
+		if a.SharedLen <= 0 || a.Dist <= 0 {
+			t.Errorf("degenerate adjacency %+v", a)
+		}
+		if a.A == a.B {
+			t.Errorf("self adjacency %+v", a)
+		}
+	}
+	// The register file must touch the issue queue and integer units
+	// (its heat spreads into them).
+	rf := fp.BlockFor(power.UnitIntReg)
+	neighbours := map[int]bool{}
+	for _, a := range adj {
+		if a.A == rf {
+			neighbours[a.B] = true
+		}
+		if a.B == rf {
+			neighbours[a.A] = true
+		}
+	}
+	if !neighbours[fp.BlockFor(power.UnitIntQ)] || !neighbours[fp.BlockFor(power.UnitIntExec)] {
+		t.Error("IntReg should neighbour IntQ and IntExec")
+	}
+}
+
+func TestUnitAreas(t *testing.T) {
+	fp := Default()
+	areas := fp.UnitAreas()
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		if areas[u] <= 0 {
+			t.Errorf("%s area %g", u, areas[u])
+		}
+	}
+	// The attack target is one of the smallest core blocks (high power
+	// density).
+	if areas[power.UnitIntReg] > areas[power.UnitL2]/4 {
+		t.Error("IntReg should be much smaller than the L2")
+	}
+}
+
+func TestNewRejectsBadPlans(t *testing.T) {
+	good := Default()
+	// Overlap.
+	blocks := append([]Block(nil), good.Blocks...)
+	blocks[1].X = blocks[0].X
+	blocks[1].Y = blocks[0].Y
+	if _, err := New(blocks, good.DieW, good.DieH); err == nil {
+		t.Error("overlapping blocks should fail")
+	}
+	// Outside die.
+	blocks = append([]Block(nil), good.Blocks...)
+	blocks[2].X = good.DieW
+	if _, err := New(blocks, good.DieW, good.DieH); err == nil {
+		t.Error("out-of-die block should fail")
+	}
+	// Missing unit.
+	blocks = append([]Block(nil), good.Blocks...)
+	blocks[0].HasUnit = false
+	if _, err := New(blocks, good.DieW, good.DieH); err == nil {
+		t.Error("missing unit should fail")
+	}
+	// Duplicate unit.
+	blocks = append([]Block(nil), good.Blocks...)
+	blocks[12].HasUnit = true
+	blocks[12].Unit = blocks[0].Unit
+	if _, err := New(blocks, good.DieW, good.DieH); err == nil {
+		t.Error("duplicate unit should fail")
+	}
+	// Incomplete tiling.
+	if _, err := New(good.Blocks[:12], good.DieW, good.DieH); err == nil {
+		t.Error("gap in tiling should fail")
+	}
+	if _, err := New(nil, 1, 1); err == nil {
+		t.Error("empty plan should fail")
+	}
+}

@@ -1,0 +1,444 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembler text into a Program using two passes: the
+// first collects labels, the second encodes instructions. The syntax is
+// the paper's listing style:
+//
+//	L$1:  addl $1, $2, $3
+//	      addl $4, $5, 7       # immediate second operand
+//	      movi $9, 100
+//	      ldq  $4, 8($2)
+//	      stq  $4, 16($2)
+//	      ldt  $f0, 0($3)
+//	      addt $f1, $f0, $f2
+//	      beqz $4, L$1
+//	      br   L$1
+//
+// Comments run from '#' or ';' to end of line. Labels end with ':' and
+// may share a line with an instruction.
+func Assemble(name, text string) (*Program, error) {
+	type pending struct {
+		inst  Instruction
+		label string // branch target label, empty if none
+		line  int
+	}
+	labels := make(map[string]int32)
+	var insts []pending
+
+	lines := strings.Split(text, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if label == "" || strings.ContainsAny(label, " \t,(") {
+				return nil, fmt.Errorf("asm %s:%d: malformed label %q", name, lineNo+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("asm %s:%d: duplicate label %q", name, lineNo+1, label)
+			}
+			labels[label] = int32(len(insts))
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		inst, targetLabel, err := parseInst(line)
+		if err != nil {
+			return nil, fmt.Errorf("asm %s:%d: %v", name, lineNo+1, err)
+		}
+		insts = append(insts, pending{inst: inst, label: targetLabel, line: lineNo + 1})
+	}
+
+	prog := &Program{Name: name, Labels: labels, Insts: make([]Instruction, len(insts))}
+	for i, p := range insts {
+		if p.label != "" {
+			target, ok := labels[p.label]
+			if !ok {
+				return nil, fmt.Errorf("asm %s:%d: undefined label %q", name, p.line, p.label)
+			}
+			p.inst.Target = target
+		}
+		prog.Insts[i] = p.inst
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+var mnemonics = func() map[string]Op {
+	m := make(map[string]Op, int(opCount))
+	for op := Op(0); op < opCount; op++ {
+		m[op.Name()] = op
+	}
+	// Accept a few common aliases.
+	m["addq"] = OpAdd
+	m["subq"] = OpSub
+	m["ldl"] = OpLoad
+	m["stl"] = OpStore
+	return m
+}()
+
+func parseInst(line string) (Instruction, string, error) {
+	var mnem, rest string
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+	} else {
+		mnem = line
+	}
+	op, ok := mnemonics[strings.ToLower(mnem)]
+	if !ok {
+		return Instruction{}, "", fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	args := splitArgs(rest)
+	in := Instruction{Op: op}
+
+	switch {
+	case op == OpNop || op == OpRet:
+		if len(args) != 0 {
+			return in, "", fmt.Errorf("%s takes no operands", mnem)
+		}
+		return in, "", nil
+
+	case op == OpBr || op == OpCall:
+		if len(args) != 1 {
+			return in, "", fmt.Errorf("%s needs one target label", mnem)
+		}
+		return in, args[0], nil
+
+	case op.IsCondBranch():
+		if len(args) != 2 {
+			return in, "", fmt.Errorf("%s needs register and target", mnem)
+		}
+		r, err := parseReg(args[0], IntClass)
+		if err != nil {
+			return in, "", err
+		}
+		in.Src1 = r
+		return in, args[1], nil
+
+	case op == OpMovI:
+		if len(args) != 2 {
+			return in, "", fmt.Errorf("movi needs register and immediate")
+		}
+		r, err := parseReg(args[0], IntClass)
+		if err != nil {
+			return in, "", err
+		}
+		imm, err := strconv.ParseInt(args[1], 0, 64)
+		if err != nil {
+			return in, "", fmt.Errorf("bad immediate %q", args[1])
+		}
+		in.Dst, in.Imm = r, imm
+		return in, "", nil
+
+	case op.IsLoad():
+		if len(args) != 2 {
+			return in, "", fmt.Errorf("%s needs dst and disp(base)", mnem)
+		}
+		d, err := parseReg(args[0], op.DstClass())
+		if err != nil {
+			return in, "", err
+		}
+		disp, base, err := parseMem(args[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.Dst, in.Imm, in.Src1 = d, disp, base
+		return in, "", nil
+
+	case op.IsStore():
+		if len(args) != 2 {
+			return in, "", fmt.Errorf("%s needs src and disp(base)", mnem)
+		}
+		s, err := parseReg(args[0], op.Src2Class())
+		if err != nil {
+			return in, "", err
+		}
+		disp, base, err := parseMem(args[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.Src2, in.Imm, in.Src1 = s, disp, base
+		return in, "", nil
+
+	default: // three-operand ALU / FP
+		if len(args) != 3 {
+			return in, "", fmt.Errorf("%s needs three operands", mnem)
+		}
+		d, err := parseReg(args[0], op.DstClass())
+		if err != nil {
+			return in, "", err
+		}
+		s1, err := parseReg(args[1], op.Src1Class())
+		if err != nil {
+			return in, "", err
+		}
+		in.Dst, in.Src1 = d, s1
+		if strings.HasPrefix(args[2], "$") {
+			s2, err := parseReg(args[2], op.Src2Class())
+			if err != nil {
+				return in, "", err
+			}
+			in.Src2 = s2
+		} else {
+			imm, err := strconv.ParseInt(args[2], 0, 64)
+			if err != nil {
+				return in, "", fmt.Errorf("bad operand %q", args[2])
+			}
+			in.Imm, in.UseImm = imm, true
+		}
+		return in, "", nil
+	}
+}
+
+// splitArgs splits on commas that are not inside parentheses.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var args []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				args = append(args, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	args = append(args, strings.TrimSpace(s[start:]))
+	return args
+}
+
+func parseReg(s string, class RegClass) (uint8, error) {
+	if !strings.HasPrefix(s, "$") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	body := s[1:]
+	isFP := strings.HasPrefix(body, "f") || strings.HasPrefix(body, "F")
+	if isFP {
+		body = body[1:]
+	}
+	if class == FPClass && !isFP {
+		return 0, fmt.Errorf("expected FP register, got %q", s)
+	}
+	if class == IntClass && isFP {
+		return 0, fmt.Errorf("expected integer register, got %q", s)
+	}
+	n, err := strconv.Atoi(body)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	limit := NumIntRegs
+	if class == FPClass {
+		limit = NumFPRegs
+	}
+	if n >= limit {
+		return 0, fmt.Errorf("register %q out of range", s)
+	}
+	return uint8(n), nil
+}
+
+// parseMem parses "disp($base)" or "($base)" or a bare "disp".
+func parseMem(s string) (disp int64, base uint8, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 {
+		d, err := strconv.ParseInt(s, 0, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad memory operand %q", s)
+		}
+		return d, ZeroReg, nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	if dispStr != "" {
+		disp, err = strconv.ParseInt(dispStr, 0, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad displacement in %q", s)
+		}
+	}
+	base, err = parseReg(strings.TrimSpace(s[open+1:len(s)-1]), IntClass)
+	if err != nil {
+		return 0, 0, err
+	}
+	return disp, base, nil
+}
+
+// Builder constructs programs programmatically; the workload generator
+// uses it. Branch targets may reference labels defined later; Build
+// resolves them.
+type Builder struct {
+	name    string
+	insts   []Instruction
+	labels  map[string]int32
+	patches []patch
+	err     error
+}
+
+type patch struct {
+	inst  int
+	label string
+}
+
+// NewBuilder returns an empty builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int32)}
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup && b.err == nil {
+		b.err = fmt.Errorf("asm builder %s: duplicate label %q", b.name, name)
+	}
+	b.labels[name] = int32(len(b.insts))
+	return b
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in Instruction) *Builder {
+	b.insts = append(b.insts, in)
+	return b
+}
+
+// ALU appends a three-register ALU instruction.
+func (b *Builder) ALU(op Op, dst, src1, src2 uint8) *Builder {
+	return b.Emit(Instruction{Op: op, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// ALUImm appends an ALU instruction with an immediate second operand.
+func (b *Builder) ALUImm(op Op, dst, src1 uint8, imm int64) *Builder {
+	return b.Emit(Instruction{Op: op, Dst: dst, Src1: src1, Imm: imm, UseImm: true})
+}
+
+// MovI appends a load-immediate.
+func (b *Builder) MovI(dst uint8, imm int64) *Builder {
+	return b.Emit(Instruction{Op: OpMovI, Dst: dst, Imm: imm})
+}
+
+// Load appends an integer load dst <- [base+disp].
+func (b *Builder) Load(dst, base uint8, disp int64) *Builder {
+	return b.Emit(Instruction{Op: OpLoad, Dst: dst, Src1: base, Imm: disp})
+}
+
+// Store appends an integer store [base+disp] <- src.
+func (b *Builder) Store(src, base uint8, disp int64) *Builder {
+	return b.Emit(Instruction{Op: OpStore, Src2: src, Src1: base, Imm: disp})
+}
+
+// LoadF appends a floating-point load.
+func (b *Builder) LoadF(dst, base uint8, disp int64) *Builder {
+	return b.Emit(Instruction{Op: OpLoadF, Dst: dst, Src1: base, Imm: disp})
+}
+
+// StoreF appends a floating-point store.
+func (b *Builder) StoreF(src, base uint8, disp int64) *Builder {
+	return b.Emit(Instruction{Op: OpStoreF, Src2: src, Src1: base, Imm: disp})
+}
+
+// FP appends a three-register floating-point instruction.
+func (b *Builder) FP(op Op, dst, src1, src2 uint8) *Builder {
+	return b.Emit(Instruction{Op: op, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// Br appends an unconditional branch to a label.
+func (b *Builder) Br(label string) *Builder {
+	b.patches = append(b.patches, patch{inst: len(b.insts), label: label})
+	return b.Emit(Instruction{Op: OpBr})
+}
+
+// Beqz appends a branch-if-zero to a label.
+func (b *Builder) Beqz(src uint8, label string) *Builder {
+	b.patches = append(b.patches, patch{inst: len(b.insts), label: label})
+	return b.Emit(Instruction{Op: OpBeqz, Src1: src})
+}
+
+// Bnez appends a branch-if-nonzero to a label.
+func (b *Builder) Bnez(src uint8, label string) *Builder {
+	b.patches = append(b.patches, patch{inst: len(b.insts), label: label})
+	return b.Emit(Instruction{Op: OpBnez, Src1: src})
+}
+
+// Nop appends a no-op.
+func (b *Builder) Nop() *Builder { return b.Emit(Instruction{Op: OpNop}) }
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.insts) }
+
+// Build resolves labels and returns the validated program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, p := range b.patches {
+		target, ok := b.labels[p.label]
+		if !ok {
+			return nil, fmt.Errorf("asm builder %s: undefined label %q", b.name, p.label)
+		}
+		b.insts[p.inst].Target = target
+	}
+	prog := &Program{Name: b.name, Insts: b.insts, Labels: b.labels}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustBuild is Build that panics on error; for statically known programs.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders the program as assembler text with synthesized
+// labels at branch targets. Assemble(Disassemble(p)) produces a program
+// with identical instructions.
+func Disassemble(p *Program) string {
+	targets := make(map[int32]string)
+	for _, in := range p.Insts {
+		if in.Op.IsBranch() && in.Op != OpRet {
+			if _, ok := targets[in.Target]; !ok {
+				targets[in.Target] = fmt.Sprintf("L%d", in.Target)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, in := range p.Insts {
+		if label, ok := targets[int32(i)]; ok {
+			fmt.Fprintf(&sb, "%s:\n", label)
+		}
+		text := in.String()
+		if in.Op.IsBranch() && in.Op != OpRet {
+			// Replace the numeric @target with the synthesized label.
+			at := strings.LastIndex(text, "@")
+			text = text[:at] + targets[in.Target]
+		}
+		fmt.Fprintf(&sb, "\t%s\n", text)
+	}
+	return sb.String()
+}

@@ -1,0 +1,194 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssemblePaperFigureOneStyle(t *testing.T) {
+	// The paper's Figure 1 listing, verbatim style (labels with '$').
+	prog, err := Assemble("fig1", `
+L$1:	addl $1, $2, $3
+	addl $1, $2, $3
+	br L$1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Len() != 3 {
+		t.Fatalf("got %d instructions, want 3", prog.Len())
+	}
+	if prog.Insts[0].Op != OpAdd || prog.Insts[2].Op != OpBr {
+		t.Fatalf("wrong ops: %v", prog.Insts)
+	}
+	if prog.Insts[2].Target != 0 {
+		t.Fatalf("br target = %d, want 0", prog.Insts[2].Target)
+	}
+}
+
+func TestAssembleFullSyntax(t *testing.T) {
+	prog, err := Assemble("full", `
+	# prologue
+	movi $1, 0x100      ; hex immediate
+	movi $2, 8
+start:
+	addl $3, $1, $2
+	subl $3, $3, 1      # immediate form
+	ldq  $4, 16($1)
+	stq  $4, 24($1)
+	ldt  $f0, 0($1)
+	addt $f1, $f0, $f0
+	stt  $f1, 8($1)
+	mull $5, $3, $2
+	cmplt $6, $5, $3
+	beqz $6, start
+	bnez $6, done
+	nop
+done:
+	br start
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check a few encodings.
+	ld := prog.Insts[4]
+	if ld.Op != OpLoad || ld.Dst != 4 || ld.Src1 != 1 || ld.Imm != 16 {
+		t.Errorf("ldq encoded wrong: %+v", ld)
+	}
+	sub := prog.Insts[3]
+	if !sub.UseImm || sub.Imm != 1 {
+		t.Errorf("subl immediate form wrong: %+v", sub)
+	}
+	if prog.Labels["start"] != 2 || prog.Labels["done"] != int32(prog.Len()-1) {
+		t.Errorf("labels wrong: %v", prog.Labels)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"unknown mnemonic", "frobnicate $1, $2, $3"},
+		{"undefined label", "br nowhere"},
+		{"duplicate label", "a:\na:\nnop"},
+		{"bad register", "addl $99, $1, $2"},
+		{"fp where int", "addl $f1, $1, $2"},
+		{"int where fp", "addt $1, $f1, $f2"},
+		{"missing operand", "addl $1, $2"},
+		{"bad immediate", "movi $1, zebra"},
+		{"bad memory operand", "ldq $1, 8($1"},
+		{"nop with args", "nop $1"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.name, c.text); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	prog, err := Assemble("rt", `
+top:	movi $1, 42
+	addl $2, $1, $1
+	ldq $3, 8($2)
+	beqz $3, top
+	stq $2, 0($3)
+	addt $f0, $f1, $f2
+	br top
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(prog)
+	prog2, err := Assemble("rt2", text)
+	if err != nil {
+		t.Fatalf("disassembly did not re-assemble: %v\n%s", err, text)
+	}
+	if prog2.Len() != prog.Len() {
+		t.Fatalf("round trip changed length: %d vs %d", prog2.Len(), prog.Len())
+	}
+	for i := range prog.Insts {
+		if prog.Insts[i] != prog2.Insts[i] {
+			t.Errorf("inst %d: %v != %v", i, prog.Insts[i], prog2.Insts[i])
+		}
+	}
+}
+
+// randomProgram builds a structurally valid random program.
+func randomProgram(rng *rand.Rand) *Program {
+	b := NewBuilder("random")
+	n := 5 + rng.Intn(40)
+	b.Label("top")
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			b.ALU(OpAdd, uint8(rng.Intn(31)), uint8(rng.Intn(32)), uint8(rng.Intn(32)))
+		case 1:
+			b.ALUImm(OpXor, uint8(rng.Intn(31)), uint8(rng.Intn(32)), rng.Int63n(1000))
+		case 2:
+			b.Load(uint8(rng.Intn(31)), uint8(rng.Intn(32)), rng.Int63n(4096))
+		case 3:
+			b.Store(uint8(rng.Intn(32)), uint8(rng.Intn(32)), rng.Int63n(4096))
+		case 4:
+			b.FP(OpFMul, uint8(rng.Intn(31)), uint8(rng.Intn(32)), uint8(rng.Intn(32)))
+		case 5:
+			b.MovI(uint8(rng.Intn(31)), rng.Int63())
+		}
+	}
+	b.Bnez(uint8(rng.Intn(32)), "top")
+	b.Br("top")
+	return b.MustBuild()
+}
+
+// TestQuickDisassembleRoundTrip property: for any builder-generated
+// program, Disassemble then Assemble reproduces the instruction stream
+// exactly.
+func TestQuickDisassembleRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		p2, err := Assemble("rt", Disassemble(p))
+		if err != nil || p2.Len() != p.Len() {
+			return false
+		}
+		for i := range p.Insts {
+			if p.Insts[i] != p2.Insts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitArgs(t *testing.T) {
+	got := splitArgs("$1, 8($2), $3")
+	want := []string{"$1", "8($2)", "$3"}
+	if len(got) != len(want) {
+		t.Fatalf("splitArgs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("arg %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if splitArgs("  ") != nil {
+		t.Error("blank args should be nil")
+	}
+}
+
+func TestDisassembleLabelsBranchTargets(t *testing.T) {
+	p := NewBuilder("x").Label("a").Nop().Beqz(3, "a").MustBuild()
+	text := Disassemble(p)
+	if !strings.Contains(text, "L0:") || !strings.Contains(text, "beqz $3, L0") {
+		t.Errorf("disassembly missing synthesized label:\n%s", text)
+	}
+}

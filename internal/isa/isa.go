@@ -1,0 +1,328 @@
+// Package isa defines the small RISC instruction set executed by the
+// SMT pipeline simulator, plus a two-pass text assembler able to parse
+// the malicious listings of the paper's Figures 1 and 2.
+//
+// The ISA is Alpha-flavoured (the paper's SimpleScalar simulator runs
+// Alpha binaries): 32 integer and 32 floating-point architectural
+// registers, three-operand register ALU ops, displacement-mode loads and
+// stores, and compare-and-branch conditional branches. Register $31 and
+// $f31 read as zero and discard writes.
+package isa
+
+import "fmt"
+
+// NumIntRegs and NumFPRegs are the architectural register-file sizes.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	// ZeroReg reads as zero and discards writes (Alpha $31 convention).
+	ZeroReg = 31
+)
+
+// RegClass distinguishes the two architectural register files.
+type RegClass uint8
+
+const (
+	// IntClass registers live in the integer register file.
+	IntClass RegClass = iota
+	// FPClass registers live in the floating-point register file.
+	FPClass
+	// NoClass marks an absent operand.
+	NoClass
+)
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcodes. The groups matter to the pipeline model: each group maps to a
+// functional-unit class and an execution latency.
+const (
+	// OpNop does nothing (still occupies pipeline slots).
+	OpNop Op = iota
+
+	// Integer ALU (1-cycle): dst <- src1 op src2/imm.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpCmpLT // dst = 1 if src1 < src2 else 0
+	OpCmpEQ // dst = 1 if src1 == src2 else 0
+	OpMovI  // dst <- imm (load immediate)
+
+	// Integer multiply/divide (long latency).
+	OpMul
+	OpDiv
+
+	// Memory: address = int src1 + imm.
+	OpLoad   // int dst <- mem
+	OpStore  // mem <- int src2
+	OpLoadF  // fp dst <- mem
+	OpStoreF // mem <- fp src2
+
+	// Floating point.
+	OpFAdd
+	OpFMul
+	OpFDiv
+
+	// Control. Branches compare an integer register against zero;
+	// Target is an instruction index resolved by the assembler.
+	OpBr   // unconditional
+	OpBeqz // branch if src1 == 0
+	OpBnez // branch if src1 != 0
+	OpCall // unconditional, pushes return address
+	OpRet  // returns to the address popped from the RAS
+
+	opCount
+)
+
+// FUClass identifies the functional-unit pool an op executes on.
+type FUClass uint8
+
+// Functional-unit classes.
+const (
+	FUNone FUClass = iota // no FU needed (nop)
+	FUIntALU
+	FUIntMulDiv
+	FUMem
+	FUFPAdd
+	FUFPMulDiv
+	FUBranch // executes on the integer ALU pool
+)
+
+type opInfo struct {
+	name    string
+	fu      FUClass
+	latency int
+	// dstClass/srcClass describe the register classes of the operands.
+	dstClass  RegClass
+	src1Class RegClass
+	src2Class RegClass
+	isLoad    bool
+	isStore   bool
+	isBranch  bool
+	isCond    bool
+}
+
+var opTable = [opCount]opInfo{
+	OpNop:    {name: "nop", fu: FUNone, latency: 1, dstClass: NoClass, src1Class: NoClass, src2Class: NoClass},
+	OpAdd:    {name: "addl", fu: FUIntALU, latency: 1, dstClass: IntClass, src1Class: IntClass, src2Class: IntClass},
+	OpSub:    {name: "subl", fu: FUIntALU, latency: 1, dstClass: IntClass, src1Class: IntClass, src2Class: IntClass},
+	OpAnd:    {name: "and", fu: FUIntALU, latency: 1, dstClass: IntClass, src1Class: IntClass, src2Class: IntClass},
+	OpOr:     {name: "or", fu: FUIntALU, latency: 1, dstClass: IntClass, src1Class: IntClass, src2Class: IntClass},
+	OpXor:    {name: "xor", fu: FUIntALU, latency: 1, dstClass: IntClass, src1Class: IntClass, src2Class: IntClass},
+	OpShl:    {name: "sll", fu: FUIntALU, latency: 1, dstClass: IntClass, src1Class: IntClass, src2Class: IntClass},
+	OpShr:    {name: "srl", fu: FUIntALU, latency: 1, dstClass: IntClass, src1Class: IntClass, src2Class: IntClass},
+	OpCmpLT:  {name: "cmplt", fu: FUIntALU, latency: 1, dstClass: IntClass, src1Class: IntClass, src2Class: IntClass},
+	OpCmpEQ:  {name: "cmpeq", fu: FUIntALU, latency: 1, dstClass: IntClass, src1Class: IntClass, src2Class: IntClass},
+	OpMovI:   {name: "movi", fu: FUIntALU, latency: 1, dstClass: IntClass, src1Class: NoClass, src2Class: NoClass},
+	OpMul:    {name: "mull", fu: FUIntMulDiv, latency: 3, dstClass: IntClass, src1Class: IntClass, src2Class: IntClass},
+	OpDiv:    {name: "divl", fu: FUIntMulDiv, latency: 12, dstClass: IntClass, src1Class: IntClass, src2Class: IntClass},
+	OpLoad:   {name: "ldq", fu: FUMem, latency: 1, dstClass: IntClass, src1Class: IntClass, src2Class: NoClass, isLoad: true},
+	OpStore:  {name: "stq", fu: FUMem, latency: 1, dstClass: NoClass, src1Class: IntClass, src2Class: IntClass, isStore: true},
+	OpLoadF:  {name: "ldt", fu: FUMem, latency: 1, dstClass: FPClass, src1Class: IntClass, src2Class: NoClass, isLoad: true},
+	OpStoreF: {name: "stt", fu: FUMem, latency: 1, dstClass: NoClass, src1Class: IntClass, src2Class: FPClass, isStore: true},
+	OpFAdd:   {name: "addt", fu: FUFPAdd, latency: 2, dstClass: FPClass, src1Class: FPClass, src2Class: FPClass},
+	OpFMul:   {name: "mult", fu: FUFPMulDiv, latency: 4, dstClass: FPClass, src1Class: FPClass, src2Class: FPClass},
+	OpFDiv:   {name: "divt", fu: FUFPMulDiv, latency: 12, dstClass: FPClass, src1Class: FPClass, src2Class: FPClass},
+	OpBr:     {name: "br", fu: FUBranch, latency: 1, dstClass: NoClass, src1Class: NoClass, src2Class: NoClass, isBranch: true},
+	OpBeqz:   {name: "beqz", fu: FUBranch, latency: 1, dstClass: NoClass, src1Class: IntClass, src2Class: NoClass, isBranch: true, isCond: true},
+	OpBnez:   {name: "bnez", fu: FUBranch, latency: 1, dstClass: NoClass, src1Class: IntClass, src2Class: NoClass, isBranch: true, isCond: true},
+	OpCall:   {name: "bsr", fu: FUBranch, latency: 1, dstClass: NoClass, src1Class: NoClass, src2Class: NoClass, isBranch: true},
+	OpRet:    {name: "ret", fu: FUBranch, latency: 1, dstClass: NoClass, src1Class: NoClass, src2Class: NoClass, isBranch: true},
+}
+
+// Name returns the assembler mnemonic.
+func (o Op) Name() string { return opTable[o].name }
+
+// FU returns the functional-unit class the op executes on.
+func (o Op) FU() FUClass { return opTable[o].fu }
+
+// Latency returns the execution latency in cycles (memory ops report
+// their FU occupancy; cache latency is added by the memory system).
+func (o Op) Latency() int { return opTable[o].latency }
+
+// IsLoad reports whether the op reads memory.
+func (o Op) IsLoad() bool { return opTable[o].isLoad }
+
+// IsStore reports whether the op writes memory.
+func (o Op) IsStore() bool { return opTable[o].isStore }
+
+// IsMem reports whether the op accesses memory.
+func (o Op) IsMem() bool { return opTable[o].isLoad || opTable[o].isStore }
+
+// IsBranch reports whether the op redirects control flow.
+func (o Op) IsBranch() bool { return opTable[o].isBranch }
+
+// IsCondBranch reports whether the op is a conditional branch.
+func (o Op) IsCondBranch() bool { return opTable[o].isCond }
+
+// DstClass returns the register class of the destination operand.
+func (o Op) DstClass() RegClass { return opTable[o].dstClass }
+
+// Src1Class returns the register class of the first source operand.
+func (o Op) Src1Class() RegClass { return opTable[o].src1Class }
+
+// Src2Class returns the register class of the second source operand.
+func (o Op) Src2Class() RegClass { return opTable[o].src2Class }
+
+// Valid reports whether the opcode is defined.
+func (o Op) Valid() bool { return o < opCount }
+
+// Instruction is one static instruction. PC-relative control flow is
+// pre-resolved: Target is the absolute instruction index of the branch
+// destination.
+type Instruction struct {
+	Op     Op
+	Dst    uint8 // destination register number within its class
+	Src1   uint8
+	Src2   uint8
+	Imm    int64 // immediate / displacement; also ALU second operand if UseImm
+	Target int32 // branch target (instruction index)
+	UseImm bool  // ALU ops: second operand is Imm instead of Src2
+}
+
+// String formats the instruction in assembler syntax.
+func (in Instruction) String() string {
+	info := opTable[in.Op]
+	switch {
+	case in.Op == OpNop:
+		return "nop"
+	case in.Op == OpMovI:
+		return fmt.Sprintf("movi $%d, %d", in.Dst, in.Imm)
+	case info.isLoad:
+		return fmt.Sprintf("%s %s%d, %d($%d)", info.name, classPrefix(info.dstClass), in.Dst, in.Imm, in.Src1)
+	case info.isStore:
+		return fmt.Sprintf("%s %s%d, %d($%d)", info.name, classPrefix(info.src2Class), in.Src2, in.Imm, in.Src1)
+	case in.Op == OpBr || in.Op == OpCall:
+		return fmt.Sprintf("%s @%d", info.name, in.Target)
+	case in.Op == OpRet:
+		return "ret"
+	case info.isCond:
+		return fmt.Sprintf("%s $%d, @%d", info.name, in.Src1, in.Target)
+	case in.UseImm:
+		return fmt.Sprintf("%s %s%d, %s%d, %d", info.name, classPrefix(info.dstClass), in.Dst, classPrefix(info.src1Class), in.Src1, in.Imm)
+	default:
+		return fmt.Sprintf("%s %s%d, %s%d, %s%d", info.name, classPrefix(info.dstClass), in.Dst, classPrefix(info.src1Class), in.Src1, classPrefix(info.src2Class), in.Src2)
+	}
+}
+
+func classPrefix(c RegClass) string {
+	if c == FPClass {
+		return "$f"
+	}
+	return "$"
+}
+
+// IntRegReads returns how many integer register-file read ports the
+// instruction uses when it issues. This is the access count that feeds
+// the power model for the IntReg block — the resource the paper's
+// malicious threads heat up.
+func (in Instruction) IntRegReads() int {
+	n := 0
+	info := opTable[in.Op]
+	if info.src1Class == IntClass {
+		n++
+	}
+	if info.src2Class == IntClass && !in.UseImm {
+		n++
+	}
+	return n
+}
+
+// IntRegWrites returns how many integer register-file write ports the
+// instruction uses at writeback.
+func (in Instruction) IntRegWrites() int {
+	if opTable[in.Op].dstClass == IntClass && in.Dst != ZeroReg {
+		return 1
+	}
+	return 0
+}
+
+// FPRegReads returns floating-point register-file reads at issue.
+func (in Instruction) FPRegReads() int {
+	n := 0
+	info := opTable[in.Op]
+	if info.src1Class == FPClass {
+		n++
+	}
+	if info.src2Class == FPClass && !in.UseImm {
+		n++
+	}
+	return n
+}
+
+// FPRegWrites returns floating-point register-file writes at writeback.
+func (in Instruction) FPRegWrites() int {
+	if opTable[in.Op].dstClass == FPClass && in.Dst != ZeroReg {
+		return 1
+	}
+	return 0
+}
+
+// Program is a static instruction sequence. Instruction index i is the
+// program counter; execution wraps control flow entirely through
+// branches (programs are infinite loops, matching the paper's workloads,
+// and a program that runs off the end restarts at Entry).
+type Program struct {
+	Name  string
+	Insts []Instruction
+	// Entry is the initial program counter.
+	Entry int32
+	// Labels maps label names to instruction indices (kept for
+	// diagnostics and round-tripping; execution uses Target fields).
+	Labels map[string]int32
+}
+
+// Len returns the static instruction count.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// Validate checks that every branch target and register number is in
+// range.
+func (p *Program) Validate() error {
+	if len(p.Insts) == 0 {
+		return fmt.Errorf("isa: program %q has no instructions", p.Name)
+	}
+	if p.Entry < 0 || int(p.Entry) >= len(p.Insts) {
+		return fmt.Errorf("isa: program %q entry %d out of range", p.Name, p.Entry)
+	}
+	for i, in := range p.Insts {
+		if !in.Op.Valid() {
+			return fmt.Errorf("isa: program %q inst %d: invalid opcode %d", p.Name, i, in.Op)
+		}
+		info := opTable[in.Op]
+		if info.isBranch && in.Op != OpRet {
+			if in.Target < 0 || int(in.Target) >= len(p.Insts) {
+				return fmt.Errorf("isa: program %q inst %d (%s): target %d out of range", p.Name, i, in, in.Target)
+			}
+		}
+		if err := checkReg("dst", info.dstClass, in.Dst); err != nil {
+			return fmt.Errorf("isa: program %q inst %d (%s): %v", p.Name, i, in, err)
+		}
+		if err := checkReg("src1", info.src1Class, in.Src1); err != nil {
+			return fmt.Errorf("isa: program %q inst %d (%s): %v", p.Name, i, in, err)
+		}
+		if info.src2Class != NoClass && !in.UseImm {
+			if err := checkReg("src2", info.src2Class, in.Src2); err != nil {
+				return fmt.Errorf("isa: program %q inst %d (%s): %v", p.Name, i, in, err)
+			}
+		}
+	}
+	return nil
+}
+
+func checkReg(role string, c RegClass, r uint8) error {
+	switch c {
+	case IntClass:
+		if int(r) >= NumIntRegs {
+			return fmt.Errorf("%s register $%d out of range", role, r)
+		}
+	case FPClass:
+		if int(r) >= NumFPRegs {
+			return fmt.Errorf("%s register $f%d out of range", role, r)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpMetadata(t *testing.T) {
+	cases := []struct {
+		op       Op
+		name     string
+		fu       FUClass
+		load     bool
+		store    bool
+		branch   bool
+		cond     bool
+		dstClass RegClass
+	}{
+		{OpNop, "nop", FUNone, false, false, false, false, NoClass},
+		{OpAdd, "addl", FUIntALU, false, false, false, false, IntClass},
+		{OpMul, "mull", FUIntMulDiv, false, false, false, false, IntClass},
+		{OpLoad, "ldq", FUMem, true, false, false, false, IntClass},
+		{OpStore, "stq", FUMem, false, true, false, false, NoClass},
+		{OpLoadF, "ldt", FUMem, true, false, false, false, FPClass},
+		{OpStoreF, "stt", FUMem, false, true, false, false, NoClass},
+		{OpFAdd, "addt", FUFPAdd, false, false, false, false, FPClass},
+		{OpFDiv, "divt", FUFPMulDiv, false, false, false, false, FPClass},
+		{OpBr, "br", FUBranch, false, false, true, false, NoClass},
+		{OpBeqz, "beqz", FUBranch, false, false, true, true, NoClass},
+		{OpBnez, "bnez", FUBranch, false, false, true, true, NoClass},
+	}
+	for _, c := range cases {
+		if got := c.op.Name(); got != c.name {
+			t.Errorf("%v.Name() = %q, want %q", c.op, got, c.name)
+		}
+		if got := c.op.FU(); got != c.fu {
+			t.Errorf("%s.FU() = %v, want %v", c.name, got, c.fu)
+		}
+		if c.op.IsLoad() != c.load || c.op.IsStore() != c.store {
+			t.Errorf("%s load/store flags wrong", c.name)
+		}
+		if c.op.IsBranch() != c.branch || c.op.IsCondBranch() != c.cond {
+			t.Errorf("%s branch flags wrong", c.name)
+		}
+		if c.op.DstClass() != c.dstClass {
+			t.Errorf("%s dst class = %v, want %v", c.name, c.op.DstClass(), c.dstClass)
+		}
+		if c.op.Latency() < 1 {
+			t.Errorf("%s latency %d < 1", c.name, c.op.Latency())
+		}
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		if !op.Valid() {
+			t.Errorf("op %d should be valid", op)
+		}
+	}
+	if Op(opCount).Valid() {
+		t.Error("opCount should be invalid")
+	}
+}
+
+func TestRegisterAccessCounts(t *testing.T) {
+	cases := []struct {
+		in                   Instruction
+		intR, intW, fpR, fpW int
+	}{
+		{Instruction{Op: OpAdd, Dst: 1, Src1: 2, Src2: 3}, 2, 1, 0, 0},
+		{Instruction{Op: OpAdd, Dst: 1, Src1: 2, Imm: 5, UseImm: true}, 1, 1, 0, 0},
+		{Instruction{Op: OpAdd, Dst: ZeroReg, Src1: 2, Src2: 3}, 2, 0, 0, 0},
+		{Instruction{Op: OpMovI, Dst: 4, Imm: 9}, 0, 1, 0, 0},
+		{Instruction{Op: OpLoad, Dst: 4, Src1: 2}, 1, 1, 0, 0},
+		{Instruction{Op: OpStore, Src1: 2, Src2: 3}, 2, 0, 0, 0},
+		{Instruction{Op: OpLoadF, Dst: 4, Src1: 2}, 1, 0, 0, 1},
+		{Instruction{Op: OpStoreF, Src1: 2, Src2: 3}, 1, 0, 1, 0},
+		{Instruction{Op: OpFAdd, Dst: 1, Src1: 2, Src2: 3}, 0, 0, 2, 1},
+		{Instruction{Op: OpBeqz, Src1: 7}, 1, 0, 0, 0},
+		{Instruction{Op: OpBr}, 0, 0, 0, 0},
+		{Instruction{Op: OpNop}, 0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := c.in.IntRegReads(); got != c.intR {
+			t.Errorf("%s IntRegReads = %d, want %d", c.in, got, c.intR)
+		}
+		if got := c.in.IntRegWrites(); got != c.intW {
+			t.Errorf("%s IntRegWrites = %d, want %d", c.in, got, c.intW)
+		}
+		if got := c.in.FPRegReads(); got != c.fpR {
+			t.Errorf("%s FPRegReads = %d, want %d", c.in, got, c.fpR)
+		}
+		if got := c.in.FPRegWrites(); got != c.fpW {
+			t.Errorf("%s FPRegWrites = %d, want %d", c.in, got, c.fpW)
+		}
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	good := NewBuilder("good").MovI(1, 5).Label("l").ALU(OpAdd, 1, 1, 2).Br("l").MustBuild()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+
+	bad := []*Program{
+		{Name: "empty"},
+		{Name: "entry", Insts: []Instruction{{Op: OpNop}}, Entry: 5},
+		{Name: "target", Insts: []Instruction{{Op: OpBr, Target: 9}}},
+		{Name: "badop", Insts: []Instruction{{Op: opCount}}},
+		{Name: "badreg", Insts: []Instruction{{Op: OpAdd, Dst: 40}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("program %q should fail validation", p.Name)
+		}
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: OpAdd, Dst: 1, Src1: 2, Src2: 3}, "addl $1, $2, $3"},
+		{Instruction{Op: OpAdd, Dst: 1, Src1: 2, Imm: 7, UseImm: true}, "addl $1, $2, 7"},
+		{Instruction{Op: OpLoad, Dst: 4, Src1: 2, Imm: 16}, "ldq $4, 16($2)"},
+		{Instruction{Op: OpStoreF, Src2: 3, Src1: 2, Imm: 8}, "stt $f3, 8($2)"},
+		{Instruction{Op: OpBr, Target: 3}, "br @3"},
+		{Instruction{Op: OpBnez, Src1: 5, Target: 0}, "bnez $5, @0"},
+		{Instruction{Op: OpNop}, "nop"},
+		{Instruction{Op: OpMovI, Dst: 2, Imm: -4}, "movi $2, -4"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder("x").Br("missing").Build(); err == nil {
+		t.Error("undefined label should fail")
+	}
+	b := NewBuilder("y")
+	b.Label("a").Nop().Label("a")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate label should fail, got %v", err)
+	}
+}

@@ -1,0 +1,128 @@
+package mem
+
+import (
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+)
+
+func TestBankContentionSerializesSameBank(t *testing.T) {
+	m := config.Default().Memory
+	m.MemInterleave = 4
+	h, err := NewHierarchy(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two same-cycle misses to the same bank: the second queues.
+	addr := uint64(0x4000_0000)
+	r1 := h.DataAt(addr, false, 1000)
+	r2 := h.DataAt(addr+(1<<22), false, 1000) // same bank bits, different line
+	if !r1.L2Miss {
+		t.Fatal("first access should miss to memory")
+	}
+	// Find a truly same-bank partner: scan candidate offsets.
+	base := uint64(0x5000_0000)
+	bank := func(a uint64) uint64 { return ((a >> 7) ^ (a >> 14)) & 3 }
+	var partner uint64
+	for off := uint64(1); ; off++ {
+		cand := base + off*(1<<20)
+		if bank(cand) == bank(base) && cand != base {
+			partner = cand
+			break
+		}
+	}
+	h2, _ := NewHierarchy(m)
+	a := h2.DataAt(base, false, 5000)
+	b := h2.DataAt(partner, false, 5000)
+	if !a.L2Miss || !b.L2Miss {
+		t.Fatal("both should miss")
+	}
+	if b.Latency <= a.Latency {
+		t.Errorf("same-bank queueing missing: %d vs %d", b.Latency, a.Latency)
+	}
+	if h2.BankQueueCycles == 0 {
+		t.Error("queue cycles not counted")
+	}
+	_ = r2
+}
+
+func TestBankContentionOverlapsAcrossBanks(t *testing.T) {
+	m := config.Default().Memory
+	m.MemInterleave = 4
+	h, _ := NewHierarchy(m)
+	bank := func(a uint64) uint64 { return ((a >> 7) ^ (a >> 14)) & 3 }
+	base := uint64(0x6000_0000)
+	var other uint64
+	for off := uint64(1); ; off++ {
+		cand := base + off*128
+		if bank(cand) != bank(base) {
+			other = cand
+			break
+		}
+	}
+	a := h.DataAt(base, false, 9000)
+	b := h.DataAt(other, false, 9000)
+	if b.Latency != a.Latency {
+		t.Errorf("different banks should not queue: %d vs %d", b.Latency, a.Latency)
+	}
+}
+
+func TestBankContentionDisabled(t *testing.T) {
+	m := config.Default().Memory
+	m.MemInterleave = 1
+	h, err := NewHierarchy(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := h.DataAt(0x7000_0000, false, 100)
+	b := h.DataAt(0x7100_0000, false, 100)
+	if a.Latency != b.Latency {
+		t.Error("interleave=1 disables contention modelling")
+	}
+	if h.BankQueueCycles != 0 {
+		t.Error("no queue cycles expected")
+	}
+}
+
+func TestBankInterleaveValidation(t *testing.T) {
+	m := config.Default().Memory
+	m.MemInterleave = 3
+	if _, err := NewHierarchy(m); err == nil {
+		t.Error("non-power-of-two interleave should fail")
+	}
+}
+
+func TestDirtyWritebackCharged(t *testing.T) {
+	m := config.Default().Memory
+	m.MemInterleave = 2
+	m.WritebackDirty = true
+	// Tiny L2 so evictions happen quickly: 16KB, 2-way, 128B lines.
+	m.L2 = config.CacheGeom{SizeBytes: 16 << 10, LineBytes: 128, Assoc: 2, LatencyCycles: 12}
+	h, err := NewHierarchy(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty a line in L2... L2 lines are filled with write=false by the
+	// hierarchy, so exercise the cache directly.
+	c := h.L2
+	stride := uint64(16 << 10 / 2) // same-set stride
+	c.Access(0, true)              // dirty
+	c.Access(stride, false)
+	_, evDirty := c.AccessEvict(2*stride, false) // evicts the dirty LRU line
+	if !evDirty {
+		t.Fatal("expected a dirty eviction")
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Stats.Writebacks)
+	}
+}
+
+func TestCycleLessProbesSkipBanks(t *testing.T) {
+	m := config.Default().Memory
+	h, _ := NewHierarchy(m)
+	a := h.Data(0x9000_0000, false)
+	b := h.Data(0x9100_0000, false)
+	if a.Latency != b.Latency {
+		t.Error("cycle-less probes must not model contention")
+	}
+}

@@ -1,0 +1,341 @@
+// Package mem implements the simulated memory system: set-associative
+// LRU caches (split L1 instruction/data, shared L2) in front of a flat
+// off-chip memory latency, plus the per-thread functional memory image
+// programs execute against.
+//
+// Timing follows the paper's SimpleScalar substrate: caches are latency
+// probes (an access returns the total latency to first use) and the L2
+// is physically shared between SMT contexts, so threads conflict in its
+// sets — the mechanism Variant2's nine-address conflict loop abuses.
+package mem
+
+import (
+	"fmt"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+)
+
+// CacheStats counts cache events; one per cache level.
+type CacheStats struct {
+	Accesses   uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses per access, or 0 for an idle cache.
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is one set-associative, write-allocate, write-back cache level
+// with true-LRU replacement.
+type Cache struct {
+	name     string
+	sets     int
+	assoc    int
+	lineBits uint
+	lat      int
+
+	tags  []uint64
+	valid []bool
+	dirty []bool
+	lru   []uint64
+	clock uint64
+
+	Stats CacheStats
+}
+
+// NewCache builds a cache from its geometry.
+func NewCache(name string, g config.CacheGeom) (*Cache, error) {
+	if g.LineBytes <= 0 || g.LineBytes&(g.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("mem: %s line size %d must be a power of two", name, g.LineBytes)
+	}
+	sets := g.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("mem: %s set count %d must be a positive power of two", name, sets)
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < g.LineBytes {
+		lineBits++
+	}
+	n := sets * g.Assoc
+	return &Cache{
+		name:     name,
+		sets:     sets,
+		assoc:    g.Assoc,
+		lineBits: lineBits,
+		lat:      g.LatencyCycles,
+		tags:     make([]uint64, n),
+		valid:    make([]bool, n),
+		dirty:    make([]bool, n),
+		lru:      make([]uint64, n),
+	}, nil
+}
+
+// Latency returns the hit latency in cycles.
+func (c *Cache) Latency() int { return c.lat }
+
+// Access looks up addr, allocating the line on a miss. It returns
+// whether the access hit.
+func (c *Cache) Access(addr uint64, write bool) (hit bool) {
+	hit, _ = c.AccessEvict(addr, write)
+	return hit
+}
+
+// AccessEvict is Access that also reports whether the miss evicted a
+// dirty line (the write-back the memory system must absorb).
+func (c *Cache) AccessEvict(addr uint64, write bool) (hit, evictedDirty bool) {
+	line := addr >> c.lineBits
+	set := int(line) & (c.sets - 1)
+	base := set * c.assoc
+	c.clock++
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.lru[i] = c.clock
+			if write {
+				c.dirty[i] = true
+			}
+			c.Stats.Accesses++
+			return true, false
+		}
+	}
+	// Miss: pick the invalid or least-recently-used way.
+	victim := base
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	if c.valid[victim] {
+		c.Stats.Evictions++
+		evictedDirty = c.dirty[victim]
+		if evictedDirty {
+			c.Stats.Writebacks++
+		}
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.dirty[victim] = write
+	c.lru[victim] = c.clock
+	c.Stats.Accesses++
+	c.Stats.Misses++
+	return false, evictedDirty
+}
+
+// Probe reports whether addr is resident without touching LRU or stats.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line) & (c.sets - 1)
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates the entire cache.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+}
+
+// AccessResult describes one memory-system access.
+type AccessResult struct {
+	// Latency is the cycles until the data is available.
+	Latency int
+	// L1Miss and L2Miss report where the access missed.
+	L1Miss bool
+	L2Miss bool
+}
+
+// Hierarchy is the full memory system: split L1s over a shared L2 over
+// flat memory. SMT contexts are distinguished by the address's thread
+// bits (the pipeline tags addresses with the context id), so contexts
+// conflict in cache sets but never falsely hit each other's data.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+
+	memLat int
+
+	// banks model off-chip memory interleaving: each L2 miss occupies
+	// one bank for bankBusy cycles; overlapping misses to the same bank
+	// queue. banks[i] is the cycle the bank next frees up.
+	banks    []int64
+	bankMask uint64
+	bankBusy int64
+	// writebackDirty charges dirty L2 evictions one extra bank
+	// occupancy (the write-back burst).
+	writebackDirty bool
+
+	// Stats.
+	BankQueueCycles uint64
+}
+
+// NewHierarchy builds the Table 1 memory system.
+func NewHierarchy(m config.Memory) (*Hierarchy, error) {
+	l1i, err := NewCache("L1I", m.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewCache("L1D", m.L1D)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache("L2", m.L2)
+	if err != nil {
+		return nil, err
+	}
+	if m.MemLatency <= 0 {
+		return nil, fmt.Errorf("mem: memory latency %d must be positive", m.MemLatency)
+	}
+	h := &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, memLat: m.MemLatency, writebackDirty: m.WritebackDirty}
+	nb := m.MemInterleave
+	if nb < 1 {
+		nb = 1
+	}
+	if nb&(nb-1) != 0 {
+		return nil, fmt.Errorf("mem: memory interleave %d must be a power of two", nb)
+	}
+	if nb > 1 {
+		h.banks = make([]int64, nb)
+		h.bankMask = uint64(nb - 1)
+		h.bankBusy = int64(m.MemLatency / 8)
+		if h.bankBusy < 1 {
+			h.bankBusy = 1
+		}
+	}
+	return h, nil
+}
+
+// bankDelay reserves the memory bank serving addr at the given cycle
+// and returns the queueing delay. cycle < 0 disables contention (used
+// by the cycle-less probes).
+func (h *Hierarchy) bankDelay(addr uint64, cycle int64, dirtyEvict bool) int64 {
+	if cycle < 0 || h.banks == nil {
+		return 0
+	}
+	// Spread sequential lines across banks; fold higher bits in so
+	// large power-of-two strides don't all collapse onto bank 0.
+	b := ((addr >> 7) ^ (addr >> 14)) & h.bankMask
+	delay := h.banks[b] - cycle
+	if delay < 0 {
+		delay = 0
+	}
+	occupancy := h.bankBusy
+	if dirtyEvict && h.writebackDirty {
+		occupancy += h.bankBusy
+	}
+	h.banks[b] = cycle + delay + occupancy
+	h.BankQueueCycles += uint64(delay)
+	return delay
+}
+
+// Data performs a data access without bank-contention modelling (a
+// cycle-less timing probe; see DataAt).
+func (h *Hierarchy) Data(addr uint64, write bool) AccessResult {
+	return h.DataAt(addr, write, -1)
+}
+
+// DataAt performs a data access at the given cycle: on an L2 miss the
+// serving memory bank is reserved and any queueing delay is added to
+// the latency (plus the write-back burst for dirty L2 evictions when
+// the configuration enables it).
+func (h *Hierarchy) DataAt(addr uint64, write bool, cycle int64) AccessResult {
+	res := AccessResult{Latency: h.L1D.Latency()}
+	if h.L1D.Access(addr, write) {
+		return res
+	}
+	res.L1Miss = true
+	res.Latency += h.L2.Latency()
+	// Store misses allocate the L2 line dirty: the write-back of the
+	// dirty L1 line will land in it (inclusive-hierarchy approximation).
+	hit, evDirty := h.L2.AccessEvict(addr, write)
+	if hit {
+		return res
+	}
+	res.L2Miss = true
+	res.Latency += h.memLat + int(h.bankDelay(addr, cycle, evDirty))
+	return res
+}
+
+// Inst performs an instruction-fetch access without bank contention.
+func (h *Hierarchy) Inst(addr uint64) AccessResult {
+	return h.InstAt(addr, -1)
+}
+
+// InstAt performs an instruction-fetch access at the given cycle.
+func (h *Hierarchy) InstAt(addr uint64, cycle int64) AccessResult {
+	res := AccessResult{Latency: h.L1I.Latency()}
+	if h.L1I.Access(addr, false) {
+		return res
+	}
+	res.L1Miss = true
+	res.Latency += h.L2.Latency()
+	hit, evDirty := h.L2.AccessEvict(addr, false)
+	if hit {
+		return res
+	}
+	res.L2Miss = true
+	res.Latency += h.memLat + int(h.bankDelay(addr, cycle, evDirty))
+	return res
+}
+
+// Memory is a per-thread functional memory image: a sparse paged array
+// of 64-bit words. Loads of never-written locations return zero.
+type Memory struct {
+	pages map[uint64][]int64
+}
+
+const (
+	pageShift = 16 // 64 KiB pages
+	pageWords = 1 << (pageShift - 3)
+)
+
+// NewMemory returns an empty memory image.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64][]int64)}
+}
+
+// Read returns the 8-byte word containing addr.
+func (m *Memory) Read(addr uint64) int64 {
+	page, ok := m.pages[addr>>pageShift]
+	if !ok {
+		return 0
+	}
+	return page[(addr>>3)&(pageWords-1)]
+}
+
+// Write stores an 8-byte word at addr and returns the previous value
+// (the pipeline keeps it for squash rollback).
+func (m *Memory) Write(addr uint64, v int64) (old int64) {
+	key := addr >> pageShift
+	page, ok := m.pages[key]
+	if !ok {
+		page = make([]int64, pageWords)
+		m.pages[key] = page
+	}
+	i := (addr >> 3) & (pageWords - 1)
+	old = page[i]
+	page[i] = v
+	return old
+}
+
+// Pages returns the number of resident pages (for tests).
+func (m *Memory) Pages() int { return len(m.pages) }

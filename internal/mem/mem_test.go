@@ -1,0 +1,262 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+)
+
+func geom(size, line, assoc, lat int) config.CacheGeom {
+	return config.CacheGeom{SizeBytes: size, LineBytes: line, Assoc: assoc, LatencyCycles: lat}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c, err := NewCache("t", geom(1<<10, 64, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(0, false) {
+		t.Fatal("cold access should miss")
+	}
+	if !c.Access(0, false) {
+		t.Fatal("second access should hit")
+	}
+	if !c.Access(63, false) {
+		t.Fatal("same line should hit")
+	}
+	if c.Access(64, false) {
+		t.Fatal("next line should miss")
+	}
+	if c.Stats.Accesses != 4 || c.Stats.Misses != 2 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	if got := c.Stats.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate %v", got)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, 8 sets of 64B lines: addresses k*512 share set 0.
+	c, _ := NewCache("t", geom(1<<10, 64, 2, 1))
+	c.Access(0*512, false)
+	c.Access(1*512, false)
+	c.Access(0*512, false) // touch 0: now 1*512 is LRU
+	c.Access(2*512, false) // evicts 1*512
+	if !c.Probe(0 * 512) {
+		t.Error("0 should be resident")
+	}
+	if c.Probe(1 * 512) {
+		t.Error("1 should have been evicted (LRU)")
+	}
+	if !c.Probe(2 * 512) {
+		t.Error("2 should be resident")
+	}
+	if c.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats.Evictions)
+	}
+}
+
+// TestCacheConflictLoop checks the mechanism Variant2 abuses: accessing
+// assoc+1 lines that map to one set in cyclic order misses every time
+// under true LRU.
+func TestCacheConflictLoop(t *testing.T) {
+	c, _ := NewCache("t", geom(64<<10, 64, 4, 1)) // 256 sets
+	stride := uint64(64 << 10 / 4)                // same-set stride
+	// Warm: first pass misses are compulsory.
+	for i := uint64(0); i < 5; i++ {
+		c.Access(i*stride, false)
+	}
+	c.Stats = CacheStats{}
+	for round := 0; round < 10; round++ {
+		for i := uint64(0); i < 5; i++ {
+			if c.Access(i*stride, false) {
+				t.Fatalf("round %d line %d: conflict loop should always miss", round, i)
+			}
+		}
+	}
+	// Control: assoc lines fit and always hit.
+	c.Flush()
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*stride, false)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if !c.Access(i*stride, false) {
+			t.Fatal("within-associativity loop should hit")
+		}
+	}
+}
+
+func TestCacheFlushAndDirty(t *testing.T) {
+	c, _ := NewCache("t", geom(1<<10, 64, 2, 1))
+	c.Access(0, true)
+	if !c.Probe(0) {
+		t.Fatal("line should be resident")
+	}
+	c.Flush()
+	if c.Probe(0) {
+		t.Fatal("flush should invalidate")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	m := config.Default().Memory
+	h, err := NewHierarchy(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold: L1 miss + L2 miss -> full path.
+	r := h.Data(0x1000, false)
+	wantCold := m.L1D.LatencyCycles + m.L2.LatencyCycles + m.MemLatency
+	if !r.L1Miss || !r.L2Miss || r.Latency != wantCold {
+		t.Fatalf("cold access = %+v, want latency %d", r, wantCold)
+	}
+	// Hot: L1 hit.
+	r = h.Data(0x1000, false)
+	if r.L1Miss || r.Latency != m.L1D.LatencyCycles {
+		t.Fatalf("hot access = %+v", r)
+	}
+	// L1-evicted but L2-resident: touch enough conflicting lines.
+	// Instead use the instruction path for an independent check.
+	ri := h.Inst(0x2000)
+	if !ri.L2Miss {
+		t.Fatalf("cold fetch should go to memory: %+v", ri)
+	}
+	ri = h.Inst(0x2000)
+	if ri.Latency != m.L1I.LatencyCycles {
+		t.Fatalf("warm fetch latency %d", ri.Latency)
+	}
+}
+
+func TestHierarchyL1MissL2Hit(t *testing.T) {
+	m := config.Default().Memory
+	h, _ := NewHierarchy(m)
+	base := uint64(0x10000)
+	h.Data(base, false) // L2 now has the line
+	// Evict from L1 (4-way): 4 more lines in the same L1 set.
+	l1Stride := uint64(m.L1D.SizeBytes / m.L1D.Assoc)
+	for i := uint64(1); i <= 4; i++ {
+		h.Data(base+i*l1Stride, false)
+	}
+	r := h.Data(base, false)
+	if !r.L1Miss {
+		t.Fatal("line should have been evicted from L1")
+	}
+	if r.L2Miss {
+		t.Fatal("line should still be in the 2MB L2")
+	}
+	if want := m.L1D.LatencyCycles + m.L2.LatencyCycles; r.Latency != want {
+		t.Fatalf("latency %d, want %d", r.Latency, want)
+	}
+}
+
+func TestBadGeometries(t *testing.T) {
+	if _, err := NewCache("t", geom(1000, 60, 2, 1)); err == nil {
+		t.Error("non-power-of-two line size should fail")
+	}
+	if _, err := NewCache("t", geom(768, 64, 2, 1)); err == nil {
+		t.Error("non-power-of-two sets should fail")
+	}
+	m := config.Default().Memory
+	m.MemLatency = 0
+	if _, err := NewHierarchy(m); err == nil {
+		t.Error("zero memory latency should fail")
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory()
+	if m.Read(0x1234) != 0 {
+		t.Fatal("uninitialized memory should read zero")
+	}
+	old := m.Write(0x1230, 42)
+	if old != 0 {
+		t.Fatalf("old value = %d", old)
+	}
+	if m.Read(0x1230) != 42 {
+		t.Fatal("readback failed")
+	}
+	// Same 8-byte word regardless of low bits.
+	if m.Read(0x1237) != 42 {
+		t.Fatal("sub-word addressing should alias the word")
+	}
+	old = m.Write(0x1230, 7)
+	if old != 42 {
+		t.Fatalf("old = %d, want 42", old)
+	}
+	if m.Pages() != 1 {
+		t.Fatalf("pages = %d", m.Pages())
+	}
+	m.Write(1<<30, 1)
+	if m.Pages() != 2 {
+		t.Fatalf("pages = %d", m.Pages())
+	}
+}
+
+// TestQuickMemoryWriteUndo property: writing then restoring the old
+// value always returns memory to its prior state (the squash-rollback
+// contract).
+func TestQuickMemoryWriteUndo(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMemory()
+		type wr struct {
+			addr uint64
+			old  int64
+		}
+		// Random prefix state.
+		for i := 0; i < 50; i++ {
+			m.Write(uint64(rng.Intn(1<<20))&^7, rng.Int63())
+		}
+		snapshot := map[uint64]int64{}
+		addrs := make([]uint64, 30)
+		for i := range addrs {
+			addrs[i] = uint64(rng.Intn(1<<20)) &^ 7
+			snapshot[addrs[i]] = m.Read(addrs[i])
+		}
+		// Speculative writes...
+		var undo []wr
+		for _, a := range addrs {
+			undo = append(undo, wr{a, m.Write(a, rng.Int63())})
+		}
+		// ...rolled back newest-first.
+		for i := len(undo) - 1; i >= 0; i-- {
+			m.Write(undo[i].addr, undo[i].old)
+		}
+		for a, v := range snapshot {
+			if m.Read(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCacheProbeConsistent property: Probe agrees with a
+// shadow-model of residency implied by Access return values for
+// single-set workloads.
+func TestQuickCacheProbeConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := NewCache("q", geom(1<<10, 64, 2, 1))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			addr := uint64(rng.Intn(8)) * 512 // one set
+			c.Access(addr, rng.Intn(2) == 0)
+			// After an access the line is always resident.
+			if !c.Probe(addr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

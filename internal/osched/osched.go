@@ -1,0 +1,172 @@
+// Package osched is a small operating-system scheduler substrate: it
+// time-slices software tasks onto the SMT hardware contexts quantum by
+// quantum, and consumes the culprit reports selective sedation raises
+// (Section 3.2.2 / 3.3: the hardware "reports the offending threads to
+// the operating system", which "may mark such threads ineligible for
+// execution").
+package osched
+
+import (
+	"fmt"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/isa"
+	"github.com/heatstroke-sim/heatstroke/internal/sim"
+)
+
+// Task is one schedulable software thread.
+type Task struct {
+	Name string
+	Prog *isa.Program
+
+	// Accumulated over the task's lifetime:
+	Committed uint64
+	Quanta    int
+	Reports   int
+	// Suspended marks the task ineligible after repeated sedation
+	// reports.
+	Suspended bool
+}
+
+// IPC returns the task's lifetime IPC over the quanta it actually ran.
+func (t *Task) IPC(quantumCycles int64) float64 {
+	if t.Quanta == 0 || quantumCycles <= 0 {
+		return 0
+	}
+	return float64(t.Committed) / float64(int64(t.Quanta)*quantumCycles)
+}
+
+// Options tunes the scheduler.
+type Options struct {
+	// Policy is the hardware DTM policy (default selective sedation —
+	// the reporting path needs it).
+	Policy dtm.Kind
+	// SuspendAfterReports marks a task ineligible once it draws this
+	// many sedation reports within a single quantum (0 disables
+	// suspension). A per-quantum threshold separates a sustained
+	// attacker (sedated back-to-back all quantum) from a merely hot
+	// normal program that trips the upper threshold occasionally.
+	SuspendAfterReports int
+	// WarmupCycles per quantum (context switches cool the caches).
+	WarmupCycles int64
+}
+
+// Scheduler time-slices tasks onto the SMT contexts round-robin.
+type Scheduler struct {
+	cfg   config.Config
+	opts  Options
+	tasks []*Task
+	next  int
+
+	// QuantaRun counts completed quanta.
+	QuantaRun int
+}
+
+// New builds a scheduler over the given tasks.
+func New(cfg config.Config, tasks []*Task, opts Options) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("osched: no tasks")
+	}
+	for i, t := range tasks {
+		if t == nil || t.Prog == nil {
+			return nil, fmt.Errorf("osched: task %d has no program", i)
+		}
+	}
+	if opts.Policy == "" {
+		opts.Policy = dtm.SelectiveSedation
+	}
+	return &Scheduler{cfg: cfg, opts: opts, tasks: tasks}, nil
+}
+
+// Tasks returns the task list.
+func (s *Scheduler) Tasks() []*Task { return s.tasks }
+
+// Runnable returns the tasks currently eligible to run.
+func (s *Scheduler) Runnable() []*Task {
+	var out []*Task
+	for _, t := range s.tasks {
+		if !t.Suspended {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// pick selects up to n runnable tasks round-robin.
+func (s *Scheduler) pick(n int) []*Task {
+	runnable := s.Runnable()
+	if len(runnable) == 0 {
+		return nil
+	}
+	if n > len(runnable) {
+		n = len(runnable)
+	}
+	out := make([]*Task, 0, n)
+	start := s.next % len(runnable)
+	for i := 0; i < n; i++ {
+		out = append(out, runnable[(start+i)%len(runnable)])
+	}
+	s.next++
+	return out
+}
+
+// RunQuantum schedules the next group of tasks for one OS quantum and
+// returns the hardware-level result. Sedation reports are charged to
+// the owning tasks; tasks crossing the report threshold are suspended.
+func (s *Scheduler) RunQuantum() (*sim.Result, error) {
+	group := s.pick(s.cfg.Pipeline.Contexts)
+	if len(group) == 0 {
+		return nil, fmt.Errorf("osched: no runnable tasks")
+	}
+	threads := make([]sim.Thread, len(group))
+	for i, task := range group {
+		threads[i] = sim.Thread{Name: task.Name, Prog: task.Prog}
+	}
+	sm, err := sim.New(s.cfg, threads, sim.Options{
+		Policy:       s.opts.Policy,
+		WarmupCycles: s.opts.WarmupCycles,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := sm.Run()
+	if err != nil {
+		return nil, err
+	}
+	s.QuantaRun++
+	for i, task := range group {
+		task.Committed += res.Threads[i].Committed
+		task.Quanta++
+	}
+	// Charge reports and apply the per-quantum suspension policy.
+	thisQuantum := make(map[int]int)
+	for _, r := range res.Reports {
+		if r.Thread >= len(group) {
+			continue
+		}
+		group[r.Thread].Reports++
+		thisQuantum[r.Thread]++
+	}
+	if s.opts.SuspendAfterReports > 0 {
+		for tid, n := range thisQuantum {
+			if n >= s.opts.SuspendAfterReports && len(s.Runnable()) > 1 {
+				group[tid].Suspended = true
+			}
+		}
+	}
+	return res, nil
+}
+
+// Run executes n quanta.
+func (s *Scheduler) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := s.RunQuantum(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package osched
+
+import (
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/workload"
+)
+
+func schedCfg() config.Config {
+	cfg := config.Default()
+	cfg.Run.QuantumCycles = 1_500_000
+	return cfg
+}
+
+func mkTasks(t *testing.T, names ...string) []*Task {
+	t.Helper()
+	var tasks []*Task
+	for i, n := range names {
+		if n == "variant2" {
+			prog, err := workload.Variant(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks = append(tasks, &Task{Name: n, Prog: prog})
+			continue
+		}
+		prog, err := workload.Spec(n, int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, &Task{Name: n, Prog: prog})
+	}
+	return tasks
+}
+
+func TestRoundRobinScheduling(t *testing.T) {
+	tasks := mkTasks(t, "gcc", "crafty", "mcf")
+	s, err := New(schedCfg(), tasks, Options{Policy: dtm.StopAndGo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	// Over 3 quanta of a 2-context machine, every task runs twice.
+	for _, task := range tasks {
+		if task.Quanta != 2 {
+			t.Errorf("%s ran %d quanta, want 2", task.Name, task.Quanta)
+		}
+		if task.Committed == 0 {
+			t.Errorf("%s made no progress", task.Name)
+		}
+		if task.IPC(schedCfg().Run.QuantumCycles) <= 0 {
+			t.Errorf("%s IPC not positive", task.Name)
+		}
+	}
+	if s.QuantaRun != 3 {
+		t.Errorf("quanta run = %d", s.QuantaRun)
+	}
+}
+
+func TestReportingSuspendsAttacker(t *testing.T) {
+	cfg := config.Default()
+	cfg.Run.QuantumCycles = 5_000_000
+	tasks := mkTasks(t, "crafty", "variant2")
+	s, err := New(cfg, tasks, Options{
+		Policy:              dtm.SelectiveSedation,
+		SuspendAfterReports: 1,
+		WarmupCycles:        200_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	attacker := tasks[1]
+	if attacker.Reports == 0 {
+		t.Fatal("attacker was never reported")
+	}
+	if !attacker.Suspended {
+		t.Fatal("attacker should be suspended after reports")
+	}
+	if tasks[0].Suspended {
+		t.Fatal("victim must not be suspended")
+	}
+	// Subsequent quanta run without the attacker.
+	res, err := s.RunQuantum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Threads) != 1 || res.Threads[0].Name != "crafty" {
+		t.Errorf("post-suspension group = %v", res.Threads)
+	}
+}
+
+func TestLastRunnableNeverSuspended(t *testing.T) {
+	cfg := config.Default()
+	cfg.Run.QuantumCycles = 2_000_000
+	tasks := mkTasks(t, "variant2")
+	s, err := New(cfg, tasks, Options{Policy: dtm.SelectiveSedation, SuspendAfterReports: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if tasks[0].Suspended {
+		t.Error("the only runnable task must never be suspended")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(schedCfg(), nil, Options{}); err == nil {
+		t.Error("no tasks should fail")
+	}
+	if _, err := New(schedCfg(), []*Task{{Name: "x"}}, Options{}); err == nil {
+		t.Error("program-less task should fail")
+	}
+	bad := schedCfg()
+	bad.Pipeline.IssueWidth = 0
+	if _, err := New(bad, mkTasks(t, "gcc"), Options{}); err == nil {
+		t.Error("bad config should fail")
+	}
+}

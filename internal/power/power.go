@@ -1,0 +1,232 @@
+// Package power implements the Wattch-like activity-based power model:
+// the pipeline counts per-unit, per-thread accesses, and the model
+// converts interval activity into per-block watts (dynamic switching
+// energy x access rate, plus per-area leakage).
+//
+// Per-access energies are calibrated, not extracted from a netlist; the
+// calibration targets are the paper's operating points (documented on
+// Energies): a typical SPEC thread puts the integer register file near
+// its 354 K normal operating temperature, and a register-file burst of
+// ~10+ accesses/cycle pushes it past the 358.5 K emergency within a few
+// million cycles.
+package power
+
+import "fmt"
+
+// Unit identifies one activity-counted pipeline resource. Units map 1:1
+// onto floorplan blocks (package floorplan).
+type Unit uint8
+
+// Pipeline units.
+const (
+	UnitBpred Unit = iota
+	UnitICache
+	UnitDecode // decode + rename
+	UnitIntQ   // RUU / issue queue
+	UnitLSQ
+	UnitIntReg // the attack target: integer register file
+	UnitFPReg
+	UnitIntExec
+	UnitFPAdd
+	UnitFPMul
+	UnitDCache
+	UnitL2
+	NumUnits
+)
+
+var unitNames = [NumUnits]string{
+	"Bpred", "ICache", "Decode", "IntQ", "LSQ", "IntReg",
+	"FPReg", "IntExec", "FPAdd", "FPMul", "DCache", "L2",
+}
+
+// String returns the unit's floorplan name.
+func (u Unit) String() string {
+	if u < NumUnits {
+		return unitNames[u]
+	}
+	return fmt.Sprintf("Unit(%d)", uint8(u))
+}
+
+// ParseUnit resolves a unit name (case-sensitive floorplan name).
+func ParseUnit(name string) (Unit, error) {
+	for u := Unit(0); u < NumUnits; u++ {
+		if unitNames[u] == name {
+			return u, nil
+		}
+	}
+	return 0, fmt.Errorf("power: unknown unit %q", name)
+}
+
+// Units returns all units in index order.
+func Units() []Unit {
+	us := make([]Unit, NumUnits)
+	for i := range us {
+		us[i] = Unit(i)
+	}
+	return us
+}
+
+// Activity accumulates cumulative access counts, both chip-wide and per
+// hardware context. Counters only ever increase; consumers (the power
+// model every sensor interval, the sedation monitor every 1000 cycles)
+// sample deltas at their own granularity.
+type Activity struct {
+	total     [NumUnits]uint64
+	perThread [][NumUnits]uint64
+}
+
+// NewActivity returns counters for nthreads hardware contexts.
+func NewActivity(nthreads int) *Activity {
+	return &Activity{perThread: make([][NumUnits]uint64, nthreads)}
+}
+
+// Add records n accesses to unit u by thread tid.
+func (a *Activity) Add(u Unit, tid int, n uint64) {
+	a.total[u] += n
+	a.perThread[tid][u] += n
+}
+
+// AddGlobal records n accesses not attributable to a thread.
+func (a *Activity) AddGlobal(u Unit, n uint64) { a.total[u] += n }
+
+// Total returns the cumulative chip-wide count for u.
+func (a *Activity) Total(u Unit) uint64 { return a.total[u] }
+
+// Thread returns the cumulative count for u by thread tid.
+func (a *Activity) Thread(tid int, u Unit) uint64 { return a.perThread[tid][u] }
+
+// Threads returns the number of contexts tracked.
+func (a *Activity) Threads() int { return len(a.perThread) }
+
+// Snapshot copies the chip-wide counters into dst.
+func (a *Activity) Snapshot(dst *[NumUnits]uint64) { *dst = a.total }
+
+// Energies holds per-access switching energy in picojoules per unit, at
+// the nominal supply voltage. Dynamic energy scales with (Vdd/VddNom)^2
+// under DVS.
+type Energies struct {
+	PJ     [NumUnits]float64
+	VddNom float64
+}
+
+// DefaultEnergies returns the calibrated per-access energies.
+//
+// Calibration targets (with the default floorplan and package):
+//   - IntReg at ~6 accesses/cycle (a register-hungry SPEC thread, the
+//     Figure 3 ceiling) settles around the 354 K normal temperature;
+//   - IntReg at ~10-12 accesses/cycle (Variant1/Variant2 bursts,
+//     attacker plus victim combined) exceeds the 358.5 K emergency;
+//   - total chip power for a two-thread SPEC mix lands near 40 W so the
+//     0.8 K/W package puts the die baseline in the paper's operating
+//     range (ambient 308 K).
+func DefaultEnergies() Energies {
+	var e Energies
+	e.VddNom = 1.1
+	e.PJ = [NumUnits]float64{
+		UnitBpred:   90,
+		UnitICache:  250,
+		UnitDecode:  120,
+		UnitIntQ:    60,
+		UnitLSQ:     100,
+		UnitIntReg:  80,
+		UnitFPReg:   80,
+		UnitIntExec: 180,
+		UnitFPAdd:   300,
+		UnitFPMul:   400,
+		UnitDCache:  550,
+		UnitL2:      1200,
+	}
+	return e
+}
+
+// Model converts activity deltas into per-block power.
+type Model struct {
+	energies Energies
+	freqHz   float64
+	vdd      float64
+	scale    float64 // config EnergyScale
+	leakageW [NumUnits]float64
+
+	last [NumUnits]uint64
+}
+
+// NewModel builds a power model. areasM2 gives each unit's die area in
+// square meters (from the floorplan) for the leakage term;
+// leakPerMM2 is in watts per square millimeter.
+func NewModel(e Energies, freqHz, vdd, energyScale, leakPerMM2 float64, areasM2 [NumUnits]float64) (*Model, error) {
+	if freqHz <= 0 || vdd <= 0 || energyScale <= 0 {
+		return nil, fmt.Errorf("power: frequency, vdd and energy scale must be positive")
+	}
+	m := &Model{energies: e, freqHz: freqHz, vdd: vdd, scale: energyScale}
+	for u := Unit(0); u < NumUnits; u++ {
+		m.leakageW[u] = leakPerMM2 * areasM2[u] * 1e6
+	}
+	return m, nil
+}
+
+// SetVdd changes the supply voltage (DVS); dynamic energy scales
+// quadratically.
+func (m *Model) SetVdd(v float64) { m.vdd = v }
+
+// Vdd returns the current supply voltage.
+func (m *Model) Vdd() float64 { return m.vdd }
+
+// Leakage returns unit u's static power in watts.
+func (m *Model) Leakage(u Unit) float64 { return m.leakageW[u] }
+
+// Prime resets the model's interval baseline to the activity's current
+// counters; call it after a warmup phase so warmup activity is not
+// charged to the first measured interval.
+func (m *Model) Prime(a *Activity) { m.last = a.total }
+
+// Interval converts the activity accumulated since the previous call
+// into average per-unit power over the elapsed cycles, writing watts
+// into out. elapsedCycles must be positive.
+func (m *Model) Interval(a *Activity, elapsedCycles int64, out *[NumUnits]float64) error {
+	if elapsedCycles <= 0 {
+		return fmt.Errorf("power: elapsed cycles %d must be positive", elapsedCycles)
+	}
+	seconds := float64(elapsedCycles) / m.freqHz
+	vddScale := (m.vdd / m.energies.VddNom) * (m.vdd / m.energies.VddNom)
+	for u := Unit(0); u < NumUnits; u++ {
+		cur := a.total[u]
+		delta := cur - m.last[u]
+		m.last[u] = cur
+		joules := float64(delta) * m.energies.PJ[u] * 1e-12 * m.scale * vddScale
+		out[u] = joules/seconds + m.leakageW[u]
+	}
+	return nil
+}
+
+// SteadyPowers returns the per-unit power vector for a nominal activity
+// rate (accesses per cycle per unit); used to initialize the thermal
+// network at its steady operating point.
+func (m *Model) SteadyPowers(ratesPerCycle [NumUnits]float64) [NumUnits]float64 {
+	var out [NumUnits]float64
+	vddScale := (m.vdd / m.energies.VddNom) * (m.vdd / m.energies.VddNom)
+	for u := Unit(0); u < NumUnits; u++ {
+		out[u] = ratesPerCycle[u]*m.energies.PJ[u]*1e-12*m.scale*vddScale*m.freqHz + m.leakageW[u]
+	}
+	return out
+}
+
+// TypicalRates returns per-unit accesses/cycle for an "average"
+// two-thread SPEC mix; the thermal network is initialized at the steady
+// state this implies, anchoring the paper's ~354 K normal operating
+// temperature for the integer register file.
+func TypicalRates() [NumUnits]float64 {
+	return [NumUnits]float64{
+		UnitBpred:   0.5,
+		UnitICache:  1.2,
+		UnitDecode:  2.6,
+		UnitIntQ:    5.0,
+		UnitLSQ:     1.6,
+		UnitIntReg:  5.2,
+		UnitFPReg:   1.2,
+		UnitIntExec: 1.8,
+		UnitFPAdd:   0.4,
+		UnitFPMul:   0.2,
+		UnitDCache:  0.9,
+		UnitL2:      0.05,
+	}
+}

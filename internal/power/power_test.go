@@ -1,0 +1,170 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUnitNamesRoundTrip(t *testing.T) {
+	for _, u := range Units() {
+		got, err := ParseUnit(u.String())
+		if err != nil || got != u {
+			t.Errorf("ParseUnit(%q) = %v, %v", u.String(), got, err)
+		}
+	}
+	if _, err := ParseUnit("Nonsense"); err == nil {
+		t.Error("unknown unit should fail")
+	}
+	if Unit(200).String() == "" {
+		t.Error("out-of-range unit should stringify")
+	}
+}
+
+func TestActivityCounters(t *testing.T) {
+	a := NewActivity(2)
+	a.Add(UnitIntReg, 0, 3)
+	a.Add(UnitIntReg, 1, 5)
+	a.AddGlobal(UnitL2, 2)
+	if a.Total(UnitIntReg) != 8 {
+		t.Errorf("total = %d", a.Total(UnitIntReg))
+	}
+	if a.Thread(0, UnitIntReg) != 3 || a.Thread(1, UnitIntReg) != 5 {
+		t.Error("per-thread counts wrong")
+	}
+	if a.Total(UnitL2) != 2 || a.Thread(0, UnitL2) != 0 {
+		t.Error("global adds must not attribute to threads")
+	}
+	if a.Threads() != 2 {
+		t.Error("thread count wrong")
+	}
+	var snap [NumUnits]uint64
+	a.Snapshot(&snap)
+	if snap[UnitIntReg] != 8 {
+		t.Error("snapshot wrong")
+	}
+}
+
+func testModel(t *testing.T, leak float64) *Model {
+	t.Helper()
+	var areas [NumUnits]float64
+	for u := range areas {
+		areas[u] = 1e-6 // 1 mm^2 each
+	}
+	m, err := NewModel(DefaultEnergies(), 4e9, 1.1, 1.0, leak, areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelIntervalMath(t *testing.T) {
+	m := testModel(t, 0)
+	a := NewActivity(1)
+	// 4000 accesses over 20000 cycles at 4 GHz: rate = 0.2/cycle.
+	a.Add(UnitIntReg, 0, 4000)
+	var out [NumUnits]float64
+	if err := m.Interval(a, 20000, &out); err != nil {
+		t.Fatal(err)
+	}
+	// P = count * E / time = 4000 * E * 1e-12 / (20000/4e9).
+	e := DefaultEnergies().PJ[UnitIntReg]
+	want := 4000 * e * 1e-12 / (20000 / 4e9)
+	if math.Abs(out[UnitIntReg]-want) > want*1e-9 {
+		t.Errorf("IntReg power %g, want %g", out[UnitIntReg], want)
+	}
+	if out[UnitL2] != 0 {
+		t.Errorf("idle unit power %g, want 0 without leakage", out[UnitL2])
+	}
+	// Second interval with no new activity: zero dynamic power.
+	if err := m.Interval(a, 20000, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out[UnitIntReg] != 0 {
+		t.Errorf("delta accounting broken: %g", out[UnitIntReg])
+	}
+	if err := m.Interval(a, 0, &out); err == nil {
+		t.Error("zero elapsed should fail")
+	}
+}
+
+func TestModelLeakage(t *testing.T) {
+	m := testModel(t, 0.5) // 0.5 W per mm^2, 1 mm^2 blocks
+	a := NewActivity(1)
+	var out [NumUnits]float64
+	if err := m.Interval(a, 1000, &out); err != nil {
+		t.Fatal(err)
+	}
+	for u := Unit(0); u < NumUnits; u++ {
+		if math.Abs(out[u]-0.5) > 1e-12 {
+			t.Errorf("%s idle power %g, want 0.5 (leakage)", u, out[u])
+		}
+		if math.Abs(m.Leakage(u)-0.5) > 1e-12 {
+			t.Errorf("%s leakage %g", u, m.Leakage(u))
+		}
+	}
+}
+
+func TestModelVddScaling(t *testing.T) {
+	m := testModel(t, 0)
+	a := NewActivity(1)
+	a.Add(UnitIntExec, 0, 1000)
+	var nominal [NumUnits]float64
+	if err := m.Interval(a, 1000, &nominal); err != nil {
+		t.Fatal(err)
+	}
+	m.SetVdd(1.1 * 0.5) // half Vdd -> quarter dynamic power
+	if m.Vdd() != 0.55 {
+		t.Fatal("SetVdd failed")
+	}
+	a.Add(UnitIntExec, 0, 1000)
+	var scaled [NumUnits]float64
+	if err := m.Interval(a, 1000, &scaled); err != nil {
+		t.Fatal(err)
+	}
+	if r := scaled[UnitIntExec] / nominal[UnitIntExec]; math.Abs(r-0.25) > 1e-9 {
+		t.Errorf("Vdd^2 scaling ratio %g, want 0.25", r)
+	}
+}
+
+func TestModelPrime(t *testing.T) {
+	m := testModel(t, 0)
+	a := NewActivity(1)
+	a.Add(UnitIntReg, 0, 9999)
+	m.Prime(a)
+	var out [NumUnits]float64
+	if err := m.Interval(a, 1000, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out[UnitIntReg] != 0 {
+		t.Error("primed activity should not be charged")
+	}
+}
+
+func TestSteadyPowersAndTypicalRates(t *testing.T) {
+	m := testModel(t, 0.5)
+	rates := TypicalRates()
+	if rates[UnitIntReg] < rates[UnitFPReg] {
+		t.Error("a typical mix is integer-heavy")
+	}
+	p := m.SteadyPowers(rates)
+	total := 0.0
+	for u := Unit(0); u < NumUnits; u++ {
+		if p[u] < m.Leakage(u) {
+			t.Errorf("%s steady power below leakage", u)
+		}
+		total += p[u]
+	}
+	if total < 10 || total > 80 {
+		t.Errorf("typical total power %.1f W outside plausible band", total)
+	}
+}
+
+func TestNewModelErrors(t *testing.T) {
+	var areas [NumUnits]float64
+	if _, err := NewModel(DefaultEnergies(), 0, 1.1, 1, 0.5, areas); err == nil {
+		t.Error("zero frequency should fail")
+	}
+	if _, err := NewModel(DefaultEnergies(), 4e9, 1.1, 0, 0.5, areas); err == nil {
+		t.Error("zero energy scale should fail")
+	}
+}

@@ -1,0 +1,346 @@
+// Package sim wires the full system together — SMT core, activity-based
+// power model, RC thermal network, temperature sensors, and a dynamic
+// thermal management policy — and runs OS quanta, producing the
+// measurements the paper's figures report.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	score "github.com/heatstroke-sim/heatstroke/internal/core"
+	"github.com/heatstroke-sim/heatstroke/internal/cpu"
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/floorplan"
+	"github.com/heatstroke-sim/heatstroke/internal/isa"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+	"github.com/heatstroke-sim/heatstroke/internal/stats"
+	"github.com/heatstroke-sim/heatstroke/internal/thermal"
+	"github.com/heatstroke-sim/heatstroke/internal/trace"
+)
+
+// Thread is one software thread scheduled onto a hardware context.
+type Thread struct {
+	Name string
+	Prog *isa.Program
+}
+
+// Options tune a simulation beyond the machine configuration.
+type Options struct {
+	// Policy selects the DTM policy (default dtm.StopAndGo).
+	Policy dtm.Kind
+	// TraceTemps records the IntReg die temperature every sensor
+	// interval into Result.RFTrace.
+	TraceTemps bool
+	// WarmupCycles runs the pipeline this long before measurement
+	// begins: caches fill, predictors train, and the thermal network is
+	// then re-anchored at its steady operating point. Warmup activity
+	// is excluded from every reported statistic.
+	WarmupCycles int64
+	// Recorder, when set, receives one trace.Sample per sensor interval
+	// (temperatures, power, stall state, per-thread interval IPC).
+	Recorder *trace.Recorder
+}
+
+// ThreadResult is one thread's measurements over the quantum.
+type ThreadResult struct {
+	Name      string
+	Committed uint64
+	Fetched   uint64
+	// IPC is committed instructions per quantum cycle (stalls included,
+	// as in the paper's Figure 5).
+	IPC float64
+	// IntRegRate is the flat average integer-register-file access rate
+	// in accesses per cycle over the whole quantum (Figure 3's metric).
+	IntRegRate  float64
+	Breakdown   stats.Breakdown
+	Mispredicts uint64
+	L2Squashes  uint64
+}
+
+// Result is one quantum's measurements.
+type Result struct {
+	Cycles  int64
+	Threads []ThreadResult
+	// Emergencies counts rising crossings of the emergency temperature
+	// at any sensor (Figure 4's metric).
+	Emergencies int
+	// StopGoCycles is time the whole pipeline was halted.
+	StopGoCycles int64
+	// PeakTemp/PeakUnit track the hottest observation.
+	PeakTemp float64
+	PeakUnit power.Unit
+	// FinalTemps are per-unit die temperatures at quantum end.
+	FinalTemps [power.NumUnits]float64
+	// Sedation carries the engine counters and OS reports (empty for
+	// other policies).
+	Sedation score.Stats
+	Reports  []score.Report
+	// RFTrace is the IntReg temperature per sensor interval when
+	// Options.TraceTemps is set.
+	RFTrace []float64
+	// TotalPowerW is the average chip power over the quantum.
+	TotalPowerW float64
+}
+
+// Simulator couples one core with its power, thermal, and DTM models.
+type Simulator struct {
+	cfg    config.Config
+	core   *cpu.Core
+	model  *power.Model
+	net    *thermal.Network
+	mon    *score.Monitor
+	policy dtm.Policy
+	opts   Options
+
+	threads []Thread
+	reports []score.Report
+	warmed  bool
+}
+
+// New builds a simulator for the given machine, threads, and options.
+func New(cfg config.Config, threads []Thread, opts Options) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(threads) == 0 {
+		return nil, fmt.Errorf("sim: no threads")
+	}
+	if cfg.Thermal.SensorIntervalCycles%cfg.Sedation.SampleIntervalCycles != 0 {
+		return nil, fmt.Errorf("sim: sensor interval %d must be a multiple of the sample interval %d",
+			cfg.Thermal.SensorIntervalCycles, cfg.Sedation.SampleIntervalCycles)
+	}
+	if opts.Policy == "" {
+		opts.Policy = dtm.StopAndGo
+	}
+
+	progs := make([]*isa.Program, len(threads))
+	for i, t := range threads {
+		if t.Prog == nil {
+			return nil, fmt.Errorf("sim: thread %d (%s) has no program", i, t.Name)
+		}
+		progs[i] = t.Prog
+	}
+	c, err := cpu.New(&cfg, progs)
+	if err != nil {
+		return nil, err
+	}
+
+	fp := floorplan.Default()
+	model, err := power.NewModel(power.DefaultEnergies(), cfg.Power.FrequencyHz, cfg.Power.Vdd,
+		cfg.Power.EnergyScale, cfg.Power.LeakageWPerMM2, fp.UnitAreas())
+	if err != nil {
+		return nil, err
+	}
+	net, err := thermal.New(fp, cfg.Thermal)
+	if err != nil {
+		return nil, err
+	}
+	// Start the die at its steady operating point for a typical mix, so
+	// quanta begin at the paper's normal operating temperatures.
+	net.InitSteady(model.SteadyPowers(power.TypicalRates()))
+
+	s := &Simulator{cfg: cfg, core: c, model: model, net: net, opts: opts, threads: threads}
+
+	mon, err := score.NewMonitor(cfg.Sedation, c.Activity())
+	if err != nil {
+		return nil, err
+	}
+	s.mon = mon
+
+	cool := s.coolingCycles()
+	switch opts.Policy {
+	case dtm.None:
+		s.policy = dtm.NewNone()
+	case dtm.StopAndGo:
+		s.policy = dtm.NewStopAndGo(c, cfg.Thermal, cool)
+	case dtm.DVS:
+		s.policy = dtm.NewDVS(c, model, cfg.Thermal, cool)
+	case dtm.TTDFS:
+		s.policy = dtm.NewTTDFS(c, cfg.Thermal)
+	case dtm.SelectiveSedation:
+		engine, err := score.NewEngine(cfg.Sedation, mon, c, cool,
+			func(r score.Report) { s.reports = append(s.reports, r) })
+		if err != nil {
+			return nil, err
+		}
+		s.policy, err = dtm.NewSelectiveSedation(c, cfg.Thermal, engine, cool)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown policy %q", opts.Policy)
+	}
+	return s, nil
+}
+
+// coolingCycles converts Table 1's thermal-RC cooling time into scaled
+// cycles; stop-and-go stalls this long per emergency and selective
+// sedation derives its re-examination delay from it.
+func (s *Simulator) coolingCycles() int64 {
+	ms := s.cfg.Thermal.CoolingTimeMs
+	if ms <= 0 {
+		ms = 10
+	}
+	seconds := ms * 1e-3 / s.cfg.Thermal.Scale
+	return int64(seconds * s.cfg.Power.FrequencyHz)
+}
+
+// Core exposes the pipeline (for tests and examples).
+func (s *Simulator) Core() *cpu.Core { return s.core }
+
+// Network exposes the thermal network.
+func (s *Simulator) Network() *thermal.Network { return s.net }
+
+// Monitor exposes the sedation monitor.
+func (s *Simulator) Monitor() *score.Monitor { return s.mon }
+
+// Policy exposes the active DTM policy.
+func (s *Simulator) Policy() dtm.Policy { return s.policy }
+
+// Run simulates one OS quantum and returns its measurements.
+func (s *Simulator) Run() (*Result, error) {
+	return s.RunCycles(s.cfg.Run.QuantumCycles)
+}
+
+// record captures one trace sample at a sensor boundary.
+func (s *Simulator) record(powers *[power.NumUnits]float64, stalled bool, lastCommitted []uint64) {
+	sample := trace.Sample{
+		Cycle:         s.core.Cycle(),
+		Stalled:       stalled,
+		TotalPowerW:   thermal.TotalPower(*powers),
+		ThreadIPC:     make([]float64, len(s.threads)),
+		ThreadSedated: make([]bool, len(s.threads)),
+	}
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		sample.UnitTempK[u] = s.net.UnitTemp(u)
+	}
+	interval := float64(s.cfg.Thermal.SensorIntervalCycles)
+	for tid := range s.threads {
+		cur := s.core.Stats(tid).Committed
+		sample.ThreadIPC[tid] = float64(cur-lastCommitted[tid]) / interval
+		lastCommitted[tid] = cur
+		sample.ThreadSedated[tid] = !s.core.FetchEnabled(tid)
+	}
+	s.opts.Recorder.Record(sample)
+}
+
+// warmup runs the pipeline without measurement so caches fill and
+// predictors train, then re-anchors every measurement baseline.
+func (s *Simulator) warmup() {
+	if s.warmed {
+		return
+	}
+	s.warmed = true
+	if s.opts.WarmupCycles <= 0 {
+		return
+	}
+	s.core.Run(s.opts.WarmupCycles)
+	s.model.Prime(s.core.Activity())
+	s.mon.Prime()
+	s.net.InitSteady(s.model.SteadyPowers(power.TypicalRates()))
+}
+
+// RunCycles simulates the given number of cycles.
+func (s *Simulator) RunCycles(quantum int64) (*Result, error) {
+	if quantum <= 0 {
+		return nil, fmt.Errorf("sim: quantum %d must be positive", quantum)
+	}
+	s.warmup()
+	sample := int64(s.cfg.Sedation.SampleIntervalCycles)
+	sensorEvery := int64(s.cfg.Thermal.SensorIntervalCycles) / sample
+	secondsPerSensor := float64(s.cfg.Thermal.SensorIntervalCycles) / s.cfg.Power.FrequencyHz
+
+	res := &Result{PeakTemp: -1}
+	var powers [power.NumUnits]float64
+	var aboveEmergency bool
+	var energyAccum float64
+	var chunks int64
+	lastCommitted := make([]uint64, len(s.threads))
+	if s.opts.Recorder != nil {
+		for tid := range s.threads {
+			lastCommitted[tid] = s.core.Stats(tid).Committed
+		}
+	}
+
+	startCycle := s.core.Cycle()
+	startStats := make([]cpu.ThreadStats, len(s.threads))
+	startRF := make([]uint64, len(s.threads))
+	for tid := range s.threads {
+		startStats[tid] = s.core.Stats(tid)
+		startRF[tid] = s.core.Activity().Thread(tid, power.UnitIntReg)
+	}
+	for done := int64(0); done < quantum; {
+		stalled := s.core.GlobalStalled()
+		s.core.Run(sample)
+		done += sample
+		chunks++
+		if stalled {
+			res.StopGoCycles += sample
+		}
+		s.mon.Sample()
+
+		if chunks%sensorEvery == 0 {
+			if err := s.model.Interval(s.core.Activity(), int64(s.cfg.Thermal.SensorIntervalCycles), &powers); err != nil {
+				return nil, err
+			}
+			energyAccum += thermal.TotalPower(powers) * secondsPerSensor
+			s.net.Step(powers, secondsPerSensor)
+			maxU, maxT := s.net.MaxUnit()
+			if maxT > res.PeakTemp {
+				res.PeakTemp, res.PeakUnit = maxT, maxU
+			}
+			if maxT >= s.cfg.Thermal.EmergencyK {
+				if !aboveEmergency {
+					res.Emergencies++
+					aboveEmergency = true
+				}
+			} else {
+				aboveEmergency = false
+			}
+			s.policy.Tick(s.core.Cycle(), maxT, s.net.UnitTemp)
+			if s.opts.TraceTemps {
+				res.RFTrace = append(res.RFTrace, s.net.UnitTemp(power.UnitIntReg))
+			}
+			if s.opts.Recorder != nil {
+				s.record(&powers, stalled, lastCommitted)
+			}
+		}
+	}
+
+	elapsed := s.core.Cycle() - startCycle
+	res.Cycles = elapsed
+	res.TotalPowerW = energyAccum / (float64(elapsed) / s.cfg.Power.FrequencyHz)
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		res.FinalTemps[u] = s.net.UnitTemp(u)
+	}
+	if eng := s.policy.Engine(); eng != nil {
+		res.Sedation = eng.Stats()
+	}
+	res.Reports = append(res.Reports, s.reports...)
+
+	for tid, t := range s.threads {
+		st := s.core.Stats(tid).Sub(startStats[tid])
+		sed := int64(st.SedatedCycles)
+		cooling := res.StopGoCycles
+		normal := elapsed - cooling - sed
+		if normal < 0 {
+			normal = 0
+		}
+		res.Threads = append(res.Threads, ThreadResult{
+			Name:       t.Name,
+			Committed:  st.Committed,
+			Fetched:    st.Fetched,
+			IPC:        st.IPC(elapsed),
+			IntRegRate: float64(s.core.Activity().Thread(tid, power.UnitIntReg)-startRF[tid]) / float64(elapsed),
+			Breakdown: stats.Breakdown{
+				NormalCycles:   normal,
+				CoolingCycles:  cooling,
+				SedationCycles: sed,
+			},
+			Mispredicts: st.Mispredicts,
+			L2Squashes:  st.L2Squashes,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+	"github.com/heatstroke-sim/heatstroke/internal/trace"
+	"github.com/heatstroke-sim/heatstroke/internal/workload"
+)
+
+func quickCfg() config.Config {
+	cfg := config.Default()
+	cfg.Run.QuantumCycles = 400_000
+	return cfg
+}
+
+func specThread(t *testing.T, name string) Thread {
+	t.Helper()
+	prog, err := workload.Spec(name, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Thread{Name: name, Prog: prog}
+}
+
+func variantThread(t *testing.T, n int) Thread {
+	t.Helper()
+	prog, err := workload.Variant(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Thread{Name: "variant", Prog: prog}
+}
+
+func TestRunInvariantsEveryPolicy(t *testing.T) {
+	for _, policy := range dtm.Kinds() {
+		cfg := quickCfg()
+		s, err := New(cfg, []Thread{specThread(t, "gcc"), variantThread(t, 2)},
+			Options{Policy: policy, WarmupCycles: 100_000})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if res.Cycles != cfg.Run.QuantumCycles {
+			t.Errorf("%s: cycles %d, want %d", policy, res.Cycles, cfg.Run.QuantumCycles)
+		}
+		if len(res.Threads) != 2 {
+			t.Fatalf("%s: %d thread results", policy, len(res.Threads))
+		}
+		for i, tr := range res.Threads {
+			if tr.Breakdown.Total() != res.Cycles {
+				t.Errorf("%s thread %d: breakdown total %d != %d", policy, i, tr.Breakdown.Total(), res.Cycles)
+			}
+			if tr.IPC < 0 || tr.IPC > 8 {
+				t.Errorf("%s thread %d: IPC %f out of range", policy, i, tr.IPC)
+			}
+			if tr.Committed == 0 && policy != dtm.StopAndGo {
+				t.Errorf("%s thread %d: no progress", policy, i)
+			}
+		}
+		if res.PeakTemp < cfg.Thermal.AmbientK && policy != dtm.None {
+			t.Errorf("%s: peak temp %f below ambient", policy, res.PeakTemp)
+		}
+		if res.TotalPowerW <= 0 {
+			t.Errorf("%s: total power %f", policy, res.TotalPowerW)
+		}
+	}
+}
+
+func TestIdealSinkHoldsTemps(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Thermal.IdealSink = true
+	s, err := New(cfg, []Thread{variantThread(t, 1)}, Options{Policy: dtm.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Emergencies != 0 || res.StopGoCycles != 0 {
+		t.Error("ideal sink should never trigger thermal events")
+	}
+}
+
+func TestWarmupExcludedFromStats(t *testing.T) {
+	mk := func(warmup int64) *Result {
+		cfg := quickCfg()
+		s, err := New(cfg, []Thread{specThread(t, "crafty")}, Options{Policy: dtm.StopAndGo, WarmupCycles: warmup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold := mk(0)
+	warm := mk(400_000)
+	// Warm caches: measured IPC must be at least as good, and the
+	// cycle count identical (warmup cycles not counted).
+	if warm.Cycles != cold.Cycles {
+		t.Errorf("cycles differ: %d vs %d", warm.Cycles, cold.Cycles)
+	}
+	if warm.Threads[0].IPC < cold.Threads[0].IPC {
+		t.Errorf("warm IPC %.3f < cold IPC %.3f", warm.Threads[0].IPC, cold.Threads[0].IPC)
+	}
+}
+
+func TestTraceTemps(t *testing.T) {
+	cfg := quickCfg()
+	s, err := New(cfg, []Thread{specThread(t, "mcf")}, Options{Policy: dtm.StopAndGo, TraceTemps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(cfg.Run.QuantumCycles) / cfg.Thermal.SensorIntervalCycles
+	if len(res.RFTrace) != want {
+		t.Errorf("trace length %d, want %d", len(res.RFTrace), want)
+	}
+	for _, temp := range res.RFTrace {
+		if temp < cfg.Thermal.AmbientK || temp > 400 {
+			t.Fatalf("traced temperature %f implausible", temp)
+		}
+	}
+}
+
+func TestSedationIdentifiesAttacker(t *testing.T) {
+	cfg := config.Default()
+	cfg.Run.QuantumCycles = 6_000_000
+	s, err := New(cfg, []Thread{specThread(t, "crafty"), variantThread(t, 2)},
+		Options{Policy: dtm.SelectiveSedation, WarmupCycles: 300_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) == 0 {
+		t.Fatal("attack should produce sedation reports")
+	}
+	for _, r := range res.Reports {
+		if r.Thread != 1 {
+			t.Errorf("report named thread %d (%s); want the attacker", r.Thread, res.Threads[r.Thread].Name)
+		}
+		if r.Unit != power.UnitIntReg {
+			t.Errorf("report for %s, want IntReg", r.Unit)
+		}
+	}
+	if res.Threads[1].Breakdown.SedationCycles == 0 {
+		t.Error("attacker should spend time sedated")
+	}
+	if res.Threads[0].Breakdown.SedationCycles != 0 {
+		t.Error("victim must not be sedated")
+	}
+	if res.Sedation.Sedations == 0 {
+		t.Error("sedation stats empty")
+	}
+}
+
+func TestHeatStrokeDegradesAndSedationRestores(t *testing.T) {
+	// The headline end-to-end behaviour at test scale.
+	run := func(threads []Thread, policy dtm.Kind) *Result {
+		cfg := config.Default()
+		cfg.Run.QuantumCycles = 8_000_000
+		s, err := New(cfg, threads, Options{Policy: policy, WarmupCycles: 300_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	solo := run([]Thread{specThread(t, "crafty")}, dtm.StopAndGo)
+	attack := run([]Thread{specThread(t, "crafty"), variantThread(t, 2)}, dtm.StopAndGo)
+	cured := run([]Thread{specThread(t, "crafty"), variantThread(t, 2)}, dtm.SelectiveSedation)
+
+	soloIPC := solo.Threads[0].IPC
+	attackIPC := attack.Threads[0].IPC
+	curedIPC := cured.Threads[0].IPC
+	if attackIPC > soloIPC*0.6 {
+		t.Errorf("heat stroke too weak: solo %.2f attack %.2f", soloIPC, attackIPC)
+	}
+	if curedIPC < soloIPC*0.8 {
+		t.Errorf("sedation too weak: solo %.2f cured %.2f", soloIPC, curedIPC)
+	}
+	if attack.Emergencies == 0 {
+		t.Error("attack should cause emergencies")
+	}
+	if cured.Emergencies > attack.Emergencies/2 {
+		t.Errorf("sedation should cut emergencies: %d vs %d", cured.Emergencies, attack.Emergencies)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := quickCfg()
+	if _, err := New(cfg, nil, Options{}); err == nil {
+		t.Error("no threads should fail")
+	}
+	if _, err := New(cfg, []Thread{{Name: "x"}}, Options{}); err == nil {
+		t.Error("nil program should fail")
+	}
+	if _, err := New(cfg, []Thread{specThread(t, "gcc")}, Options{Policy: "voodoo"}); err == nil {
+		t.Error("unknown policy should fail")
+	}
+	bad := cfg
+	bad.Thermal.SensorIntervalCycles = 1500 // not a multiple of 1000
+	if _, err := New(bad, []Thread{specThread(t, "gcc")}, Options{}); err == nil {
+		t.Error("misaligned intervals should fail")
+	}
+	s, err := New(cfg, []Thread{specThread(t, "gcc")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunCycles(0); err == nil {
+		t.Error("zero quantum should fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s, err := New(quickCfg(), []Thread{specThread(t, "gcc")}, Options{Policy: dtm.SelectiveSedation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Core() == nil || s.Network() == nil || s.Monitor() == nil || s.Policy() == nil {
+		t.Error("accessors returned nil")
+	}
+	if s.Policy().Name() != dtm.SelectiveSedation {
+		t.Error("policy kind wrong")
+	}
+}
+
+func TestRecorderIntegration(t *testing.T) {
+	cfg := quickCfg()
+	rec := &trace.Recorder{}
+	s, err := New(cfg, []Thread{specThread(t, "gcc")}, Options{Policy: dtm.StopAndGo, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := int(cfg.Run.QuantumCycles) / cfg.Thermal.SensorIntervalCycles
+	if rec.Len() != want {
+		t.Fatalf("samples = %d, want %d", rec.Len(), want)
+	}
+	sum := rec.Summarize()
+	if sum.PeakTempK < cfg.Thermal.AmbientK || sum.MeanPowerW <= 0 {
+		t.Errorf("summary implausible: %+v", sum)
+	}
+	// Per-interval IPC values must be sane.
+	for _, smp := range rec.Samples {
+		for _, ipc := range smp.ThreadIPC {
+			if ipc < 0 || ipc > 8 {
+				t.Fatalf("interval IPC %f out of range", ipc)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package stats provides the small aggregation helpers the experiment
+// harness uses: means, geometric means, time breakdowns, and simple
+// series containers.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs; non-positive values are
+// clamped to a small epsilon so a single zero doesn't zero the mean.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x < 1e-12 {
+			x = 1e-12
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Min and Max return the extrema of xs (0 for an empty slice).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs (0 for an empty slice).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Breakdown is one thread's execution-time split over an OS quantum
+// (the paper's Figure 6 categories).
+type Breakdown struct {
+	// NormalCycles is time the pipeline ran and the thread could fetch.
+	NormalCycles int64
+	// CoolingCycles is time lost to global stop-and-go stalls.
+	CoolingCycles int64
+	// SedationCycles is time the thread itself was sedated (fetch
+	// gated) while the pipeline ran.
+	SedationCycles int64
+}
+
+// Total returns the quantum length the breakdown covers.
+func (b Breakdown) Total() int64 { return b.NormalCycles + b.CoolingCycles + b.SedationCycles }
+
+// Fractions returns the three shares of the total (0 if empty).
+func (b Breakdown) Fractions() (normal, cooling, sedation float64) {
+	tot := float64(b.Total())
+	if tot == 0 {
+		return 0, 0, 0
+	}
+	return float64(b.NormalCycles) / tot, float64(b.CoolingCycles) / tot, float64(b.SedationCycles) / tot
+}
+
+// String formats the breakdown as percentages.
+func (b Breakdown) String() string {
+	n, c, s := b.Fractions()
+	return fmt.Sprintf("normal %.1f%% cooling %.1f%% sedation %.1f%%", n*100, c*100, s*100)
+}
+
+// Degradation returns the relative slowdown of value vs baseline
+// (e.g. IPC): 0.88 means an 88% loss.
+func Degradation(baseline, value float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	d := 1 - value/baseline
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("geomean = %v", got)
+	}
+	// A zero must not zero the whole mean.
+	if got := GeoMean([]float64{0, 4}); got <= 0 {
+		t.Errorf("geomean with zero = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Error("min/max wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty min/max")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := Breakdown{NormalCycles: 50, CoolingCycles: 30, SedationCycles: 20}
+	if b.Total() != 100 {
+		t.Error("total")
+	}
+	n, c, s := b.Fractions()
+	if n != 0.5 || c != 0.3 || s != 0.2 {
+		t.Errorf("fractions = %v %v %v", n, c, s)
+	}
+	if !strings.Contains(b.String(), "cooling 30.0%") {
+		t.Errorf("string = %q", b.String())
+	}
+	var zero Breakdown
+	n, c, s = zero.Fractions()
+	if n != 0 || c != 0 || s != 0 {
+		t.Error("zero breakdown fractions")
+	}
+}
+
+// TestQuickBreakdownFractionsSumToOne property: the three fractions
+// always sum to 1 for non-empty breakdowns.
+func TestQuickBreakdownFractionsSumToOne(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		br := Breakdown{int64(a), int64(b), int64(c)}
+		if br.Total() == 0 {
+			return true
+		}
+		n, co, s := br.Fractions()
+		return math.Abs(n+co+s-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegradation(t *testing.T) {
+	if got := Degradation(2.0, 0.25); math.Abs(got-0.875) > 1e-12 {
+		t.Errorf("degradation = %v", got)
+	}
+	if Degradation(0, 1) != 0 {
+		t.Error("zero baseline")
+	}
+	if Degradation(1, 2) != 0 {
+		t.Error("speedup clamps to 0")
+	}
+}

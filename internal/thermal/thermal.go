@@ -1,0 +1,305 @@
+// Package thermal implements the HotSpot-like lumped RC thermal model:
+// an equivalent heat circuit with one node per die block, one node per
+// spreader section under each block, and one heat-sink node coupled to
+// ambient through the package's convection resistance (Table 1:
+// 0.8 K/W). Temperatures evolve by forward-Euler integration of
+//
+//	C_i dT_i/dt = P_i + sum_j (T_j - T_i) / R_ij
+//
+// The two vertical layers give the asymmetry the paper's attack relies
+// on: die blocks heat with a millisecond-scale constant while the
+// spreader sections under them cool with a ~10 ms constant, so hot
+// spots form quickly and dissipate slowly (Section 2.1).
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/floorplan"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+// Material and geometry constants (silicon die over a copper spreader).
+// These are physical handbook values; only SpreaderCapFactor and
+// SpreadToSinkK are fitted, to the paper's ~1 ms heating / ~10 ms
+// cooling time constants.
+const (
+	// KSi is silicon thermal conductivity, W/(m K).
+	KSi = 100.0
+	// CSi is silicon volumetric heat capacity, J/(m^3 K).
+	CSi = 1.75e6
+	// TIMThicknessM and KTIM describe the thermal interface material
+	// between die and spreader.
+	TIMThicknessM = 20e-6
+	KTIM          = 10.0
+	// KCu and CCu are copper conductivity and volumetric capacity.
+	KCu = 400.0
+	CCu = 3.4e6
+	// SpreaderThicknessM is the heat-spreader thickness.
+	SpreaderThicknessM = 1e-3
+)
+
+type edge struct {
+	a, b int
+	g    float64 // conductance, W/K
+}
+
+// Network is the RC thermal network for one floorplan.
+type Network struct {
+	fp    *floorplan.Floorplan
+	n     int // number of die blocks
+	sink  int // sink node index == 2n
+	temps []float64
+	caps  []float64
+	edges []edge
+	gAmb  float64
+	amb   float64
+	ideal bool
+
+	// flux is scratch for the Euler step.
+	flux []float64
+	// blockPower is scratch: per-die-block watts.
+	blockPower []float64
+
+	dtMax   float64
+	blockOf [power.NumUnits]int
+}
+
+// New builds the network from a floorplan and the package parameters.
+func New(fp *floorplan.Floorplan, t config.Thermal) (*Network, error) {
+	if t.ConvectionRes <= 0 || t.Scale <= 0 || t.DieThicknessM <= 0 {
+		return nil, fmt.Errorf("thermal: convection resistance, scale and die thickness must be positive")
+	}
+	n := len(fp.Blocks)
+	nw := &Network{
+		fp:         fp,
+		n:          n,
+		sink:       2 * n,
+		temps:      make([]float64, 2*n+1),
+		caps:       make([]float64, 2*n+1),
+		flux:       make([]float64, 2*n+1),
+		blockPower: make([]float64, n),
+		gAmb:       1 / t.ConvectionRes,
+		amb:        t.AmbientK,
+		ideal:      t.IdealSink,
+	}
+	for u := range nw.blockOf {
+		nw.blockOf[u] = fp.BlockFor(power.Unit(u))
+	}
+
+	dieCapF := t.DieCapFactor
+	if dieCapF <= 0 {
+		dieCapF = 1
+	}
+	spCapF := t.SpreaderCapFactor
+	if spCapF <= 0 {
+		spCapF = 1
+	}
+	spSinkK := t.SpreadToSinkK
+	if spSinkK <= 0 {
+		spSinkK = 3.1e-3
+	}
+	sinkCap := t.SinkCapJPerK
+	if sinkCap <= 0 {
+		sinkCap = 300
+	}
+	for i, b := range fp.Blocks {
+		area := b.Area()
+		// Die node capacitance and vertical path to its spreader node.
+		nw.caps[i] = CSi * area * t.DieThicknessM * dieCapF / t.Scale
+		rVert := t.DieThicknessM/(KSi*area) + TIMThicknessM/(KTIM*area)
+		nw.edges = append(nw.edges, edge{a: i, b: n + i, g: 1 / rVert})
+		// Spreader node capacitance and path to the sink.
+		nw.caps[n+i] = CCu * area * SpreaderThicknessM * spCapF / t.Scale
+		rSink := spSinkK / math.Sqrt(area)
+		nw.edges = append(nw.edges, edge{a: n + i, b: nw.sink, g: 1 / rSink})
+	}
+	nw.caps[nw.sink] = sinkCap / t.Scale
+
+	// Lateral conduction in the die and (stronger) in the spreader.
+	for _, adj := range fp.Adjacencies() {
+		rDie := adj.Dist / (KSi * adj.SharedLen * t.DieThicknessM)
+		nw.edges = append(nw.edges, edge{a: adj.A, b: adj.B, g: 1 / rDie})
+		rSp := adj.Dist / (KCu * adj.SharedLen * SpreaderThicknessM)
+		nw.edges = append(nw.edges, edge{a: n + adj.A, b: n + adj.B, g: 1 / rSp})
+	}
+
+	// Stability bound: the stiffest node limits the Euler step.
+	gSum := make([]float64, 2*n+1)
+	for _, e := range nw.edges {
+		gSum[e.a] += e.g
+		gSum[e.b] += e.g
+	}
+	gSum[nw.sink] += nw.gAmb
+	nw.dtMax = math.Inf(1)
+	for i := range nw.caps {
+		tau := nw.caps[i] / gSum[i]
+		if tau/4 < nw.dtMax {
+			nw.dtMax = tau / 4
+		}
+	}
+
+	for i := range nw.temps {
+		nw.temps[i] = t.AmbientK
+	}
+	if t.InitialK > 0 {
+		for i := range nw.temps {
+			nw.temps[i] = t.InitialK
+		}
+	}
+	return nw, nil
+}
+
+// unitPowersToBlocks spreads the per-unit power vector onto die blocks.
+func (nw *Network) unitPowersToBlocks(p *[power.NumUnits]float64) {
+	for i := range nw.blockPower {
+		nw.blockPower[i] = 0
+	}
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		if i := nw.blockOf[u]; i >= 0 {
+			nw.blockPower[i] = p[u]
+		}
+	}
+}
+
+// InitSteady sets every node to the steady-state solution for the given
+// per-unit power vector. The simulator calls it once per run so the die
+// starts at its normal operating point (and for an ideal sink, stays
+// there).
+func (nw *Network) InitSteady(p [power.NumUnits]float64) {
+	nw.unitPowersToBlocks(&p)
+	m := 2*nw.n + 1
+	// Dense G matrix with ambient folded into the RHS.
+	a := make([][]float64, m)
+	rhs := make([]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m)
+	}
+	for _, e := range nw.edges {
+		a[e.a][e.a] += e.g
+		a[e.b][e.b] += e.g
+		a[e.a][e.b] -= e.g
+		a[e.b][e.a] -= e.g
+	}
+	a[nw.sink][nw.sink] += nw.gAmb
+	rhs[nw.sink] += nw.gAmb * nw.amb
+	for i := 0; i < nw.n; i++ {
+		rhs[i] += nw.blockPower[i]
+	}
+	sol := solveLinear(a, rhs)
+	copy(nw.temps, sol)
+}
+
+// solveLinear performs Gaussian elimination with partial pivoting.
+func solveLinear(a [][]float64, b []float64) []float64 {
+	m := len(b)
+	for col := 0; col < m; col++ {
+		pivot := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		d := a[col][col]
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] / d
+			if f == 0 {
+				continue
+			}
+			for c := col; c < m; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, m)
+	for r := m - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < m; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x
+}
+
+// Step advances the network by the given wall-clock seconds under the
+// per-unit power vector, using as many Euler substeps as stability
+// requires. With an ideal sink, temperatures do not move.
+func (nw *Network) Step(p [power.NumUnits]float64, seconds float64) {
+	if nw.ideal || seconds <= 0 {
+		return
+	}
+	nw.unitPowersToBlocks(&p)
+	steps := int(math.Ceil(seconds / nw.dtMax))
+	if steps < 1 {
+		steps = 1
+	}
+	dt := seconds / float64(steps)
+	for s := 0; s < steps; s++ {
+		for i := range nw.flux {
+			nw.flux[i] = 0
+		}
+		for i := 0; i < nw.n; i++ {
+			nw.flux[i] = nw.blockPower[i]
+		}
+		for _, e := range nw.edges {
+			f := (nw.temps[e.b] - nw.temps[e.a]) * e.g
+			nw.flux[e.a] += f
+			nw.flux[e.b] -= f
+		}
+		nw.flux[nw.sink] += (nw.amb - nw.temps[nw.sink]) * nw.gAmb
+		for i := range nw.temps {
+			nw.temps[i] += dt * nw.flux[i] / nw.caps[i]
+		}
+	}
+}
+
+// UnitTemp returns the die temperature of the block hosting unit u.
+func (nw *Network) UnitTemp(u power.Unit) float64 {
+	return nw.temps[nw.blockOf[u]]
+}
+
+// BlockTemp returns die block i's temperature.
+func (nw *Network) BlockTemp(i int) float64 { return nw.temps[i] }
+
+// SinkTemp returns the heat-sink node temperature.
+func (nw *Network) SinkTemp() float64 { return nw.temps[nw.sink] }
+
+// SpreaderTemp returns the spreader-section temperature under block i.
+func (nw *Network) SpreaderTemp(i int) float64 { return nw.temps[nw.n+i] }
+
+// MaxUnit returns the hottest unit and its temperature.
+func (nw *Network) MaxUnit() (power.Unit, float64) {
+	best := power.Unit(0)
+	bestT := math.Inf(-1)
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		if t := nw.UnitTemp(u); t > bestT {
+			best, bestT = u, t
+		}
+	}
+	return best, bestT
+}
+
+// Blocks returns the number of die blocks.
+func (nw *Network) Blocks() int { return nw.n }
+
+// Floorplan returns the floorplan the network was built from.
+func (nw *Network) Floorplan() *floorplan.Floorplan { return nw.fp }
+
+// Ideal reports whether the network models an ideal (infinite) sink.
+func (nw *Network) Ideal() bool { return nw.ideal }
+
+// TotalPower returns the sum of a per-unit power vector; a convenience
+// for stats and tests.
+func TotalPower(p [power.NumUnits]float64) float64 {
+	var sum float64
+	for _, w := range p {
+		sum += w
+	}
+	return sum
+}

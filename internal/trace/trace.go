@@ -1,0 +1,156 @@
+// Package trace records full-system time series — per-unit
+// temperatures, chip power, stall state, per-thread progress — sampled
+// once per sensor interval, and exports them as CSV for plotting. The
+// attack example's ASCII strip chart and the timing experiment use the
+// same data through sim.Result; this package is the external,
+// everything-included view.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+// Sample is one sensor-interval observation.
+type Sample struct {
+	// Cycle is the core cycle at the end of the interval.
+	Cycle int64
+	// Stalled reports a global stop-and-go stall in effect.
+	Stalled bool
+	// TotalPowerW is the chip power averaged over the interval.
+	TotalPowerW float64
+	// UnitTempK holds each unit's die temperature.
+	UnitTempK [power.NumUnits]float64
+	// ThreadIPC is each thread's IPC over the interval.
+	ThreadIPC []float64
+	// ThreadSedated reports each thread's fetch gate.
+	ThreadSedated []bool
+}
+
+// MaxTemp returns the hottest unit in the sample.
+func (s *Sample) MaxTemp() (power.Unit, float64) {
+	best := power.Unit(0)
+	bestT := s.UnitTempK[0]
+	for u := power.Unit(1); u < power.NumUnits; u++ {
+		if s.UnitTempK[u] > bestT {
+			best, bestT = u, s.UnitTempK[u]
+		}
+	}
+	return best, bestT
+}
+
+// Recorder accumulates samples. The zero value records every sample;
+// set Stride to keep only every n-th.
+type Recorder struct {
+	// Stride keeps every n-th sample (0 or 1 keeps all).
+	Stride int
+	// Samples are the recorded observations.
+	Samples []Sample
+
+	seen int
+}
+
+// Record appends a sample, honouring the stride.
+func (r *Recorder) Record(s Sample) {
+	r.seen++
+	stride := r.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	if (r.seen-1)%stride == 0 {
+		r.Samples = append(r.Samples, s)
+	}
+}
+
+// Len returns the number of retained samples.
+func (r *Recorder) Len() int { return len(r.Samples) }
+
+// WriteCSV emits the samples with one row per retained interval. units
+// selects the temperature columns (nil = all units).
+func (r *Recorder) WriteCSV(w io.Writer, units []power.Unit) error {
+	if units == nil {
+		units = power.Units()
+	}
+	cols := []string{"cycle", "stalled", "power_w"}
+	for _, u := range units {
+		cols = append(cols, "temp_"+u.String()+"_k")
+	}
+	nthreads := 0
+	if len(r.Samples) > 0 {
+		nthreads = len(r.Samples[0].ThreadIPC)
+	}
+	for t := 0; t < nthreads; t++ {
+		cols = append(cols, fmt.Sprintf("ipc_t%d", t), fmt.Sprintf("sedated_t%d", t))
+	}
+	if _, err := io.WriteString(w, strings.Join(cols, ",")+"\n"); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(cols))
+	for i := range r.Samples {
+		s := &r.Samples[i]
+		row = row[:0]
+		row = append(row,
+			strconv.FormatInt(s.Cycle, 10),
+			boolBit(s.Stalled),
+			strconv.FormatFloat(s.TotalPowerW, 'f', 3, 64),
+		)
+		for _, u := range units {
+			row = append(row, strconv.FormatFloat(s.UnitTempK[u], 'f', 3, 64))
+		}
+		for t := 0; t < nthreads; t++ {
+			ipc, sed := 0.0, false
+			if t < len(s.ThreadIPC) {
+				ipc = s.ThreadIPC[t]
+				sed = s.ThreadSedated[t]
+			}
+			row = append(row, strconv.FormatFloat(ipc, 'f', 4, 64), boolBit(sed))
+		}
+		if _, err := io.WriteString(w, strings.Join(row, ",")+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func boolBit(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// Summary aggregates a recorded run for quick inspection.
+type Summary struct {
+	Samples    int
+	PeakTempK  float64
+	PeakUnit   power.Unit
+	StallFrac  float64
+	MeanPowerW float64
+}
+
+// Summarize computes the aggregate view.
+func (r *Recorder) Summarize() Summary {
+	var s Summary
+	s.Samples = len(r.Samples)
+	if s.Samples == 0 {
+		return s
+	}
+	stalled := 0
+	for i := range r.Samples {
+		u, t := r.Samples[i].MaxTemp()
+		if t > s.PeakTempK {
+			s.PeakTempK, s.PeakUnit = t, u
+		}
+		if r.Samples[i].Stalled {
+			stalled++
+		}
+		s.MeanPowerW += r.Samples[i].TotalPowerW
+	}
+	s.StallFrac = float64(stalled) / float64(s.Samples)
+	s.MeanPowerW /= float64(s.Samples)
+	return s
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+func sample(cycle int64, rfTemp float64, stalled bool) Sample {
+	s := Sample{
+		Cycle:         cycle,
+		Stalled:       stalled,
+		TotalPowerW:   20,
+		ThreadIPC:     []float64{1.5, 0.5},
+		ThreadSedated: []bool{false, true},
+	}
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		s.UnitTempK[u] = 350
+	}
+	s.UnitTempK[power.UnitIntReg] = rfTemp
+	return s
+}
+
+func TestRecorderStride(t *testing.T) {
+	r := &Recorder{Stride: 3}
+	for i := int64(0); i < 10; i++ {
+		r.Record(sample(i, 351, false))
+	}
+	if r.Len() != 4 { // samples 0,3,6,9
+		t.Fatalf("retained %d samples, want 4", r.Len())
+	}
+	if r.Samples[1].Cycle != 3 {
+		t.Errorf("stride picked cycle %d", r.Samples[1].Cycle)
+	}
+	// Zero stride keeps everything.
+	r2 := &Recorder{}
+	for i := int64(0); i < 5; i++ {
+		r2.Record(sample(i, 351, false))
+	}
+	if r2.Len() != 5 {
+		t.Errorf("zero stride retained %d", r2.Len())
+	}
+}
+
+func TestSampleMaxTemp(t *testing.T) {
+	s := sample(0, 359, false)
+	u, temp := s.MaxTemp()
+	if u != power.UnitIntReg || temp != 359 {
+		t.Errorf("max = %s %.1f", u, temp)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := &Recorder{}
+	r.Record(sample(20000, 355.5, false))
+	r.Record(sample(40000, 358.75, true))
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb, []power.Unit{power.UnitIntReg}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	header := lines[0]
+	for _, col := range []string{"cycle", "stalled", "power_w", "temp_IntReg_k", "ipc_t0", "sedated_t1"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("header missing %q: %s", col, header)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "20000,0,20.000,355.500,1.5000,0,0.5000,1") {
+		t.Errorf("row 1 = %s", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "40000,1,") {
+		t.Errorf("row 2 = %s", lines[2])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := &Recorder{}
+	if s := r.Summarize(); s.Samples != 0 {
+		t.Error("empty summary")
+	}
+	r.Record(sample(1, 355, false))
+	r.Record(sample(2, 359, true))
+	r.Record(sample(3, 353, true))
+	s := r.Summarize()
+	if s.Samples != 3 || s.PeakTempK != 359 || s.PeakUnit != power.UnitIntReg {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.StallFrac < 0.66 || s.StallFrac > 0.67 {
+		t.Errorf("stall frac = %v", s.StallFrac)
+	}
+	if s.MeanPowerW != 20 {
+		t.Errorf("mean power = %v", s.MeanPowerW)
+	}
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/heatstroke-sim/heatstroke/internal/isa"
+)
+
+// Classic microbenchmark kernels. Unlike the SPEC-like profiles these
+// are hand-built loops with precisely known behaviour; tests use them
+// to pin the simulator's corners, and they make useful co-runners when
+// experimenting with the attack (e.g. a pure-FP victim leaves the
+// integer register file cold).
+
+// KernelNames lists the built-in kernels.
+func KernelNames() []string {
+	return []string{"stream", "pointerchase", "fpblast", "branchstorm", "stores"}
+}
+
+// Kernel builds the named microbenchmark.
+func Kernel(name string) (*isa.Program, error) {
+	switch name {
+	case "stream":
+		return streamKernel(), nil
+	case "pointerchase":
+		return pointerChaseKernel(), nil
+	case "fpblast":
+		return fpBlastKernel(), nil
+	case "branchstorm":
+		return branchStormKernel(), nil
+	case "stores":
+		return storeKernel(), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown kernel %q (have %v)", name, KernelNames())
+	}
+}
+
+// streamKernel reads sequentially through a 4 MB footprint, touching
+// one L2 line per iteration (four words of it): a bandwidth-style
+// streaming access pattern. On this machine the L2-miss thread squash
+// serializes misses, so throughput is one line per memory round trip —
+// still roughly twice the pointer chaser, which pays a full round trip
+// for every seven instructions.
+func streamKernel() *isa.Program {
+	b := isa.NewBuilder("stream")
+	const mask = 4<<20 - 1
+	b.MovI(1, 0x2000_0000) // base
+	b.MovI(2, 0)           // offset
+	b.Label("l")
+	b.ALU(isa.OpAdd, 3, 1, 2)
+	for i := 0; i < 4; i++ {
+		b.Load(4, 3, int64(i*8))
+	}
+	b.ALUImm(isa.OpAdd, 2, 2, 128)
+	b.ALUImm(isa.OpAnd, 2, 2, mask)
+	return b.Br("l").MustBuild()
+}
+
+// pointerChaseKernel serializes every cold miss through the address
+// computation: the worst-case memory-latency-bound thread (mcf's inner
+// loop in miniature).
+func pointerChaseKernel() *isa.Program {
+	b := isa.NewBuilder("pointerchase")
+	const mask = 8<<20 - 1
+	b.MovI(1, 0x3000_0000)
+	b.MovI(2, 0)
+	b.MovI(5, 0)
+	b.Label("l")
+	b.ALU(isa.OpAdd, 3, 1, 2)
+	b.Load(4, 3, 0)
+	// Next offset depends on the loaded value (always zero, so the
+	// stride stays deterministic, but the dependence is real).
+	b.ALUImm(isa.OpAnd, 5, 4, 0)
+	b.ALU(isa.OpAdd, 2, 2, 5)
+	b.ALUImm(isa.OpAdd, 2, 2, 4096)
+	b.ALUImm(isa.OpAnd, 2, 2, mask)
+	return b.Br("l").MustBuild()
+}
+
+// fpBlastKernel saturates the floating-point units while leaving the
+// integer register file almost idle — a victim whose own heat is
+// elsewhere on the die.
+func fpBlastKernel() *isa.Program {
+	b := isa.NewBuilder("fpblast")
+	b.Label("l")
+	for i := 0; i < 24; i++ {
+		d := uint8(i % 8)
+		b.FP(isa.OpFAdd, d, d, uint8(8+i%4))
+		if i%3 == 0 {
+			b.FP(isa.OpFMul, uint8(16+i%4), uint8(16+i%4), uint8(8+i%4))
+		}
+	}
+	return b.Br("l").MustBuild()
+}
+
+// branchStormKernel is almost nothing but data-dependent branches: a
+// branch-predictor and front-end stress test.
+func branchStormKernel() *isa.Program {
+	b := isa.NewBuilder("branchstorm")
+	b.MovI(9, 0x9E3779B9)
+	b.Label("l")
+	for i := 0; i < 12; i++ {
+		b.ALUImm(isa.OpShl, 10, 9, 13)
+		b.ALU(isa.OpXor, 9, 9, 10)
+		b.ALUImm(isa.OpShr, 10, 9, 7)
+		b.ALU(isa.OpXor, 9, 9, 10)
+		b.ALUImm(isa.OpAnd, 10, 9, 1)
+		label := fmt.Sprintf("s%d", i)
+		b.Bnez(10, label)
+		b.Nop()
+		b.Label(label)
+	}
+	return b.Br("l").MustBuild()
+}
+
+// storeKernel is write-dominated: it marches stores through a footprint
+// larger than the L2, generating dirty evictions and write-back
+// traffic.
+func storeKernel() *isa.Program {
+	b := isa.NewBuilder("stores")
+	const mask = 8<<20 - 1
+	b.MovI(1, 0x5000_0000)
+	b.MovI(2, 0)
+	b.MovI(5, 77)
+	b.Label("l")
+	b.ALU(isa.OpAdd, 3, 1, 2)
+	for i := 0; i < 4; i++ {
+		b.Store(5, 3, int64(i*8))
+	}
+	b.ALUImm(isa.OpAdd, 2, 2, 128)
+	b.ALUImm(isa.OpAnd, 2, 2, mask)
+	return b.Br("l").MustBuild()
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/isa"
+)
+
+func TestKernelsValidate(t *testing.T) {
+	for _, name := range KernelNames() {
+		prog, err := Kernel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if prog.Name != name {
+			t.Errorf("kernel %s has name %q", name, prog.Name)
+		}
+	}
+	if _, err := Kernel("dhrystone"); err == nil {
+		t.Error("unknown kernel should fail")
+	}
+}
+
+func TestKernelComposition(t *testing.T) {
+	count := func(p *isa.Program, pred func(isa.Instruction) bool) int {
+		n := 0
+		for _, in := range p.Insts {
+			if pred(in) {
+				n++
+			}
+		}
+		return n
+	}
+	isFP := func(in isa.Instruction) bool {
+		return in.Op == isa.OpFAdd || in.Op == isa.OpFMul || in.Op == isa.OpFDiv
+	}
+	isLoad := func(in isa.Instruction) bool { return in.Op.IsLoad() }
+	isStore := func(in isa.Instruction) bool { return in.Op.IsStore() }
+	isCond := func(in isa.Instruction) bool { return in.Op.IsCondBranch() }
+
+	fp, _ := Kernel("fpblast")
+	if count(fp, isFP) < 20 || count(fp, isLoad) != 0 {
+		t.Error("fpblast composition wrong")
+	}
+	st, _ := Kernel("stores")
+	if count(st, isStore) != 4 || count(st, isLoad) != 0 {
+		t.Error("stores composition wrong")
+	}
+	bs, _ := Kernel("branchstorm")
+	if count(bs, isCond) != 12 {
+		t.Error("branchstorm composition wrong")
+	}
+	pc, _ := Kernel("pointerchase")
+	if count(pc, isLoad) != 1 {
+		t.Error("pointerchase composition wrong")
+	}
+	sm, _ := Kernel("stream")
+	if count(sm, isLoad) != 4 {
+		t.Error("stream composition wrong")
+	}
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/heatstroke-sim/heatstroke/internal/isa"
+)
+
+// The malicious programs of the paper's Figures 1 and 2. All three
+// variants attack the integer register file, the shared SMT resource
+// with the highest power density.
+
+// Variant1Params tunes the aggressive attacker of Figure 1.
+type Variant1Params struct {
+	// Adds is the number of independent addl instructions per loop
+	// iteration. A large count keeps the loop-back branch overhead
+	// negligible so the thread issues register-file accesses at the
+	// functional-unit limit.
+	Adds int
+}
+
+// DefaultVariant1 returns the paper's Figure 1 parameters.
+func DefaultVariant1() Variant1Params { return Variant1Params{Adds: 48} }
+
+// Variant1 builds the Figure 1 attacker: an unrolled loop of independent
+// integer adds. It both heats the register file (~10+ accesses/cycle)
+// and monopolizes ICOUNT fetch with its high IPC.
+func Variant1(p Variant1Params) (*isa.Program, error) {
+	if p.Adds < 1 {
+		return nil, fmt.Errorf("workload: variant1 needs at least one add, got %d", p.Adds)
+	}
+	b := isa.NewBuilder("variant1")
+	b.MovI(2, 1)
+	b.MovI(3, 2)
+	b.Label("L1")
+	for i := 0; i < p.Adds; i++ {
+		// addl $1, $2, $3 — exactly the paper's listing; register
+		// renaming makes the instances independent.
+		b.ALU(isa.OpAdd, 1, 2, 3)
+	}
+	b.Br("L1")
+	return b.Build()
+}
+
+// Variant2Params tunes the moderately malicious attacker of Figure 2:
+// a register-file burst phase followed by a phase of L2-conflict-missing
+// loads. Adjusting the phase durations tunes the thread's IPC (and flat
+// average access rate) down into the range of normal programs while the
+// burst phases still create the hot spot.
+type Variant2Params struct {
+	// Adds is the unrolled add count per burst iteration.
+	Adds int
+	// BurstIters is the number of burst-loop iterations per phase.
+	BurstIters int64
+	// MissIters is the number of miss-loop iterations per phase; each
+	// iteration performs MissLoads loads that conflict in one L2 set.
+	MissIters int64
+	// MissLoads is the number of conflicting load addresses (paper: 9
+	// addresses mapping to the same set of the 8-way L2).
+	MissLoads int
+	// L2SetStride is the address distance that maps back to the same L2
+	// set (L2 sets x line size). The default matches Table 1's 2 MB
+	// 8-way, 128 B-line L2: 256 KB.
+	L2SetStride int64
+}
+
+// DefaultVariant2 returns burst/miss durations calibrated so each burst
+// phase (~1.5 M cycles at ~12 register-file accesses/cycle) outlasts
+// the register file's thermal time constant — the hot spot forms and
+// trips the sensor mid-burst — while the interleaved miss phases pull
+// the thread's overall IPC and flat average access rate down into the
+// SPEC range (no ICOUNT monopolization, Section 3.1).
+func DefaultVariant2() Variant2Params {
+	return Variant2Params{
+		Adds:        48,
+		BurstIters:  120_000,
+		MissIters:   700,
+		MissLoads:   9,
+		L2SetStride: 256 << 10,
+	}
+}
+
+// Variant2 builds the Figure 2 attacker.
+func Variant2(p Variant2Params) (*isa.Program, error) {
+	return phasedAttacker("variant2", p, 1)
+}
+
+// Variant3Params is Variant2Params; variant3 is the evasive attacker
+// that moderates its access rate to try to slip under detection.
+type Variant3Params = Variant2Params
+
+// DefaultVariant3 returns the evasive attacker: its bursts run at a
+// moderated register-file rate (three dependent chains instead of fully
+// independent adds) and its miss phases are much longer, dropping the
+// flat average access rate toward the bottom of the SPEC range. The
+// moderation limits the heating rate — the paper measures roughly half
+// the damage of Variant2 — without reliably slipping under the
+// weighted-average culprit identification.
+func DefaultVariant3() Variant3Params {
+	return Variant3Params{
+		Adds:        48,
+		BurstIters:  160_000,
+		MissIters:   2600,
+		MissLoads:   9,
+		L2SetStride: 256 << 10,
+	}
+}
+
+// Variant3 builds the evasive attacker: same phase structure as
+// Variant2 but with the adds arranged in three dependency chains,
+// moderating the burst-phase register-file access rate.
+func Variant3(p Variant3Params) (*isa.Program, error) {
+	return phasedAttacker("variant3", p, 3)
+}
+
+// phasedAttacker emits:
+//
+//	outer:
+//	  rc = BurstIters
+//	burst:
+//	  addl ... (Adds times; 'chains' dependency chains)
+//	  rc--; bnez rc, burst
+//	  rm = MissIters
+//	miss:
+//	  ldq from MissLoads addresses conflicting in one L2 set
+//	  rm--; bnez rm, miss
+//	  br outer
+func phasedAttacker(name string, p Variant2Params, chains int) (*isa.Program, error) {
+	switch {
+	case p.Adds < 1:
+		return nil, fmt.Errorf("workload: %s needs at least one add", name)
+	case p.BurstIters < 1 || p.MissIters < 0:
+		return nil, fmt.Errorf("workload: %s phase lengths must be positive", name)
+	case p.MissLoads < 1 || p.MissLoads > 12:
+		return nil, fmt.Errorf("workload: %s miss loads %d out of [1,12]", name, p.MissLoads)
+	case p.L2SetStride <= 0:
+		return nil, fmt.Errorf("workload: %s L2 set stride must be positive", name)
+	case chains < 1 || chains > 4:
+		return nil, fmt.Errorf("workload: %s chains %d out of [1,4]", name, chains)
+	}
+	const (
+		regBurstCnt = 14
+		regMissCnt  = 15
+		regAddrBase = 16 // r16.. hold the conflicting addresses
+	)
+	b := isa.NewBuilder(name)
+	b.MovI(2, 1)
+	b.MovI(3, 2)
+	for i := 0; i < p.MissLoads; i++ {
+		b.MovI(uint8(regAddrBase+i), coldBase+int64(i+1)*p.L2SetStride)
+	}
+	b.Label("outer")
+	b.MovI(regBurstCnt, p.BurstIters)
+	b.Label("burst")
+	for i := 0; i < p.Adds; i++ {
+		if chains == 1 {
+			b.ALU(isa.OpAdd, 1, 2, 3) // independent: Figure 2 phase 1
+		} else {
+			// Dependent chains: $c += $2 serializes within each chain,
+			// lowering IPC and access rate (variant3's evasion).
+			c := uint8(4 + i%chains)
+			b.ALU(isa.OpAdd, c, c, 2)
+		}
+	}
+	b.ALUImm(isa.OpSub, regBurstCnt, regBurstCnt, 1)
+	b.Bnez(regBurstCnt, "burst")
+	if p.MissIters > 0 {
+		b.MovI(regMissCnt, p.MissIters)
+		b.Label("miss")
+		for i := 0; i < p.MissLoads; i++ {
+			// ldq $4, addr_i — the addresses share one L2 set; with
+			// MissLoads > associativity every access misses.
+			b.Load(4, uint8(regAddrBase+i), 0)
+		}
+		b.ALUImm(isa.OpSub, regMissCnt, regMissCnt, 1)
+		b.Bnez(regMissCnt, "miss")
+	}
+	b.Br("outer")
+	return b.Build()
+}
+
+// VariantForScale builds variant n with phase durations rescaled for a
+// thermal scale other than the default configuration's 16: the attack's
+// burst must outlast the (scale-dependent) thermal time constant of the
+// register file, so phase iteration counts grow as the scale shrinks.
+func VariantForScale(n int, scale float64) (*isa.Program, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("workload: scale %g must be positive", scale)
+	}
+	f := 16 / scale
+	switch n {
+	case 1:
+		return Variant1(DefaultVariant1())
+	case 2:
+		p := DefaultVariant2()
+		p.BurstIters = int64(float64(p.BurstIters) * f)
+		p.MissIters = int64(float64(p.MissIters) * f)
+		return Variant2(p)
+	case 3:
+		p := DefaultVariant3()
+		p.BurstIters = int64(float64(p.BurstIters) * f)
+		p.MissIters = int64(float64(p.MissIters) * f)
+		return Variant3(p)
+	default:
+		return nil, fmt.Errorf("workload: unknown malicious variant %d", n)
+	}
+}
+
+// Variant builds malicious variant n (1..3) with default parameters.
+func Variant(n int) (*isa.Program, error) {
+	switch n {
+	case 1:
+		return Variant1(DefaultVariant1())
+	case 2:
+		return Variant2(DefaultVariant2())
+	case 3:
+		return Variant3(DefaultVariant3())
+	default:
+		return nil, fmt.Errorf("workload: unknown malicious variant %d", n)
+	}
+}
+
+// FigureOneListing is the paper's Figure 1 code in our assembler syntax;
+// tests assemble it to confirm the assembler accepts the paper's style.
+const FigureOneListing = `
+L$1:	addl $1, $2, $3
+	addl $1, $2, $3
+	addl $1, $2, $3
+	br L$1
+`
+
+// FigureTwoListing is the paper's Figure 2 code (abridged address list).
+const FigureTwoListing = `
+	movi $16, 0x10040000
+	movi $17, 0x10080000
+	movi $18, 0x100c0000
+L$1:	addl $1, $2, $3
+	addl $1, $2, $3
+	br L$2
+L$2:	ldq $4, 0($16)
+	ldq $4, 0($17)
+	ldq $4, 0($18)
+	br L$1
+`

@@ -1,0 +1,187 @@
+// Package workload synthesizes the programs the paper evaluates: looping
+// RISC programs whose instruction mix, ILP, memory behaviour, and branch
+// behaviour are matched to published characteristics of the SPEC2K
+// benchmarks, plus literal implementations of the paper's malicious
+// Variants 1-3 (Figures 1 and 2).
+//
+// SPEC2K binaries cannot be redistributed or executed here, so each
+// benchmark is represented by a Profile and generated synthetically; the
+// paper's experiments depend only on per-resource access rates, IPC, and
+// cache-miss behaviour, which the profiles control directly (see
+// DESIGN.md §2).
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile describes the dynamic behaviour of a synthetic benchmark. The
+// fractions describe the intended instruction mix of the loop body;
+// addressing and loop overhead perturb the realized mix slightly (the
+// generator reports the realized mix via Stats).
+type Profile struct {
+	Name string
+
+	// Instruction-mix fractions; they should sum to roughly 1.
+	IntFrac    float64 // simple integer ALU
+	MulFrac    float64 // integer multiply
+	FPFrac     float64 // floating-point arithmetic
+	LoadFrac   float64 // memory loads
+	StoreFrac  float64 // memory stores
+	BranchFrac float64 // conditional branches (besides the loop-back)
+
+	// Accumulators is the number of independent dependency chains the
+	// integer/FP work is spread over; it is the primary ILP knob.
+	Accumulators int
+
+	// FlakyFrac is the fraction of conditional branches whose direction
+	// is data-dependent pseudo-random (hard to predict); the rest are
+	// strongly biased and predict well.
+	FlakyFrac float64
+
+	// WarmFrac and ColdFrac split memory operations: warm references
+	// stride through a footprint that misses L1 but hits L2; cold
+	// references miss in the L2 and go to memory. The remainder hit L1.
+	WarmFrac float64
+	ColdFrac float64
+
+	// DependentLoads chains cold loads through the address computation
+	// (pointer-chasing flavour): each cold load's address depends on the
+	// previous cold load's value, serializing misses.
+	DependentLoads bool
+
+	// BodyUnits sizes the loop body in generator pattern units
+	// (roughly 1-6 instructions each).
+	BodyUnits int
+}
+
+// Validate reports the first problem with the profile.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile must have a name")
+	}
+	sum := p.IntFrac + p.MulFrac + p.FPFrac + p.LoadFrac + p.StoreFrac + p.BranchFrac
+	if sum < 0.5 || sum > 1.5 {
+		return fmt.Errorf("workload: profile %s mix fractions sum to %.2f, want ~1", p.Name, sum)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"IntFrac", p.IntFrac}, {"MulFrac", p.MulFrac}, {"FPFrac", p.FPFrac},
+		{"LoadFrac", p.LoadFrac}, {"StoreFrac", p.StoreFrac}, {"BranchFrac", p.BranchFrac},
+		{"FlakyFrac", p.FlakyFrac}, {"WarmFrac", p.WarmFrac}, {"ColdFrac", p.ColdFrac},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("workload: profile %s: %s=%.2f out of [0,1]", p.Name, f.name, f.v)
+		}
+	}
+	if p.WarmFrac+p.ColdFrac > 1 {
+		return fmt.Errorf("workload: profile %s: warm+cold fraction %.2f exceeds 1", p.Name, p.WarmFrac+p.ColdFrac)
+	}
+	if p.Accumulators < 1 || p.Accumulators > 8 {
+		return fmt.Errorf("workload: profile %s: accumulators %d out of [1,8]", p.Name, p.Accumulators)
+	}
+	if p.BodyUnits < 8 {
+		return fmt.Errorf("workload: profile %s: body units %d too small", p.Name, p.BodyUnits)
+	}
+	return nil
+}
+
+// specProfiles models the SPEC2K programs named in the paper's figures.
+// The numbers are synthetic but chosen so the suite spans the behaviours
+// the paper relies on: IPC from ~0.3 (mcf) to ~2.5 (crafty/eon/lucas),
+// integer register-file access rates from ~1.5 to ~6 per cycle
+// (Figure 3: all SPEC programs stay below 6), and a spread of L1/L2 miss
+// behaviour. crafty/eon/gzip are the high-IPC, register-hungry programs
+// the paper says "already have power-density problems".
+var specProfiles = map[string]Profile{
+	"applu": {
+		Name: "applu", IntFrac: 0.22, FPFrac: 0.38, LoadFrac: 0.24, StoreFrac: 0.08, BranchFrac: 0.06, MulFrac: 0.02,
+		Accumulators: 6, FlakyFrac: 0.05, WarmFrac: 0.20, ColdFrac: 0.003, BodyUnits: 1200,
+	},
+	"apsi": {
+		Name: "apsi", IntFrac: 0.26, FPFrac: 0.34, LoadFrac: 0.22, StoreFrac: 0.08, BranchFrac: 0.08, MulFrac: 0.02,
+		Accumulators: 5, FlakyFrac: 0.10, WarmFrac: 0.15, ColdFrac: 0.007, BodyUnits: 800,
+	},
+	"art": {
+		Name: "art", IntFrac: 0.24, FPFrac: 0.30, LoadFrac: 0.30, StoreFrac: 0.04, BranchFrac: 0.10, MulFrac: 0.02,
+		Accumulators: 3, FlakyFrac: 0.08, WarmFrac: 0.25, ColdFrac: 0.030, BodyUnits: 800,
+	},
+	"bzip2": {
+		Name: "bzip2", IntFrac: 0.44, FPFrac: 0.00, LoadFrac: 0.28, StoreFrac: 0.10, BranchFrac: 0.16, MulFrac: 0.02,
+		Accumulators: 4, FlakyFrac: 0.20, WarmFrac: 0.12, ColdFrac: 0.006, BodyUnits: 800,
+	},
+	"crafty": {
+		Name: "crafty", IntFrac: 0.52, FPFrac: 0.00, LoadFrac: 0.28, StoreFrac: 0.06, BranchFrac: 0.12, MulFrac: 0.02,
+		Accumulators: 7, FlakyFrac: 0.18, WarmFrac: 0.05, ColdFrac: 0.003, BodyUnits: 1200,
+	},
+	"eon": {
+		Name: "eon", IntFrac: 0.38, FPFrac: 0.16, LoadFrac: 0.26, StoreFrac: 0.10, BranchFrac: 0.08, MulFrac: 0.02,
+		Accumulators: 7, FlakyFrac: 0.05, WarmFrac: 0.04, ColdFrac: 0.003, BodyUnits: 1200,
+	},
+	"equake": {
+		Name: "equake", IntFrac: 0.24, FPFrac: 0.30, LoadFrac: 0.30, StoreFrac: 0.06, BranchFrac: 0.08, MulFrac: 0.02,
+		Accumulators: 3, FlakyFrac: 0.06, WarmFrac: 0.30, ColdFrac: 0.018, BodyUnits: 800,
+	},
+	"gap": {
+		Name: "gap", IntFrac: 0.44, FPFrac: 0.02, LoadFrac: 0.26, StoreFrac: 0.10, BranchFrac: 0.14, MulFrac: 0.04,
+		Accumulators: 5, FlakyFrac: 0.12, WarmFrac: 0.10, ColdFrac: 0.007, BodyUnits: 800,
+	},
+	"gcc": {
+		Name: "gcc", IntFrac: 0.42, FPFrac: 0.00, LoadFrac: 0.26, StoreFrac: 0.12, BranchFrac: 0.18, MulFrac: 0.02,
+		Accumulators: 4, FlakyFrac: 0.25, WarmFrac: 0.18, ColdFrac: 0.010, BodyUnits: 800,
+	},
+	"gzip": {
+		Name: "gzip", IntFrac: 0.48, FPFrac: 0.00, LoadFrac: 0.26, StoreFrac: 0.08, BranchFrac: 0.16, MulFrac: 0.02,
+		Accumulators: 6, FlakyFrac: 0.12, WarmFrac: 0.06, ColdFrac: 0.005, BodyUnits: 800,
+	},
+	"lucas": {
+		Name: "lucas", IntFrac: 0.20, FPFrac: 0.44, LoadFrac: 0.22, StoreFrac: 0.08, BranchFrac: 0.04, MulFrac: 0.02,
+		Accumulators: 7, FlakyFrac: 0.02, WarmFrac: 0.10, ColdFrac: 0.005, BodyUnits: 1200,
+	},
+	"mcf": {
+		Name: "mcf", IntFrac: 0.30, FPFrac: 0.00, LoadFrac: 0.36, StoreFrac: 0.08, BranchFrac: 0.24, MulFrac: 0.02,
+		Accumulators: 2, FlakyFrac: 0.30, WarmFrac: 0.20, ColdFrac: 0.060, DependentLoads: true, BodyUnits: 800,
+	},
+	"mesa": {
+		Name: "mesa", IntFrac: 0.30, FPFrac: 0.28, LoadFrac: 0.24, StoreFrac: 0.10, BranchFrac: 0.06, MulFrac: 0.02,
+		Accumulators: 6, FlakyFrac: 0.05, WarmFrac: 0.05, ColdFrac: 0.005, BodyUnits: 1200,
+	},
+	"parser": {
+		Name: "parser", IntFrac: 0.40, FPFrac: 0.00, LoadFrac: 0.28, StoreFrac: 0.10, BranchFrac: 0.20, MulFrac: 0.02,
+		Accumulators: 3, FlakyFrac: 0.22, WarmFrac: 0.15, ColdFrac: 0.013, BodyUnits: 800,
+	},
+	"twolf": {
+		Name: "twolf", IntFrac: 0.40, FPFrac: 0.04, LoadFrac: 0.28, StoreFrac: 0.08, BranchFrac: 0.18, MulFrac: 0.02,
+		Accumulators: 3, FlakyFrac: 0.18, WarmFrac: 0.28, ColdFrac: 0.018, BodyUnits: 800,
+	},
+	"vpr": {
+		Name: "vpr", IntFrac: 0.38, FPFrac: 0.08, LoadFrac: 0.28, StoreFrac: 0.08, BranchFrac: 0.16, MulFrac: 0.02,
+		Accumulators: 4, FlakyFrac: 0.15, WarmFrac: 0.20, ColdFrac: 0.022, BodyUnits: 800,
+	},
+	"vortex": {
+		Name: "vortex", IntFrac: 0.42, FPFrac: 0.00, LoadFrac: 0.28, StoreFrac: 0.14, BranchFrac: 0.14, MulFrac: 0.02,
+		Accumulators: 5, FlakyFrac: 0.08, WarmFrac: 0.14, ColdFrac: 0.004, BodyUnits: 800,
+	},
+}
+
+// SpecNames returns the benchmark names in stable (sorted) order.
+func SpecNames() []string {
+	names := make([]string, 0, len(specProfiles))
+	for n := range specProfiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SpecProfile returns the profile for a named SPEC2K-like benchmark.
+func SpecProfile(name string) (Profile, error) {
+	p, ok := specProfiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, SpecNames())
+	}
+	return p, nil
+}
