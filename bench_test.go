@@ -10,10 +10,13 @@
 package heatstroke_test
 
 import (
+	"context"
+	"io"
 	"os"
 	"testing"
 
 	heatstroke "github.com/heatstroke-sim/heatstroke"
+	"github.com/heatstroke-sim/heatstroke/internal/sweep"
 )
 
 func benchOptions(b *testing.B) heatstroke.ExperimentOptions {
@@ -99,6 +102,57 @@ func BenchmarkAblationAbsoluteThreshold(b *testing.B) { runExperiment(b, "ablati
 func BenchmarkAblationMultiCulprit(b *testing.B) { runExperiment(b, "ablation-multiculprit") }
 
 // ---- substrate microbenchmarks ----
+
+// BenchmarkSweepEngine measures the sweep scheduler's per-job overhead
+// (feeder, workers, metrics aggregation) with trivial jobs, so the
+// orchestration cost stays invisible next to real simulations.
+func BenchmarkSweepEngine(b *testing.B) {
+	jobs := make([]sweep.Job[int64], 256)
+	for i := range jobs {
+		key := "job" + string(rune('a'+i%26))
+		jobs[i] = sweep.Job[int64]{
+			Key: key,
+			Run: func(context.Context) (int64, error) {
+				return sweep.DeriveSeed(1, key), nil
+			},
+		}
+	}
+	opts := sweep.Options[int64]{
+		Parallelism: 4,
+		Metrics: func(r sweep.JobResult[int64]) map[string]float64 {
+			return map[string]float64{"seed": float64(r.Value % 1000)}
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.Run(context.Background(), jobs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableExport measures the JSON and CSV artifact encoders on
+// a full-evaluation-sized table.
+func BenchmarkTableExport(b *testing.B) {
+	tb := &heatstroke.ExperimentTable{
+		Title:   "bench",
+		Columns: []string{"benchmark", "ipc", "peak", "emergencies"},
+	}
+	for i := 0; i < 200; i++ {
+		tb.Rows = append(tb.Rows, []string{"crafty", "1.93", "358.2", "12"})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tb.WriteJSON(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if err := tb.WriteCSV(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkPipelineCycles measures raw simulation speed: reported as
 // ns per simulated cycle of a busy 2-thread pipeline.

@@ -5,22 +5,38 @@
 //	heatstroke -experiment fig5                 # one experiment
 //	heatstroke -experiment all                  # the whole evaluation
 //	heatstroke -experiment fig4 -bench crafty,mcf -quantum 8000000
+//	heatstroke -experiment fig5 -format json    # machine-readable artifact
+//	heatstroke -experiment all -format csv -out artifacts/
 //	heatstroke -list                            # list experiments
+//
+// Tables render as ASCII by default; -format json/csv emits structured
+// artifacts (JSON includes the sweep's execution summary — job counts,
+// wall times, simulated cycles/sec, peak temperatures). With -out the
+// artifacts are written to files (a directory when running several
+// experiments); without it they go to stdout. Progress and timing are
+// printed to stderr so stdout stays parseable. Interrupting the run
+// (SIGINT/SIGTERM) cancels the sweep: running simulations finish,
+// pending ones are skipped.
 //
 // The -scale flag trades fidelity for speed (DESIGN.md §6): -scale 1
 // -quantum 500000000 is the paper's physical time base.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/heatstroke-sim/heatstroke/internal/config"
 	"github.com/heatstroke-sim/heatstroke/internal/experiment"
+	"github.com/heatstroke-sim/heatstroke/internal/sweep"
 )
 
 func main() {
@@ -31,8 +47,10 @@ func main() {
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
 	quantum := flag.Int64("quantum", 0, "cycles per OS quantum (default: config)")
 	scale := flag.Float64("scale", 0, "thermal scale factor (default 16; 1 = paper time base)")
-	seed := flag.Int64("seed", 0, "workload generation seed")
+	seed := flag.Int64("seed", 0, "workload generation seed (0 = config default)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (default: GOMAXPROCS)")
+	format := flag.String("format", "table", "artifact format: table, json, or csv")
+	out := flag.String("out", "", "write artifacts to this file (one experiment) or directory (default: stdout)")
 	flag.Parse()
 
 	if *list {
@@ -44,6 +62,10 @@ func main() {
 	if *name == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	f, err := sweep.ParseFormat(*format)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	cfg := config.Default()
@@ -66,13 +88,62 @@ func main() {
 	if *name == "all" {
 		names = experiment.Names()
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	for _, n := range names {
 		start := time.Now()
-		table, err := experiment.Run(n, opts)
+		table, err := experiment.RunContext(ctx, n, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		table.Render(os.Stdout)
-		fmt.Printf("  (%s in %.1fs)\n\n", n, time.Since(start).Seconds())
+		if err := emit(table, n, f, *out, len(names) > 1); err != nil {
+			log.Fatal(err)
+		}
+		status := fmt.Sprintf("%s in %.1fs", n, time.Since(start).Seconds())
+		if table.Summary != nil {
+			status += ": " + table.Summary.String()
+		}
+		fmt.Fprintf(os.Stderr, "  (%s)\n", status)
 	}
+}
+
+// emit writes one artifact. An empty path means stdout; otherwise the
+// path is a file for a single experiment, or a directory (created if
+// missing) holding <experiment>.<ext> when several run.
+func emit(t *sweep.Table, name string, f sweep.Format, path string, multi bool) error {
+	if path == "" {
+		if err := t.Write(os.Stdout, f); err != nil {
+			return err
+		}
+		if f == sweep.FormatTable {
+			fmt.Println()
+		}
+		return nil
+	}
+	if multi || strings.HasSuffix(path, string(os.PathSeparator)) || isDir(path) {
+		if err := os.MkdirAll(path, 0o755); err != nil {
+			return err
+		}
+		path = filepath.Join(path, name+"."+f.Ext())
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(file, f); err != nil {
+		file.Close()
+		return err
+	}
+	if err := file.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "  wrote %s\n", path)
+	return nil
+}
+
+func isDir(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && info.IsDir()
 }

@@ -29,6 +29,8 @@
 package heatstroke
 
 import (
+	"context"
+
 	"github.com/heatstroke-sim/heatstroke/internal/config"
 	score "github.com/heatstroke-sim/heatstroke/internal/core"
 	"github.com/heatstroke-sim/heatstroke/internal/dtm"
@@ -37,6 +39,7 @@ import (
 	"github.com/heatstroke-sim/heatstroke/internal/osched"
 	"github.com/heatstroke-sim/heatstroke/internal/power"
 	"github.com/heatstroke-sim/heatstroke/internal/sim"
+	"github.com/heatstroke-sim/heatstroke/internal/sweep"
 	"github.com/heatstroke-sim/heatstroke/internal/workload"
 )
 
@@ -141,8 +144,15 @@ func NewScheduler(cfg Config, tasks []*Task, opts SchedulerOptions) (*Scheduler,
 	return osched.New(cfg, tasks, opts)
 }
 
-// ExperimentTable is a rendered experiment artifact.
+// ExperimentTable is a rendered experiment artifact. It is a
+// sweep.Table: Render/String give aligned ASCII, WriteJSON/WriteCSV
+// give machine-readable exports, and Summary carries the sweep's
+// execution metrics (job counts, wall times, simulated cycles/sec,
+// peak temperatures).
 type ExperimentTable = experiment.Table
+
+// SweepSummary aggregates a sweep's execution metrics.
+type SweepSummary = sweep.Summary
 
 // ExperimentOptions configures the evaluation harness.
 type ExperimentOptions = experiment.Options
@@ -154,3 +164,15 @@ func ExperimentNames() []string { return experiment.Names() }
 func RunExperiment(name string, o ExperimentOptions) (*ExperimentTable, error) {
 	return experiment.Run(name, o)
 }
+
+// RunExperimentContext is RunExperiment with cancellation: cancelling
+// the context stops the experiment's sweep (running simulations
+// finish, pending ones are skipped, and an error is returned).
+func RunExperimentContext(ctx context.Context, name string, o ExperimentOptions) (*ExperimentTable, error) {
+	return experiment.RunContext(ctx, name, o)
+}
+
+// DeriveSeed deterministically derives a per-job seed from a base seed
+// and a job key; sweeps seeded through it are reproducible regardless
+// of parallelism.
+func DeriveSeed(base int64, key string) int64 { return sweep.DeriveSeed(base, key) }

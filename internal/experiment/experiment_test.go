@@ -1,11 +1,14 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
 
 	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
 )
 
 // tinyOptions keeps experiment smoke tests fast: two benchmarks, short
@@ -36,7 +39,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
-	tb, err := Table1(tinyOptions())
+	tb, err := Table1(context.Background(), tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +52,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFigure3Smoke(t *testing.T) {
-	tb, err := Figure3(tinyOptions())
+	tb, err := Figure3(context.Background(), tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +79,7 @@ func TestFigure3Smoke(t *testing.T) {
 }
 
 func TestFigure4Smoke(t *testing.T) {
-	tb, err := Figure4(tinyOptions())
+	tb, err := Figure4(context.Background(), tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +98,7 @@ func TestFigure4Smoke(t *testing.T) {
 func TestFigure5Smoke(t *testing.T) {
 	o := tinyOptions()
 	o.Benchmarks = []string{"crafty"}
-	tb, err := Figure5(o)
+	tb, err := Figure5(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +113,7 @@ func TestFigure5Smoke(t *testing.T) {
 func TestFigure6Smoke(t *testing.T) {
 	o := tinyOptions()
 	o.Benchmarks = []string{"mcf"}
-	tb, err := Figure6(o)
+	tb, err := Figure6(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +130,7 @@ func TestFigure6Smoke(t *testing.T) {
 func TestThresholdsSmoke(t *testing.T) {
 	o := tinyOptions()
 	o.Benchmarks = []string{"crafty"}
-	tb, err := Thresholds(o)
+	tb, err := Thresholds(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +140,7 @@ func TestThresholdsSmoke(t *testing.T) {
 }
 
 func TestSpecPairsSmoke(t *testing.T) {
-	tb, err := SpecPairs(tinyOptions())
+	tb, err := SpecPairs(context.Background(), tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,14 +149,14 @@ func TestSpecPairsSmoke(t *testing.T) {
 	}
 	o := tinyOptions()
 	o.Benchmarks = []string{"crafty"}
-	if _, err := SpecPairs(o); err == nil {
+	if _, err := SpecPairs(context.Background(), o); err == nil {
 		t.Error("single benchmark should fail")
 	}
 }
 
 func TestAblationMultiCulpritSmoke(t *testing.T) {
 	o := tinyOptions()
-	tb, err := AblationMultiCulprit(o)
+	tb, err := AblationMultiCulprit(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,14 +189,45 @@ func TestOptionsNormalization(t *testing.T) {
 	}
 }
 
-func TestRunJobsPropagatesErrors(t *testing.T) {
-	o := tinyOptions()
+func TestRunSweepPropagatesErrors(t *testing.T) {
+	o := tinyOptions().normalized()
 	spec, err := specThread("crafty", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	j := soloJob(o, "bad", spec, "voodoo-policy", false)
-	if _, err := runJobs([]job{j}, 1); err == nil {
+	good := soloJob(o, "good", spec, dtm.StopAndGo, false)
+	bad := soloJob(o, "bad", spec, "voodoo-policy", false)
+	o.Parallelism = 1
+	results, sum, err := runSweep(context.Background(), []job{good, bad}, o)
+	if err == nil {
 		t.Error("bad policy job should surface an error")
+	}
+	if results != nil {
+		t.Errorf("results should be nil on error, got %v", results)
+	}
+	// The summary still accounts for the work that did complete.
+	if sum == nil || sum.Jobs != 2 || sum.Succeeded != 1 || sum.Failed != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestRunSweepCancellation(t *testing.T) {
+	o := tinyOptions().normalized()
+	spec, err := specThread("crafty", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var jobs []job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, soloJob(o, fmt.Sprintf("j%d", i), spec, dtm.StopAndGo, false))
+	}
+	_, sum, err := runSweep(ctx, jobs, o)
+	if err == nil {
+		t.Error("cancelled sweep should return an error")
+	}
+	if sum.Skipped == 0 {
+		t.Errorf("cancelled sweep should skip jobs: %+v", sum)
 	}
 }

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/heatstroke-sim/heatstroke/internal/dtm"
@@ -15,7 +17,7 @@ import (
 // SPEC program stays below ~6/cycle; Variant1 is far above the SPEC
 // range; Variants 2 and 3 fall inside it (indistinguishable by flat
 // average).
-func Figure3(o Options) (*Table, error) {
+func Figure3(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalized()
 	var jobs []job
 	for _, b := range o.Benchmarks {
@@ -32,7 +34,7 @@ func Figure3(o Options) (*Table, error) {
 		}
 		jobs = append(jobs, soloJob(o, t.Name, t, dtm.None, true))
 	}
-	results, err := runJobs(jobs, o.Parallelism)
+	results, sum, err := runSweep(ctx, jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -51,6 +53,7 @@ func Figure3(o Options) (*Table, error) {
 	}
 	table.Notes = append(table.Notes,
 		fmt.Sprintf("SPEC ceiling %.2f/cycle; paper reports all SPEC below ~6 with variant1 ~10, variant2 ~4, variant3 ~1.5", specMax))
+	table.Summary = sum
 	return table, nil
 }
 
@@ -59,7 +62,7 @@ func Figure3(o Options) (*Table, error) {
 // stop-and-go, (3) with Variant2 under selective sedation. The paper's
 // claims: few or no emergencies solo, a large increase under attack,
 // and restoration to roughly the solo count under sedation.
-func Figure4(o Options) (*Table, error) {
+func Figure4(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalized()
 	var jobs []job
 	for _, b := range o.Benchmarks {
@@ -77,7 +80,7 @@ func Figure4(o Options) (*Table, error) {
 			pairJob(o, b+"/sedation", spec, v2, dtm.SelectiveSedation, false),
 		)
 	}
-	results, err := runJobs(jobs, o.Parallelism)
+	results, sum, err := runSweep(ctx, jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -93,6 +96,7 @@ func Figure4(o Options) (*Table, error) {
 			fmt.Sprintf("%d", results[b+"/sedation"].Emergencies),
 		})
 	}
+	table.Summary = sum
 	return table, nil
 }
 
@@ -102,7 +106,7 @@ func Figure4(o Options) (*Table, error) {
 // pair (isolating ICOUNT effects), the realistic-sink pair under
 // stop-and-go (the heat-stroke damage), and the realistic-sink pair
 // under selective sedation (the recovery).
-func Figure5(o Options) (*Table, error) {
+func Figure5(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalized()
 	var jobs []job
 	for _, b := range o.Benchmarks {
@@ -126,7 +130,7 @@ func Figure5(o Options) (*Table, error) {
 			)
 		}
 	}
-	results, err := runJobs(jobs, o.Parallelism)
+	results, sum, err := runSweep(ctx, jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -161,6 +165,7 @@ func Figure5(o Options) (*Table, error) {
 	table.Notes = append(table.Notes,
 		fmt.Sprintf("variant2 mean IPC: solo-real %.2f, under attack %.2f (%.1f%% degradation), with sedation %.2f (paper: 1.28 solo, 88.2%% degradation, 1.29 restored)",
 			soloSum/n, attackSum/n, 100*(1-attackSum/soloSum), sedateSum/n))
+	table.Summary = sum
 	return table, nil
 }
 
@@ -170,7 +175,7 @@ func Figure5(o Options) (*Table, error) {
 // stop-and-go, (3) attack under selective sedation — plus Variant2's
 // own breakdown under sedation (it should spend most of its time
 // sedated).
-func Figure6(o Options) (*Table, error) {
+func Figure6(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalized()
 	var jobs []job
 	for _, b := range o.Benchmarks {
@@ -188,7 +193,7 @@ func Figure6(o Options) (*Table, error) {
 			pairJob(o, b+"/sedation", spec, v2, dtm.SelectiveSedation, false),
 		)
 	}
-	results, err := runJobs(jobs, o.Parallelism)
+	results, sum, err := runSweep(ctx, jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -215,6 +220,7 @@ func Figure6(o Options) (*Table, error) {
 			b, pct(sn), pct(sc), pct(an), pct(ac), pct(dn), pct(dc), pct(vs),
 		})
 	}
+	table.Summary = sum
 	return table, nil
 }
 

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden table files")
+
+// goldenCompare diffs a rendered table against its checked-in golden
+// file; `go test ./internal/experiment -run Golden -update` rewrites
+// the files after an intentional format or model change.
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output drifted from golden file %s:\n--- got\n%s\n--- want\n%s",
+			name, path, got, want)
+	}
+}
+
+// TestGoldenTable1 locks the exact Table 1 rendering — configuration
+// reporting drift corrupts every exported artifact downstream.
+func TestGoldenTable1(t *testing.T) {
+	tb, err := Table1(context.Background(), tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "table1", tb.String())
+}
+
+// TestGoldenTiming locks the timing experiment's rendered table at a
+// small explicit quantum and fixed seed. Byte-identical output also
+// re-verifies the simulation's determinism end to end.
+func TestGoldenTiming(t *testing.T) {
+	o := tinyOptions()
+	o.Benchmarks = []string{"crafty"}
+	o.Quantum = 2_000_000
+	o.Seed = 5
+	tb, err := Timing(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "timing", tb.String())
+}

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/heatstroke-sim/heatstroke/internal/dtm"
@@ -37,7 +39,7 @@ func (o Options) subset() []string {
 // as the package improves (smaller convection resistance). The sweep
 // runs each benchmark with Variant2 under stop-and-go and under
 // sedation for a range of convection resistances.
-func HeatSink(o Options) (*Table, error) {
+func HeatSink(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalized()
 	benches := o.subset()
 	resistances := []float64{0.8, 0.65, 0.5, 0.35}
@@ -62,7 +64,7 @@ func HeatSink(o Options) (*Table, error) {
 			jobs = append(jobs, j)
 		}
 	}
-	results, err := runJobs(jobs, o.Parallelism)
+	results, sum, err := runSweep(ctx, jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +88,7 @@ func HeatSink(o Options) (*Table, error) {
 	}
 	table.Notes = append(table.Notes,
 		"paper claim: better packaging does not remove the attack; sedation stays effective at every resistance")
+	table.Summary = sum
 	return table, nil
 }
 
@@ -93,7 +96,7 @@ func HeatSink(o Options) (*Table, error) {
 // is not critically sensitive to the exact upper/lower thresholds. The
 // sweep varies the threshold pair and reports the victim's IPC and the
 // emergency count under a Variant2 attack.
-func Thresholds(o Options) (*Table, error) {
+func Thresholds(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalized()
 	benches := o.subset()
 	pairs := []struct{ upper, lower float64 }{
@@ -120,7 +123,7 @@ func Thresholds(o Options) (*Table, error) {
 			jobs = append(jobs, j)
 		}
 	}
-	results, err := runJobs(jobs, o.Parallelism)
+	results, sum, err := runSweep(ctx, jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -138,6 +141,7 @@ func Thresholds(o Options) (*Table, error) {
 	}
 	table.Notes = append(table.Notes,
 		"paper claim: effectiveness is not critically sensitive to the thresholds chosen")
+	table.Summary = sum
 	return table, nil
 }
 
@@ -145,7 +149,7 @@ func Thresholds(o Options) (*Table, error) {
 // selective sedation does not hurt pairs of normal programs. Every
 // adjacent pair of benchmarks runs under stop-and-go and under
 // sedation; per-thread IPCs should match closely.
-func SpecPairs(o Options) (*Table, error) {
+func SpecPairs(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalized()
 	benches := o.Benchmarks
 	if len(benches) < 2 {
@@ -168,7 +172,7 @@ func SpecPairs(o Options) (*Table, error) {
 			pairJob(o, key+"/sedation", ta, tb, dtm.SelectiveSedation, false),
 		)
 	}
-	results, err := runJobs(jobs, o.Parallelism)
+	results, sum, err := runSweep(ctx, jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -197,6 +201,7 @@ func SpecPairs(o Options) (*Table, error) {
 	}
 	table.Notes = append(table.Notes,
 		fmt.Sprintf("worst per-thread slowdown of sedation vs stop-and-go: %.1f%% (paper: sedation does not adversely affect normal pairs)", 100*worst))
+	table.Summary = sum
 	return table, nil
 }
 

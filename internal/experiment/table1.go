@@ -1,11 +1,39 @@
 package experiment
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"github.com/heatstroke-sim/heatstroke/internal/sweep"
+)
 
 // Table1 renders the system parameters (the paper's Table 1) from the
-// active configuration.
-func Table1(o Options) (*Table, error) {
+// active configuration. It runs no simulations, but the config
+// validation and row construction still execute as a (single-job)
+// sweep so every experiment shares the same substrate: cancellation,
+// error accounting, and an execution Summary on the artifact.
+func Table1(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalized()
+	jobs := []sweep.Job[[][]string]{{
+		Key: NameTable1,
+		Run: func(context.Context) ([][]string, error) { return table1Rows(o) },
+	}}
+	res, err := sweep.Run(ctx, jobs, sweep.Options[[][]string]{
+		Parallelism: o.Parallelism,
+		Policy:      sweep.FailFast,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	return &Table{
+		Title:   "Table 1: System parameters",
+		Columns: []string{"Parameter", "Value"},
+		Rows:    res.Jobs[0].Value,
+		Summary: &res.Summary,
+	}, nil
+}
+
+func table1Rows(o Options) ([][]string, error) {
 	c := o.Config
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -31,9 +59,5 @@ func Table1(o Options) (*Table, error) {
 		{"Thermal scale (repro)", fmt.Sprintf("%.0fx", c.Thermal.Scale)},
 		{"OS quantum", fmt.Sprintf("%d cycles", o.Quantum)},
 	}
-	return &Table{
-		Title:   "Table 1: System parameters",
-		Columns: []string{"Parameter", "Value"},
-		Rows:    rows,
-	}, nil
+	return rows, nil
 }

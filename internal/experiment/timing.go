@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"fmt"
 
 	"github.com/heatstroke-sim/heatstroke/internal/dtm"
@@ -14,7 +16,8 @@ import (
 // and the resulting duty cycle ("1.2/(1.2+12.5) = 0.09" in the paper,
 // at the paper's time base). Times are reported both in scaled cycles
 // (as simulated) and milliseconds at the paper's 4 GHz / scale-1 base.
-func Timing(o Options) (*Table, error) {
+func Timing(ctx context.Context, o Options) (*Table, error) {
+	explicitQuantum := o.Quantum > 0
 	o = o.normalized()
 	benches := o.subset()
 	var jobs []job
@@ -29,13 +32,15 @@ func Timing(o Options) (*Table, error) {
 		}
 		j := pairJob(o, b, spec, v2, dtm.StopAndGo, false)
 		j.opts.TraceTemps = true
-		// Timing statistics want several heat-cool cycles.
-		if j.cfg.Run.QuantumCycles < 12_000_000 {
+		// Timing statistics want several heat-cool cycles, so the
+		// config default is raised — but an explicitly requested
+		// quantum is honoured as-is.
+		if !explicitQuantum && j.cfg.Run.QuantumCycles < 12_000_000 {
 			j.cfg.Run.QuantumCycles = 12_000_000
 		}
 		jobs = append(jobs, j)
 	}
-	results, err := runJobs(jobs, o.Parallelism)
+	results, sum, err := runSweep(ctx, jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -69,6 +74,7 @@ func Timing(o Options) (*Table, error) {
 	}
 	table.Notes = append(table.Notes,
 		"paper (Section 3.1): a mildly malicious thread heats the register file in ~1.2 ms, each cooling stall is ~12.5 ms, duty cycle ~0.09")
+	table.Summary = sum
 	return table, nil
 }
 
@@ -106,7 +112,7 @@ func heatCoolDurations(r *sim.Result, emergencyK, intervalCycles float64) (heat,
 // round-robin, yet heat stroke persists either way — the paper's
 // argument that the attack "does not exploit ICOUNT in any way"
 // (Section 1) made concrete.
-func AblationFetchPolicy(o Options) (*Table, error) {
+func AblationFetchPolicy(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalized()
 	benches := o.subset()
 	var jobs []job
@@ -128,7 +134,7 @@ func AblationFetchPolicy(o Options) (*Table, error) {
 		}
 		jobs = append(jobs, soloJob(o, b+"/solo", spec, dtm.None, true))
 	}
-	results, err := runJobs(jobs, o.Parallelism)
+	results, sum, err := runSweep(ctx, jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -152,13 +158,14 @@ func AblationFetchPolicy(o Options) (*Table, error) {
 	}
 	table.Notes = append(table.Notes,
 		"ideal-sink columns show the pure fetch-competition cost; realistic columns add the thermal attack, which survives the round-robin policy")
+	table.Summary = sum
 	return table, nil
 }
 
 // Policies compares every DTM baseline against the same Variant2
 // attack: the victim's IPC and the machine's emergency behaviour under
 // no management, stop-and-go, DVS, TTDFS, and selective sedation.
-func Policies(o Options) (*Table, error) {
+func Policies(ctx context.Context, o Options) (*Table, error) {
 	o = o.normalized()
 	benches := o.subset()
 	kinds := []dtm.Kind{dtm.None, dtm.StopAndGo, dtm.DVS, dtm.TTDFS, dtm.SelectiveSedation}
@@ -176,7 +183,7 @@ func Policies(o Options) (*Table, error) {
 			jobs = append(jobs, pairJob(o, b+"/"+string(k), spec, v2, k, false))
 		}
 	}
-	results, err := runJobs(jobs, o.Parallelism)
+	results, sum, err := runSweep(ctx, jobs, o)
 	if err != nil {
 		return nil, err
 	}
@@ -194,5 +201,6 @@ func Policies(o Options) (*Table, error) {
 	}
 	table.Notes = append(table.Notes,
 		"'none' and 'ttdfs' let the die exceed the emergency temperature (the paper's reason for excluding TTDFS); sedation keeps both the victim fast and the die cool")
+	table.Summary = sum
 	return table, nil
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestHeatCoolDurations(t *testing.T) {
 func TestTimingSmoke(t *testing.T) {
 	o := tinyOptions()
 	o.Benchmarks = []string{"crafty"}
-	tb, err := Timing(o)
+	tb, err := Timing(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestTimingSmoke(t *testing.T) {
 func TestPoliciesSmoke(t *testing.T) {
 	o := tinyOptions()
 	o.Benchmarks = []string{"mcf"}
-	tb, err := Policies(o)
+	tb, err := Policies(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestPoliciesSmoke(t *testing.T) {
 func TestAblationFetchPolicySmoke(t *testing.T) {
 	o := tinyOptions()
 	o.Benchmarks = []string{"mcf"}
-	tb, err := AblationFetchPolicy(o)
+	tb, err := AblationFetchPolicy(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}

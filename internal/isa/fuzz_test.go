@@ -1,0 +1,86 @@
+// Fuzz tests live in an external test package so the seed corpus can
+// draw on internal/workload's paper listings and generated programs
+// without an import cycle.
+package isa_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/isa"
+	"github.com/heatstroke-sim/heatstroke/internal/workload"
+)
+
+// FuzzAssemble asserts the assembler never panics on arbitrary source:
+// every input either assembles into a valid program or returns an
+// error. Successful parses must disassemble and reassemble cleanly
+// (the round-trip Disassemble documents).
+func FuzzAssemble(f *testing.F) {
+	// Seed corpus: the paper's listings, the attack example's unrolled
+	// loop, disassemblies of generated workloads, and malformed edge
+	// cases around labels, operands, and immediates.
+	f.Add(workload.FigureOneListing)
+	f.Add(workload.FigureTwoListing)
+	var unrolled strings.Builder
+	unrolled.WriteString("L$1:\n")
+	for i := 0; i < 48; i++ {
+		unrolled.WriteString("\taddl $1, $2, $3\n")
+	}
+	unrolled.WriteString("\tbr L$1\n")
+	f.Add(unrolled.String())
+	for _, name := range []string{"crafty", "mcf"} {
+		prog, err := workload.Spec(name, 1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(isa.Disassemble(prog))
+	}
+	for _, name := range workload.KernelNames() {
+		prog, err := workload.Kernel(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(isa.Disassemble(prog))
+	}
+	for _, v := range []int{1, 2, 3} {
+		prog, err := workload.Variant(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(isa.Disassemble(prog))
+	}
+	f.Add("L$1:\taddl $1, $2, $3\n\tldq $4, 8($2)\n\tstq $4, 16($2)\n\tbeqz $4, L$1\n\tbr L$1\n")
+	f.Add("a: b: c:\n")
+	f.Add(":")
+	f.Add("x::")
+	f.Add("addl $1, $2")
+	f.Add("addl $99, $2, $3")
+	f.Add("movi $1, 99999999999999999999999")
+	f.Add("ldq $4, 8(")
+	f.Add("ldq $4, ($2)")
+	f.Add("ldt $f0, 0($f1)")
+	f.Add("br")
+	f.Add("br nowhere")
+	f.Add("beqz $4, L$1 extra")
+	f.Add("addl $1 $2 $3")
+	f.Add("nop nop")
+	f.Add("# comment only\n; another\n")
+	f.Add("\x00\xff\tmovi $1, -1\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := isa.Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		if prog == nil {
+			t.Fatal("nil program with nil error")
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("assembled program fails validation: %v", err)
+		}
+		// The documented round-trip: disassembly must reassemble.
+		if _, err := isa.Assemble("roundtrip", isa.Disassemble(prog)); err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\nsource:\n%s", err, src)
+		}
+	})
+}

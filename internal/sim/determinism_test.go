@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/workload"
+)
+
+// TestRunDeterminism locks in bit-for-bit reproducibility: two
+// simulators built from identical config, threads, and seed must
+// produce identical Result structs — the property the sweep engine
+// relies on for reproducible tables at any parallelism.
+func TestRunDeterminism(t *testing.T) {
+	run := func() *Result {
+		cfg := quickCfg()
+		cfg.Run.Seed = 7
+		spec, err := workload.Spec("crafty", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attacker, err := workload.VariantForScale(2, cfg.Thermal.Scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(cfg, []Thread{
+			{Name: "crafty", Prog: spec},
+			{Name: "variant2", Prog: attacker},
+		}, Options{Policy: dtm.SelectiveSedation, WarmupCycles: 100_000, TraceTemps: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical runs diverged:\n a = %+v\n b = %+v", a, b)
+	}
+}

@@ -1,0 +1,136 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered sweep artifact: the rows of one of the paper's
+// tables or figures, plus free-form notes and the sweep's execution
+// Summary. The Summary carries timing and is excluded from Render and
+// String so rendered tables are byte-identical for deterministic
+// sweeps regardless of parallelism; the JSON export includes it under
+// a separate key.
+type Table struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	Summary *Summary   `json:"summary,omitempty"`
+}
+
+// Format identifies an artifact encoding.
+type Format string
+
+const (
+	FormatTable Format = "table" // aligned ASCII (Render)
+	FormatJSON  Format = "json"
+	FormatCSV   Format = "csv"
+)
+
+// Formats lists the supported artifact encodings.
+func Formats() []Format { return []Format{FormatTable, FormatJSON, FormatCSV} }
+
+// ParseFormat validates a format name.
+func ParseFormat(s string) (Format, error) {
+	for _, f := range Formats() {
+		if string(f) == strings.ToLower(strings.TrimSpace(s)) {
+			return f, nil
+		}
+	}
+	return "", fmt.Errorf("sweep: unknown format %q (have %v)", s, Formats())
+}
+
+// Ext is the conventional file extension for the format.
+func (f Format) Ext() string {
+	if f == FormatTable {
+		return "txt"
+	}
+	return string(f)
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// WriteJSON writes the table (title, columns, rows, notes, summary) as
+// indented JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// WriteCSV writes the column header and rows as RFC-4180 CSV. Notes
+// and the Summary are not representable in CSV; use JSON for them.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Write encodes the table in the given format.
+func (t *Table) Write(w io.Writer, f Format) error {
+	switch f {
+	case FormatJSON:
+		return t.WriteJSON(w)
+	case FormatCSV:
+		return t.WriteCSV(w)
+	case FormatTable:
+		t.Render(w)
+		return nil
+	default:
+		return fmt.Errorf("sweep: unknown format %q", f)
+	}
+}

@@ -1,0 +1,121 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		Title:   "Figure X: sample",
+		Columns: []string{"benchmark", "ipc", "peak K"},
+		Rows: [][]string{
+			{"crafty", "1.93", "356.2"},
+			{"mcf", "0.41", "351.0"},
+			{"name,with\"quirks", "0.00", "0.0"},
+		},
+		Notes: []string{"paper claim: sample"},
+	}
+}
+
+// TestRenderGolden locks the exact ASCII rendering so format drift is
+// caught before it corrupts exported artifacts.
+func TestRenderGolden(t *testing.T) {
+	want := "Figure X: sample\n" +
+		"  benchmark         ipc   peak K\n" +
+		"  ----------------  ----  ------\n" +
+		"  crafty            1.93  356.2\n" +
+		"  mcf               0.41  351.0\n" +
+		"  name,with\"quirks  0.00  0.0\n" +
+		"  note: paper claim: sample\n"
+	if got := sampleTable().String(); got != want {
+		t.Errorf("render drifted:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	tb := sampleTable()
+	tb.Summary = &Summary{
+		Jobs: 3, Succeeded: 3, Parallelism: 2,
+		WallTime: time.Second, JobTime: 2 * time.Second,
+		Metrics: map[string]Agg{MetricPeakTempK: {Count: 3, Sum: 707.2, Min: 0, Max: 356.2}},
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+		Summary struct {
+			Jobs    int `json:"jobs"`
+			Metrics map[string]struct {
+				Count int     `json:"count"`
+				Mean  float64 `json:"mean"`
+				Max   float64 `json:"max"`
+			} `json:"metrics"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("artifact not parseable: %v\n%s", err, buf.String())
+	}
+	if decoded.Title != tb.Title || len(decoded.Rows) != 3 || decoded.Rows[2][0] != "name,with\"quirks" {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if decoded.Summary.Jobs != 3 || decoded.Summary.Metrics[MetricPeakTempK].Count != 3 {
+		t.Errorf("summary lost in JSON: %+v", decoded.Summary)
+	}
+	if decoded.Summary.Metrics[MetricPeakTempK].Max != 356.2 {
+		t.Errorf("metric max = %v", decoded.Summary.Metrics[MetricPeakTempK])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV not parseable: %v", err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("records = %v", records)
+	}
+	if records[0][1] != "ipc" || records[3][0] != "name,with\"quirks" {
+		t.Errorf("records = %v", records)
+	}
+}
+
+func TestWriteDispatchAndFormats(t *testing.T) {
+	tb := sampleTable()
+	for _, f := range Formats() {
+		var buf bytes.Buffer
+		if err := tb.Write(&buf, f); err != nil {
+			t.Errorf("write %s: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("write %s produced nothing", f)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Error("yaml should be rejected")
+	}
+	f, err := ParseFormat(" JSON ")
+	if err != nil || f != FormatJSON {
+		t.Errorf("ParseFormat = %v, %v", f, err)
+	}
+	if FormatTable.Ext() != "txt" || FormatCSV.Ext() != "csv" {
+		t.Error("unexpected extensions")
+	}
+	var bad bytes.Buffer
+	if err := tb.Write(&bad, Format("nope")); err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Errorf("bad format err = %v", err)
+	}
+}

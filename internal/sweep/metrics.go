@@ -1,0 +1,158 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Agg is a running aggregate of one named metric across a sweep.
+type Agg struct {
+	Count int
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+func (a *Agg) add(v float64) {
+	if a.Count == 0 || v < a.Min {
+		a.Min = v
+	}
+	if a.Count == 0 || v > a.Max {
+		a.Max = v
+	}
+	a.Count++
+	a.Sum += v
+}
+
+// Mean is the average of the recorded values (0 when empty).
+func (a Agg) Mean() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// MarshalJSON renders the aggregate with its derived mean.
+func (a Agg) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Count int     `json:"count"`
+		Sum   float64 `json:"sum"`
+		Min   float64 `json:"min"`
+		Max   float64 `json:"max"`
+		Mean  float64 `json:"mean"`
+	}{a.Count, a.Sum, a.Min, a.Max, a.Mean()})
+}
+
+// Summary aggregates a sweep's execution metrics: job counts, wall
+// times, retry totals, and any custom metrics extracted by
+// Options.Metrics. Timing fields vary run to run; everything else is
+// deterministic for deterministic jobs.
+type Summary struct {
+	Jobs        int `json:"jobs"`
+	Succeeded   int `json:"succeeded"`
+	Failed      int `json:"failed"`
+	Skipped     int `json:"skipped"`
+	Retries     int `json:"retries"`
+	Parallelism int `json:"parallelism"`
+	// WallTime is the sweep's end-to-end duration; JobTime is the sum
+	// of per-job durations (JobTime/WallTime ~ effective parallelism).
+	WallTime   time.Duration `json:"wall_ns"`
+	JobTime    time.Duration `json:"job_ns"`
+	MaxJobTime time.Duration `json:"max_job_ns"`
+	// Metrics holds the custom per-job measurements, aggregated in
+	// input order.
+	Metrics map[string]Agg `json:"metrics,omitempty"`
+}
+
+// Throughput is the summed value of the named metric per wall-clock
+// second (e.g. simulated cycles/sec for a "sim_cycles" metric).
+func (s *Summary) Throughput(metric string) float64 {
+	if s.WallTime <= 0 {
+		return 0
+	}
+	return s.Metrics[metric].Sum / s.WallTime.Seconds()
+}
+
+// String renders a one-line human-readable summary.
+func (s *Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d jobs (%d ok", s.Jobs, s.Succeeded)
+	if s.Failed > 0 {
+		fmt.Fprintf(&sb, ", %d failed", s.Failed)
+	}
+	if s.Skipped > 0 {
+		fmt.Fprintf(&sb, ", %d skipped", s.Skipped)
+	}
+	if s.Retries > 0 {
+		fmt.Fprintf(&sb, ", %d retries", s.Retries)
+	}
+	fmt.Fprintf(&sb, ") in %.1fs wall / %.1fs job-time at parallelism %d",
+		s.WallTime.Seconds(), s.JobTime.Seconds(), s.Parallelism)
+	if cycles, ok := s.Metrics[MetricSimCycles]; ok && cycles.Sum > 0 {
+		fmt.Fprintf(&sb, ", %.1f Mcycles/s", s.Throughput(MetricSimCycles)/1e6)
+	}
+	if peak, ok := s.Metrics[MetricPeakTempK]; ok && peak.Count > 0 {
+		fmt.Fprintf(&sb, ", peak %.1f K", peak.Max)
+	}
+	return sb.String()
+}
+
+// MetricNames lists the metrics present, sorted.
+func (s *Summary) MetricNames() []string {
+	names := make([]string, 0, len(s.Metrics))
+	for n := range s.Metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Conventional metric names used by the simulation harness.
+const (
+	// MetricSimCycles is the number of cycles a job simulated.
+	MetricSimCycles = "sim_cycles"
+	// MetricCyclesPerSec is a job's simulation speed.
+	MetricCyclesPerSec = "cycles_per_sec"
+	// MetricPeakTempK is a job's hottest sensor observation.
+	MetricPeakTempK = "peak_temp_k"
+	// MetricEmergencies is a job's thermal emergency count.
+	MetricEmergencies = "emergencies"
+)
+
+// summarize folds the finished job results into a Summary. It walks
+// the jobs in input order so metric aggregation is deterministic.
+func summarize[T any](r *Result[T], parallelism int, wall time.Duration, metrics func(JobResult[T]) map[string]float64) Summary {
+	s := Summary{Jobs: len(r.Jobs), Parallelism: parallelism, WallTime: wall}
+	for _, j := range r.Jobs {
+		switch {
+		case j.Skipped:
+			s.Skipped++
+		case j.Err != nil:
+			s.Failed++
+		default:
+			s.Succeeded++
+		}
+		if j.Attempts > 1 {
+			s.Retries += j.Attempts - 1
+		}
+		s.JobTime += j.Elapsed
+		if j.Elapsed > s.MaxJobTime {
+			s.MaxJobTime = j.Elapsed
+		}
+		if metrics == nil || j.Err != nil || j.Skipped {
+			continue
+		}
+		for name, v := range metrics(j) {
+			if s.Metrics == nil {
+				s.Metrics = make(map[string]Agg)
+			}
+			agg := s.Metrics[name]
+			agg.add(v)
+			s.Metrics[name] = agg
+		}
+	}
+	return s
+}

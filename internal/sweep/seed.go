@@ -1,0 +1,29 @@
+package sweep
+
+// DeriveSeed deterministically derives a per-job seed from a base seed
+// and the job's key. The derivation depends only on its inputs — never
+// on worker count, scheduling order, or wall time — so a sweep that
+// seeds its jobs through DeriveSeed is bit-for-bit reproducible at any
+// Parallelism. Distinct keys give well-separated seeds even for a base
+// seed of 0 (base 0 is a valid, meaningful base here, unlike
+// experiment.Options.Seed where 0 selects the config default).
+func DeriveSeed(base int64, key string) int64 {
+	// FNV-1a over the key, then a splitmix64 finalization mixing in
+	// the base, so nearby bases and similar keys decorrelate.
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	z := h + uint64(base)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

@@ -1,0 +1,231 @@
+// Package sweep is the parallel execution substrate for the evaluation
+// harness: every figure and table of the paper is a sweep of
+// independent simulations, and this package runs such sweeps with
+// bounded workers, context cancellation, a per-job error policy,
+// per-job metrics aggregated into a Summary, deterministic seed
+// derivation, and structured artifact export (ASCII, JSON, CSV).
+//
+// The engine guarantees determinism of the *results*: job outcomes are
+// stored at their input index, so a sweep over deterministic jobs
+// produces identical Results regardless of Parallelism or goroutine
+// scheduling. Only timing fields (Elapsed, Summary wall times) vary
+// between runs.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrorPolicy selects how a sweep reacts to a failing job.
+type ErrorPolicy int
+
+const (
+	// FailFast cancels the remaining jobs after the first failure.
+	// Jobs already running are allowed to finish and their results are
+	// kept; jobs not yet started are marked Skipped. Run returns the
+	// first error in input order.
+	FailFast ErrorPolicy = iota
+	// Collect runs every job regardless of failures and returns the
+	// joined error of all failures (nil if none).
+	Collect
+)
+
+// Job is one independent unit of work. Run receives the sweep context
+// and should return promptly once it is cancelled; long-running jobs
+// that ignore the context still complete and have their result kept.
+type Job[T any] struct {
+	Key string
+	Run func(ctx context.Context) (T, error)
+}
+
+// JobResult is the outcome of one job.
+type JobResult[T any] struct {
+	Key   string
+	Index int
+	Value T
+	Err   error
+	// Skipped marks a job that was never started because the sweep was
+	// cancelled first (its Err is the cancellation cause).
+	Skipped bool
+	// Elapsed is the job's wall time across all attempts.
+	Elapsed time.Duration
+	// Attempts counts executions (1 + retries actually used).
+	Attempts int
+}
+
+// Options tune a sweep.
+type Options[T any] struct {
+	// Parallelism bounds concurrent jobs (<=0: GOMAXPROCS).
+	Parallelism int
+	// Policy is the error policy (default FailFast).
+	Policy ErrorPolicy
+	// Retries is the number of extra attempts after a failed run.
+	Retries int
+	// Metrics, when set, extracts named measurements from each
+	// successful job; they are aggregated into Summary.Metrics in
+	// input order (so the aggregation is deterministic).
+	Metrics func(r JobResult[T]) map[string]float64
+	// OnDone, when set, is called after each job finishes (serially,
+	// in completion order) — for progress reporting.
+	OnDone func(r JobResult[T])
+}
+
+// Result is the outcome of a sweep: one JobResult per input job, in
+// input order, plus the aggregated Summary.
+type Result[T any] struct {
+	Jobs    []JobResult[T]
+	Summary Summary
+}
+
+// ByKey returns the successful job values keyed by Job.Key. Later
+// duplicates of a key overwrite earlier ones.
+func (r *Result[T]) ByKey() map[string]T {
+	m := make(map[string]T, len(r.Jobs))
+	for _, j := range r.Jobs {
+		if j.Err == nil && !j.Skipped {
+			m[j.Key] = j.Value
+		}
+	}
+	return m
+}
+
+// FirstErr returns the first non-cancellation job error in input
+// order, or the first cancellation error if that is all there is.
+func (r *Result[T]) FirstErr() error {
+	var cancelErr error
+	for _, j := range r.Jobs {
+		if j.Err == nil {
+			continue
+		}
+		if j.Skipped || errors.Is(j.Err, context.Canceled) || errors.Is(j.Err, context.DeadlineExceeded) {
+			if cancelErr == nil {
+				cancelErr = j.Err
+			}
+			continue
+		}
+		return fmt.Errorf("sweep: job %s: %w", j.Key, j.Err)
+	}
+	return cancelErr
+}
+
+// Run executes the jobs with bounded parallelism. It always returns a
+// non-nil Result holding whatever completed; the error is the
+// policy's verdict (first failure for FailFast, joined failures for
+// Collect, or the context's error if the caller cancelled).
+func Run[T any](ctx context.Context, jobs []Job[T], o Options[T]) (*Result[T], error) {
+	par := o.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(jobs) {
+		par = len(jobs)
+	}
+	if par < 1 {
+		par = 1
+	}
+
+	start := time.Now()
+	res := &Result[T]{Jobs: make([]JobResult[T], len(jobs))}
+	for i, j := range jobs {
+		res.Jobs[i] = JobResult[T]{Key: j.Key, Index: i, Skipped: true}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The feeder hands out input indices; it stops at cancellation so
+	// unstarted jobs stay Skipped instead of burning a worker slot.
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range jobs {
+			select {
+			case next <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var doneMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				jr := runOne(runCtx, jobs[i], i, o.Retries)
+				res.Jobs[i] = jr
+				if jr.Err != nil && o.Policy == FailFast {
+					cancel()
+				}
+				if o.OnDone != nil {
+					doneMu.Lock()
+					o.OnDone(jr)
+					doneMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Attribute the cancellation cause to the jobs it prevented.
+	if err := runCtx.Err(); err != nil {
+		if cause := context.Cause(runCtx); cause != nil {
+			err = cause
+		}
+		for i := range res.Jobs {
+			if res.Jobs[i].Skipped && res.Jobs[i].Err == nil {
+				res.Jobs[i].Err = err
+			}
+		}
+	}
+
+	res.Summary = summarize(res, par, time.Since(start), o.Metrics)
+
+	switch o.Policy {
+	case Collect:
+		var errs []error
+		for _, j := range res.Jobs {
+			if j.Err != nil && !j.Skipped {
+				errs = append(errs, fmt.Errorf("sweep: job %s: %w", j.Key, j.Err))
+			}
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			errs = append(errs, ctxErr)
+		}
+		return res, errors.Join(errs...)
+	default:
+		return res, res.FirstErr()
+	}
+}
+
+// runOne executes a single job, honouring retries and cancellation.
+func runOne[T any](ctx context.Context, j Job[T], idx, retries int) JobResult[T] {
+	jr := JobResult[T]{Key: j.Key, Index: idx}
+	start := time.Now()
+	for attempt := 0; attempt <= retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if jr.Attempts == 0 {
+				jr.Skipped = true
+			}
+			jr.Err = err
+			break
+		}
+		jr.Attempts++
+		v, err := j.Run(ctx)
+		jr.Value, jr.Err = v, err
+		if err == nil {
+			break
+		}
+	}
+	if !jr.Skipped {
+		jr.Elapsed = time.Since(start)
+	}
+	return jr
+}
