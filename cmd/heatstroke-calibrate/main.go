@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	heatstroke-calibrate [-cycles N] [-scale S] [-bench list] [-pairs] [-parallel N]
+//	heatstroke-calibrate [-cycles N] [-scale S] [-bench list] [-pairs] [-parallel N] [-timeout D]
 package main
 
 import (
@@ -52,6 +52,7 @@ func main() {
 	escale := flag.Float64("escale", 0, "override the global per-access energy scale")
 	specPairs := flag.Bool("specpairs", false, "run SPEC+SPEC pairs (first benchmark with each other)")
 	parallel := flag.Int("parallel", 1, "concurrent probe simulations")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -177,6 +178,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	fmt.Printf("%-22s %7s %7s %7s %8s %8s %6s %8s %8s\n",
 		"workload", "IPC", "RF/cyc", "IQ/cyc", "peakK", "peakUnit", "emerg", "stopgo%", "powerW")

@@ -7,6 +7,7 @@
 //	heatstroke -experiment fig4 -bench crafty,mcf -quantum 8000000
 //	heatstroke -experiment fig5 -format json    # machine-readable artifact
 //	heatstroke -experiment all -format csv -out artifacts/
+//	heatstroke -experiment fig3 -server http://localhost:8080
 //	heatstroke -list                            # list experiments
 //
 // Tables render as ASCII by default; -format json/csv emits structured
@@ -16,7 +17,14 @@
 // experiments); without it they go to stdout. Progress and timing are
 // printed to stderr so stdout stays parseable. Interrupting the run
 // (SIGINT/SIGTERM) cancels the sweep: running simulations finish,
-// pending ones are skipped.
+// pending ones are skipped. -timeout bounds the whole invocation.
+//
+// With -server the experiment is not simulated locally: the request is
+// submitted to a heatstroked daemon (cmd/heatstroked), which coalesces
+// identical requests and serves repeats from its content-addressed
+// cache. Progress streams back live, and the artifact is fetched in
+// the requested format, so the flag composes with -format/-out exactly
+// like a local run.
 //
 // The -scale flag trades fidelity for speed (DESIGN.md §6): -scale 1
 // -quantum 500000000 is the paper's physical time base.
@@ -26,6 +34,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -37,6 +46,8 @@ import (
 	"github.com/heatstroke-sim/heatstroke/internal/config"
 	"github.com/heatstroke-sim/heatstroke/internal/experiment"
 	"github.com/heatstroke-sim/heatstroke/internal/sweep"
+	"github.com/heatstroke-sim/heatstroke/pkg/api"
+	"github.com/heatstroke-sim/heatstroke/pkg/client"
 )
 
 func main() {
@@ -46,11 +57,14 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
 	quantum := flag.Int64("quantum", 0, "cycles per OS quantum (default: config)")
+	warmup := flag.Int64("warmup", 0, "unmeasured warmup cycles (default 500000)")
 	scale := flag.Float64("scale", 0, "thermal scale factor (default 16; 1 = paper time base)")
-	seed := flag.Int64("seed", 0, "workload generation seed (0 = config default)")
+	seed := flag.Int64("seed", 0, "workload generation seed (default: config)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (default: GOMAXPROCS)")
 	format := flag.String("format", "table", "artifact format: table, json, or csv")
 	out := flag.String("out", "", "write artifacts to this file (one experiment) or directory (default: stdout)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	serverURL := flag.String("server", "", "run via a heatstroked daemon at this URL instead of locally")
 	flag.Parse()
 
 	if *list {
@@ -68,19 +82,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := config.Default()
-	if *scale > 0 {
-		cfg.Thermal.Scale = *scale
-	}
-	opts := experiment.Options{
-		Config:      &cfg,
-		Quantum:     *quantum,
-		Seed:        *seed,
-		Parallelism: *parallel,
-	}
+	// A literal -seed 0 must mean "seed zero", not "use the default";
+	// flag.Visit distinguishes the two.
+	seedSet := false
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "seed" {
+			seedSet = true
+		}
+	})
+
+	var benchList []string
 	if *benches != "" {
 		for _, b := range strings.Split(*benches, ",") {
-			opts.Benchmarks = append(opts.Benchmarks, strings.TrimSpace(b))
+			benchList = append(benchList, strings.TrimSpace(b))
 		}
 	}
 
@@ -91,6 +105,46 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *serverURL != "" {
+		c := client.New(*serverURL)
+		for _, n := range names {
+			req := api.JobRequest{
+				Experiment: n,
+				Benchmarks: benchList,
+				Quantum:    *quantum,
+				Warmup:     *warmup,
+				Scale:      *scale,
+			}
+			if seedSet {
+				s := *seed
+				req.Seed = &s
+			}
+			if err := runRemote(ctx, c, req, f, *format, *out, len(names) > 1); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
+	cfg := config.Default()
+	if *scale > 0 {
+		cfg.Thermal.Scale = *scale
+	}
+	opts := experiment.Options{
+		Config:      &cfg,
+		Quantum:     *quantum,
+		Warmup:      *warmup,
+		Seed:        *seed,
+		SeedSet:     seedSet,
+		Parallelism: *parallel,
+		Benchmarks:  benchList,
+	}
 
 	for _, n := range names {
 		start := time.Now()
@@ -98,7 +152,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := emit(table, n, f, *out, len(names) > 1); err != nil {
+		if err := emit(table.Writer(f), n, f, *out, len(names) > 1); err != nil {
 			log.Fatal(err)
 		}
 		status := fmt.Sprintf("%s in %.1fs", n, time.Since(start).Seconds())
@@ -109,12 +163,66 @@ func main() {
 	}
 }
 
-// emit writes one artifact. An empty path means stdout; otherwise the
-// path is a file for a single experiment, or a directory (created if
-// missing) holding <experiment>.<ext> when several run.
-func emit(t *sweep.Table, name string, f sweep.Format, path string, multi bool) error {
+// runRemote submits one experiment to a heatstroked daemon, streams
+// its progress to stderr, and emits the fetched artifact through the
+// same stdout/file path logic as a local run.
+func runRemote(ctx context.Context, c *client.Client, req api.JobRequest, f sweep.Format, format, out string, multi bool) error {
+	start := time.Now()
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return err
+	}
+	switch {
+	case st.Cached:
+		fmt.Fprintf(os.Stderr, "  %s: cache hit (job %s)\n", req.Experiment, st.ID)
+	case st.Coalesced:
+		fmt.Fprintf(os.Stderr, "  %s: joined in-flight job %s\n", req.Experiment, st.ID)
+	default:
+		fmt.Fprintf(os.Stderr, "  %s: submitted job %s\n", req.Experiment, st.ID)
+	}
+	final, err := c.Wait(ctx, st.ID, func(p api.Progress) {
+		if p.Total > 0 {
+			fmt.Fprintf(os.Stderr, "\r  %s: %d/%d simulations", req.Experiment, p.Completed, p.Total)
+		}
+	})
+	if final != nil && final.Progress.Total > 0 {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+	if final.Status != api.StatusDone {
+		if final.Error != "" {
+			return fmt.Errorf("job %s %s: %s", final.ID, final.Status, final.Error)
+		}
+		return fmt.Errorf("job %s ended %s", final.ID, final.Status)
+	}
+	raw, err := c.Artifact(ctx, final.ID, format)
+	if err != nil {
+		return err
+	}
+	write := func(w io.Writer) error {
+		_, err := w.Write(raw)
+		return err
+	}
+	if err := emit(write, req.Experiment, f, out, multi); err != nil {
+		return err
+	}
+	status := fmt.Sprintf("%s in %.1fs", req.Experiment, time.Since(start).Seconds())
+	if final.Summary != nil {
+		status += ": " + final.Summary.String()
+	}
+	fmt.Fprintf(os.Stderr, "  (%s)\n", status)
+	return nil
+}
+
+// emit writes one artifact produced by write. An empty path means
+// stdout; otherwise the path is a file for a single experiment, or a
+// directory (created if missing) holding <experiment>.<ext> when
+// several run.
+func emit(write func(io.Writer) error, name string, f sweep.Format, path string, multi bool) error {
 	if path == "" {
-		if err := t.Write(os.Stdout, f); err != nil {
+		if err := write(os.Stdout); err != nil {
 			return err
 		}
 		if f == sweep.FormatTable {
@@ -132,7 +240,7 @@ func emit(t *sweep.Table, name string, f sweep.Format, path string, multi bool) 
 	if err != nil {
 		return err
 	}
-	if err := t.Write(file, f); err != nil {
+	if err := write(file); err != nil {
 		file.Close()
 		return err
 	}

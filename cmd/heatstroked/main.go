@@ -1,0 +1,127 @@
+// Command heatstroked is the experiment-serving daemon: a long-lived
+// HTTP service that runs the paper's experiments on demand and serves
+// repeated requests from a content-addressed result cache.
+//
+// Usage:
+//
+//	heatstroked                                  # serve on :8080
+//	heatstroked -addr :9090 -cache-dir /var/cache/heatstroke
+//	heatstroked -max-concurrent 4 -max-queue 64 -job-timeout 10m
+//
+// API (see pkg/api and pkg/client):
+//
+//	POST /v1/jobs                submit {"experiment": "fig5", ...}
+//	GET  /v1/jobs/{id}           status + execution summary
+//	GET  /v1/jobs/{id}/artifact  rendered table (?format=table|json|csv)
+//	GET  /v1/jobs/{id}/events    SSE progress stream
+//	GET  /v1/experiments         registry listing
+//	GET  /v1/stats               serving counters
+//	GET  /healthz, /readyz       probes
+//
+// Identical requests share one simulation: concurrent duplicates
+// coalesce onto the in-flight run, and completed results are cached
+// (persistently with -cache-dir, so restarts don't re-simulate).
+// SIGINT/SIGTERM drain gracefully: in-flight sweeps are cancelled,
+// running simulations finish, and partial summaries are persisted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("heatstroked: ")
+	if err := run(os.Args[1:], nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the daemon lifecycle, factored out of main so tests can drive
+// it in-process. ready, when non-nil, receives the bound address once
+// the listener is up. It returns nil on a clean signal-driven drain.
+func run(args []string, ready func(addr string)) error {
+	fs := flag.NewFlagSet("heatstroked", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheDir := fs.String("cache-dir", "", "persist completed results to this directory")
+	maxConcurrent := fs.Int("max-concurrent", 2, "maximum sweeps running at once")
+	maxQueue := fs.Int("max-queue", 16, "maximum queued jobs before 429 backpressure")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline (0 = none)")
+	parallel := fs.Int("parallel", 0, "per-sweep worker bound (default: GOMAXPROCS)")
+	scale := fs.Float64("scale", 0, "base thermal scale factor (default: config's)")
+	quantum := fs.Int64("quantum", 0, "base cycles per OS quantum (default: config's)")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "shutdown drain deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	baseConfig := func() config.Config {
+		cfg := config.Default()
+		if *scale > 0 {
+			cfg.Thermal.Scale = *scale
+		}
+		if *quantum > 0 {
+			cfg.Run.QuantumCycles = *quantum
+		}
+		return cfg
+	}
+	srv, err := server.New(server.Options{
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		JobTimeout:    *jobTimeout,
+		Parallelism:   *parallel,
+		CacheDir:      *cacheDir,
+		BaseConfig:    baseConfig,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	log.Printf("listening on %s", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	log.Printf("signal received, draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then cancel in-flight sweeps
+	// and wait for them; both honour the drain deadline.
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

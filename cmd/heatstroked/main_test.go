@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/heatstroke-sim/heatstroke/pkg/api"
+	"github.com/heatstroke-sim/heatstroke/pkg/client"
+)
+
+// TestRunDrainsOnSIGTERM exercises the full daemon lifecycle
+// in-process: start, submit a job big enough to still be in flight,
+// deliver SIGTERM to ourselves, and require run to drain and return
+// nil — the "exits 0" acceptance criterion.
+func TestRunDrainsOnSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep")
+	}
+	cacheDir := t.TempDir()
+	addrCh := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-cache-dir", cacheDir,
+			"-max-concurrent", "1",
+			"-parallel", "1",
+			"-drain-timeout", "2m",
+		}, func(addr string) { addrCh <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-runErr:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start listening")
+	}
+
+	c := client.New("http://" + addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := c.Healthy(ctx); err != nil {
+		t.Fatalf("healthy: %v", err)
+	}
+
+	// A full fig3 run (all benchmarks, default quantum) takes far
+	// longer than this test waits, so the sweep is mid-flight when the
+	// signal lands.
+	seed := int64(7)
+	st, err := c.Submit(ctx, api.JobRequest{
+		Experiment: "fig3",
+		Quantum:    150_000,
+		Warmup:     1_000,
+		Seed:       &seed,
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	for {
+		got, err := c.Job(ctx, st.ID)
+		if err != nil {
+			t.Fatalf("job: %v", err)
+		}
+		if got.Status == api.StatusRunning && got.Progress.Completed >= 1 {
+			break
+		}
+		if got.Status.Terminal() {
+			t.Fatalf("job finished before signal: %+v", got)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("run did not return after SIGTERM")
+	}
+}

@@ -1,0 +1,30 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Digest returns a canonical SHA-256 digest of the full configuration,
+// hex-encoded. Two Configs digest equal iff every architectural,
+// power, thermal, sedation, and run parameter is equal, so the digest
+// is a sound cache key component for deterministic simulations: same
+// digest + same seed + same code version ⇒ byte-identical results.
+//
+// Canonicality relies on two properties of the encoding: Config is a
+// tree of plain structs (no maps, pointers, or interface values), and
+// encoding/json emits struct fields in declaration order. Renaming or
+// reordering fields therefore changes the digest — which is the
+// desired behaviour, since a field change means the simulated machine
+// may differ.
+func (c *Config) Digest() string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Config contains only numeric, boolean, and string fields;
+		// Marshal cannot fail on it.
+		panic("config: digest encoding failed: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

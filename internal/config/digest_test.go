@@ -1,0 +1,58 @@
+package config
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+func TestDigestStable(t *testing.T) {
+	a, b := Default(), Default()
+	da, db := a.Digest(), b.Digest()
+	if da != db {
+		t.Fatalf("identical configs digest differently: %s vs %s", da, db)
+	}
+	if raw, err := hex.DecodeString(da); err != nil || len(raw) != 32 {
+		t.Fatalf("digest %q is not 32 hex bytes (err=%v)", da, err)
+	}
+	// Repeated calls on the same value are stable.
+	if a.Digest() != da {
+		t.Error("digest not idempotent")
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	baseCfg := Default()
+	base := baseCfg.Digest()
+	mutations := map[string]func(*Config){
+		"seed":         func(c *Config) { c.Run.Seed++ },
+		"quantum":      func(c *Config) { c.Run.QuantumCycles++ },
+		"scale":        func(c *Config) { c.Thermal.Scale *= 2 },
+		"fetch policy": func(c *Config) { c.Pipeline.FetchPolicy = "rr" },
+		"emergency":    func(c *Config) { c.Thermal.EmergencyK += 0.5 },
+		"ewma shift":   func(c *Config) { c.Sedation.EWMAShift++ },
+		"ideal sink":   func(c *Config) { c.Thermal.IdealSink = true },
+		"l2 size":      func(c *Config) { c.Memory.L2.SizeBytes *= 2 },
+	}
+	seen := map[string]string{"base": base}
+	for name, mutate := range mutations {
+		c := Default()
+		mutate(&c)
+		d := c.Digest()
+		if d == base {
+			t.Errorf("%s mutation did not change the digest", name)
+		}
+		for prev, pd := range seen {
+			if pd == d {
+				t.Errorf("mutations %s and %s collide", name, prev)
+			}
+		}
+		seen[name] = d
+	}
+}
+
+func TestDigestPaperVsDefault(t *testing.T) {
+	d, p := Default(), Paper()
+	if d.Digest() == p.Digest() {
+		t.Error("Default and Paper configs must digest differently (scale and quantum differ)")
+	}
+}

@@ -35,11 +35,36 @@ type Options struct {
 	// Results are bit-for-bit identical at any parallelism: jobs are
 	// seeded from Seed alone, never from scheduling order.
 	Parallelism int
-	// Seed seeds workload generation. Zero is a sentinel meaning "use
-	// the Config's Run.Seed", so literal seed 0 cannot be requested
-	// here — pass any nonzero value instead (callers needing distinct
-	// derived streams can mix a nonzero Seed through sweep.DeriveSeed).
+	// Seed seeds workload generation. Unless SeedSet is true, zero is
+	// a sentinel meaning "use the Config's Run.Seed".
 	Seed int64
+	// SeedSet marks Seed as explicitly chosen, making literal seed 0
+	// requestable: with SeedSet, Seed is used verbatim even when zero.
+	// Existing callers that leave it false keep the historical
+	// zero-means-config-default behaviour. The serving layer needs
+	// this for exact seed round-tripping in cache keys.
+	SeedSet bool
+	// Progress, when set, receives a snapshot after each simulation of
+	// the experiment's sweep finishes (serially, monotonic Completed;
+	// see sweep.Progress). The snapshot carries the finished job's
+	// metrics — simulated cycles, cycles/sec, peak temperature — so
+	// live consumers see the numbers the final Summary aggregates.
+	Progress func(p sweep.Progress)
+}
+
+// ResolvedSeed returns the seed an experiment run will actually use:
+// Seed verbatim when SeedSet or nonzero, else the Config's Run.Seed
+// (config.Default()'s when Config is nil). Cache keys must be built
+// from this, never from the raw Seed field, so that "seed omitted" and
+// "seed explicitly = config default" address the same result.
+func (o Options) ResolvedSeed() int64 {
+	if o.SeedSet || o.Seed != 0 {
+		return o.Seed
+	}
+	if o.Config != nil {
+		return o.Config.Run.Seed
+	}
+	return config.Default().Run.Seed
 }
 
 func (o Options) normalized() Options {
@@ -59,7 +84,7 @@ func (o Options) normalized() Options {
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.SeedSet {
 		o.Seed = o.Config.Run.Seed
 	}
 	return o
@@ -117,6 +142,7 @@ func runSweep(ctx context.Context, jobs []job, o Options) (map[string]*sim.Resul
 		Parallelism: o.Parallelism,
 		Policy:      sweep.FailFast,
 		Metrics:     simMetrics,
+		OnProgress:  o.Progress,
 	})
 	if err != nil {
 		return nil, &res.Summary, fmt.Errorf("experiment: %w", err)
@@ -165,11 +191,67 @@ const (
 
 // Names lists every experiment in presentation order.
 func Names() []string {
-	return []string{
-		NameTable1, NameFigure3, NameFigure4, NameFigure5, NameFigure6,
-		NameHeatSink, NameThresholds, NameSpecPairs, NameTiming, NamePolicies,
-		NameFlatAvg, NameAbsThresh, NameMulti, NameFetch,
+	names := make([]string, len(registry))
+	for i, in := range registry {
+		names[i] = in.Name
 	}
+	return names
+}
+
+// Info describes one experiment for listings and the serving layer.
+type Info struct {
+	Name        string `json:"name"`
+	Title       string `json:"title"`
+	Description string `json:"description"`
+}
+
+// registry holds the experiment metadata in presentation order.
+var registry = []Info{
+	{NameTable1, "Table 1: system parameters",
+		"Renders the simulated machine's architectural, power, and thermal configuration; runs no simulations."},
+	{NameFigure3, "Figure 3: register-file access rates",
+		"Solo runs of every SPEC program and attack variant measuring flat-average integer-register-file accesses/cycle."},
+	{NameFigure4, "Figure 4: temperature emergencies",
+		"Emergencies per OS quantum: each benchmark solo, under Variant2 attack (stop-and-go), and under selective sedation."},
+	{NameFigure5, "Figure 5: IPC under attack and defense",
+		"The headline study: benchmark IPC across eleven configurations pairing each attack variant with ideal/realistic sinks and stop-and-go vs sedation."},
+	{NameFigure6, "Figure 6: execution-time breakdown",
+		"Where victim cycles go under attack: busy, stalled by stop-and-go, and ICOUNT-starved fractions."},
+	{NameHeatSink, "Heat-sink sensitivity (§5.5)",
+		"Victim slowdown as the convection resistance (heat-sink quality) varies, under attack and defense."},
+	{NameThresholds, "Sedation-threshold sensitivity (§5.6)",
+		"Sweeps the sedation upper/lower temperature thresholds and reports emergencies and victim IPC."},
+	{NameSpecPairs, "SPEC-pair false positives (§5.7)",
+		"Benign SPEC+SPEC pairs under selective sedation: checks normal co-schedules are not sedated."},
+	{NameTiming, "Heat/cool timing (§3.1)",
+		"Measures heat-up and forced-cooling durations under Variant2 and the resulting duty cycle."},
+	{NamePolicies, "DTM policy comparison",
+		"Victim IPC under each thermal-management baseline (none, stop-and-go, DVS, TTDFS, sedation) while attacked."},
+	{NameFlatAvg, "Ablation: flat-average culprit metric (§3.2.1)",
+		"Replaces the EWMA with a flat average so a bursty attacker hides below steady normal threads."},
+	{NameAbsThresh, "Ablation: absolute EWMA threshold (§3.2.1)",
+		"Sedates on an absolute access-rate threshold ignoring temperature, causing false positives on benign bursts."},
+	{NameMulti, "Ablation: multi-culprit identification (§3.2.2)",
+		"Two simultaneous attackers: checks repeated culprit identification sedates both."},
+	{NameFetch, "Ablation: fetch policy",
+		"Round-robin fetch instead of ICOUNT, isolating how much victim loss is fetch-policy bias."},
+}
+
+// Infos lists every experiment's metadata in presentation order.
+func Infos() []Info {
+	out := make([]Info, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Describe returns the metadata for one experiment.
+func Describe(name string) (Info, bool) {
+	for _, in := range registry {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return Info{}, false
 }
 
 // Run executes the named experiment without cancellation.

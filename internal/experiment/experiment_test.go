@@ -9,6 +9,7 @@ import (
 
 	"github.com/heatstroke-sim/heatstroke/internal/config"
 	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/sweep"
 )
 
 // tinyOptions keeps experiment smoke tests fast: two benchmarks, short
@@ -229,5 +230,115 @@ func TestRunSweepCancellation(t *testing.T) {
 	}
 	if sum.Skipped == 0 {
 		t.Errorf("cancelled sweep should skip jobs: %+v", sum)
+	}
+}
+
+func TestSeedSentinelAndSeedSet(t *testing.T) {
+	cfg := config.Default()
+	cfg.Run.Seed = 42
+
+	// Historical behaviour: Seed 0 without SeedSet falls back to the
+	// config's seed.
+	o := Options{Config: &cfg}.normalized()
+	if o.Seed != 42 {
+		t.Errorf("Seed 0 should normalize to config seed 42, got %d", o.Seed)
+	}
+	// SeedSet makes literal seed 0 requestable.
+	o = Options{Config: &cfg, SeedSet: true}.normalized()
+	if o.Seed != 0 {
+		t.Errorf("SeedSet Seed 0 should stay 0, got %d", o.Seed)
+	}
+	// Nonzero seeds pass through either way.
+	o = Options{Config: &cfg, Seed: 7}.normalized()
+	if o.Seed != 7 {
+		t.Errorf("Seed 7 should stay 7, got %d", o.Seed)
+	}
+
+	// ResolvedSeed mirrors normalization without mutating.
+	cases := []struct {
+		o    Options
+		want int64
+	}{
+		{Options{Config: &cfg}, 42},
+		{Options{Config: &cfg, SeedSet: true}, 0},
+		{Options{Config: &cfg, Seed: 9}, 9},
+		{Options{Config: &cfg, Seed: 9, SeedSet: true}, 9},
+		{Options{}, config.Default().Run.Seed},
+	}
+	for i, c := range cases {
+		if got := c.o.ResolvedSeed(); got != c.want {
+			t.Errorf("case %d: ResolvedSeed = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+// TestSeedZeroRunnable: a literal seed-0 experiment must actually run
+// (the server round-trips seed 0 through cache keys).
+func TestSeedZeroRunnable(t *testing.T) {
+	o := tinyOptions()
+	o.Benchmarks = []string{"crafty"}
+	o.SeedSet = true
+	tb, err := Figure3(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 { // 1 benchmark + 3 variants
+		t.Errorf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestRegistryMetadata(t *testing.T) {
+	infos := Infos()
+	if len(infos) != len(Names()) {
+		t.Fatalf("%d infos for %d names", len(infos), len(Names()))
+	}
+	for i, name := range Names() {
+		if infos[i].Name != name {
+			t.Errorf("info %d: name %q out of order (want %q)", i, infos[i].Name, name)
+		}
+		in, ok := Describe(name)
+		if !ok || in.Title == "" || in.Description == "" {
+			t.Errorf("Describe(%q) = %+v, %v", name, in, ok)
+		}
+		// Every registered experiment must dispatch.
+		if _, err := RunContext(context.Background(), name, Options{}); err != nil && strings.Contains(err.Error(), "unknown experiment") {
+			t.Errorf("registered experiment %q does not dispatch", name)
+		}
+		break // dispatching all 14 for real would be slow; table1 suffices
+	}
+	if _, ok := Describe("nope"); ok {
+		t.Error("Describe should reject unknown names")
+	}
+}
+
+// TestExperimentProgress: the Options.Progress hook sees one monotonic
+// event per simulation with the sweep's metrics attached.
+func TestExperimentProgress(t *testing.T) {
+	o := tinyOptions()
+	o.Benchmarks = []string{"crafty"}
+	var events []int
+	var lastPeak float64
+	o.Progress = func(p sweep.Progress) {
+		events = append(events, p.Completed)
+		if p.Total != 4 {
+			t.Errorf("Total = %d, want 4", p.Total)
+		}
+		if v, ok := p.Metrics[sweep.MetricPeakTempK]; ok {
+			lastPeak = v
+		}
+	}
+	if _, err := Figure3(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d progress events, want 4", len(events))
+	}
+	for i, c := range events {
+		if c != i+1 {
+			t.Errorf("event %d: Completed = %d", i, c)
+		}
+	}
+	if lastPeak == 0 {
+		t.Error("progress events carried no peak temperature metric")
 	}
 }

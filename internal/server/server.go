@@ -1,0 +1,486 @@
+// Package server implements heatstroked, the experiment-serving
+// daemon: an HTTP front end over the internal/experiment registry and
+// the internal/sweep engine.
+//
+// The core idea is that sweeps are deterministic — the same experiment,
+// configuration, seed, and code version produce a byte-identical table
+// — so results are content-addressed: a job's ID is a digest of its
+// resolved parameters, identical requests from any number of clients
+// cost one simulation, concurrent identical requests coalesce onto the
+// single in-flight run (singleflight), and completed results are served
+// from cache (optionally persisted to disk across restarts).
+//
+// Execution is a bounded in-process run queue: at most MaxConcurrent
+// sweeps run at once, at most MaxQueue jobs wait, and submissions
+// beyond that are rejected with 429 so load sheds at the edge instead
+// of accumulating. Each running job streams progress (jobs
+// completed/total, peak temperature, cycles/sec) over SSE, fed by the
+// sweep engine's OnProgress hook. Shutdown cancels in-flight sweeps
+// via context, waits for them to drain, and persists their partial
+// summaries.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/experiment"
+	"github.com/heatstroke-sim/heatstroke/internal/sweep"
+	"github.com/heatstroke-sim/heatstroke/internal/workload"
+	"github.com/heatstroke-sim/heatstroke/pkg/api"
+)
+
+// Options configure the daemon.
+type Options struct {
+	// MaxConcurrent bounds simultaneously running sweeps (default 2).
+	MaxConcurrent int
+	// MaxQueue bounds jobs waiting to run; submissions beyond it get
+	// 429 (default 16).
+	MaxQueue int
+	// JobTimeout is the per-job deadline (0 = none). A timed-out job
+	// is canceled and keeps its partial summary.
+	JobTimeout time.Duration
+	// Parallelism bounds each sweep's workers (0 = GOMAXPROCS).
+	Parallelism int
+	// CacheDir, when set, persists completed results as JSON files so
+	// restarts don't re-simulate.
+	CacheDir string
+	// BaseConfig supplies the machine configuration requests override
+	// (default config.Default).
+	BaseConfig func() config.Config
+	// Version is the code version folded into cache keys, so results
+	// from a different build never alias (default: the VCS revision
+	// from build info, else "dev").
+	Version string
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+
+	// beforeRun, when set, is called immediately before each sweep
+	// starts (test hook: lets tests hold jobs in-flight).
+	beforeRun func(id string)
+}
+
+// errShutdown is the cancellation cause during Shutdown. It wraps
+// context.Canceled so a sweep cut short by shutdown is classified as
+// canceled (partial summary kept), not failed.
+var errShutdown = fmt.Errorf("server shutting down: %w", context.Canceled)
+
+// Server is the daemon state. Create with New, expose with Handler,
+// stop with Shutdown.
+type Server struct {
+	opts    Options
+	baseCtx context.Context
+	cancel  context.CancelCauseFunc
+	sem     chan struct{}
+	mux     *http.ServeMux
+
+	mu      sync.Mutex
+	jobs    map[string]*jobEntry
+	queued  int
+	running int
+	stats   api.Stats
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New builds a Server and loads the persistent cache, if configured.
+func New(opts Options) (*Server, error) {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 2
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 16
+	}
+	if opts.BaseConfig == nil {
+		opts.BaseConfig = config.Default
+	}
+	if opts.Version == "" {
+		opts.Version = buildVersion()
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		opts:    opts,
+		baseCtx: ctx,
+		cancel:  cancel,
+		sem:     make(chan struct{}, opts.MaxConcurrent),
+		jobs:    make(map[string]*jobEntry),
+	}
+	if err := s.loadCache(); err != nil {
+		cancel(nil)
+		return nil, err
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleArtifact)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the daemon: no new jobs are accepted, in-flight
+// sweeps are cancelled via context and allowed to finish their running
+// simulations, and every affected job persists its partial summary.
+// It returns once all workers have drained or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel(errShutdown)
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+	}
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() api.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Queued = s.queued
+	st.Running = s.running
+	st.Jobs = len(s.jobs)
+	return st
+}
+
+// resolve normalizes a request and derives its content address. The
+// returned request has every default filled in (so it round-trips:
+// resubmitting a resolved request yields the same ID).
+func (s *Server) resolve(req api.JobRequest) (api.JobRequest, string, error) {
+	req.Experiment = strings.TrimSpace(req.Experiment)
+	if _, ok := experiment.Describe(req.Experiment); !ok {
+		return req, "", fmt.Errorf("unknown experiment %q (have %v)", req.Experiment, experiment.Names())
+	}
+	known := make(map[string]bool)
+	for _, n := range workload.SpecNames() {
+		known[n] = true
+	}
+	if len(req.Benchmarks) == 0 {
+		req.Benchmarks = workload.SpecNames()
+	} else {
+		for i, b := range req.Benchmarks {
+			b = strings.TrimSpace(b)
+			if !known[b] {
+				return req, "", fmt.Errorf("unknown benchmark %q (have %v)", b, workload.SpecNames())
+			}
+			req.Benchmarks[i] = b
+		}
+	}
+	if req.Scale < 0 {
+		return req, "", fmt.Errorf("scale must be non-negative")
+	}
+	cfg := s.opts.BaseConfig()
+	if req.Scale > 0 {
+		cfg.Thermal.Scale = req.Scale
+	}
+	req.Scale = cfg.Thermal.Scale
+	if err := cfg.Validate(); err != nil {
+		return req, "", err
+	}
+	if req.Quantum < 0 || req.Warmup < 0 {
+		return req, "", fmt.Errorf("quantum and warmup must be non-negative")
+	}
+	if req.Quantum == 0 {
+		req.Quantum = cfg.Run.QuantumCycles
+	}
+	if req.Warmup == 0 {
+		req.Warmup = 500_000
+	}
+	if req.Seed == nil {
+		seed := cfg.Run.Seed
+		req.Seed = &seed
+	}
+	// The content address: a canonical digest of the resolved
+	// parameters plus the code version. The config digest covers every
+	// machine parameter (including the scale override applied above),
+	// so any configuration drift changes the address.
+	key := struct {
+		Version    string   `json:"version"`
+		Experiment string   `json:"experiment"`
+		Config     string   `json:"config"`
+		Quantum    int64    `json:"quantum"`
+		Warmup     int64    `json:"warmup"`
+		Seed       int64    `json:"seed"`
+		Benchmarks []string `json:"benchmarks"`
+	}{s.opts.Version, req.Experiment, cfg.Digest(), req.Quantum, req.Warmup, *req.Seed, req.Benchmarks}
+	b, err := json.Marshal(key)
+	if err != nil {
+		return req, "", err
+	}
+	sum := sha256.Sum256(b)
+	return req, hex.EncodeToString(sum[:]), nil
+}
+
+// expOptions builds the experiment options for one job. The resolved
+// request's seed is passed with SeedSet so literal seed 0 round-trips.
+func (s *Server) expOptions(e *jobEntry) experiment.Options {
+	cfg := s.opts.BaseConfig()
+	cfg.Thermal.Scale = e.req.Scale
+	return experiment.Options{
+		Config:      &cfg,
+		Benchmarks:  e.req.Benchmarks,
+		Quantum:     e.req.Quantum,
+		Warmup:      e.req.Warmup,
+		Parallelism: s.opts.Parallelism,
+		Seed:        *e.req.Seed,
+		SeedSet:     true,
+		Progress:    e.onProgress,
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.JobRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	resolved, id, err := s.resolve(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.stats.Submitted++
+	if e, ok := s.jobs[id]; ok {
+		st := e.snapshot()
+		if st.Status == api.StatusDone {
+			// Content-addressed cache hit: the result already exists.
+			s.stats.CacheHits++
+			st.Cached = true
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		if !st.Status.Terminal() {
+			// Singleflight: join the identical in-flight job instead
+			// of queueing a duplicate simulation.
+			s.stats.Coalesced++
+			st.Coalesced = true
+			s.mu.Unlock()
+			writeJSON(w, http.StatusAccepted, st)
+			return
+		}
+		// Failed or canceled earlier: drop the stale entry and re-run.
+		delete(s.jobs, id)
+	}
+	if s.queued >= s.opts.MaxQueue {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue full (%d queued)", s.opts.MaxQueue)
+		return
+	}
+	e := newJobEntry(id, resolved)
+	s.jobs[id] = e
+	s.queued++
+	s.wg.Add(1)
+	go s.execute(e)
+	st := e.snapshot()
+	s.mu.Unlock()
+
+	s.opts.Logf("job %s: queued %s (benchmarks=%d quantum=%d seed=%d)",
+		shortID(id), resolved.Experiment, len(resolved.Benchmarks), resolved.Quantum, *resolved.Seed)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// execute runs one job through the bounded queue: acquire a run slot
+// (or observe shutdown), run the experiment sweep, record the outcome,
+// and persist it.
+func (s *Server) execute(e *jobEntry) {
+	defer s.wg.Done()
+	select {
+	case s.sem <- struct{}{}:
+	case <-s.baseCtx.Done():
+		// Canceled while still queued: never simulated.
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+		e.finish(api.StatusCanceled, nil, context.Cause(s.baseCtx))
+		s.persist(e)
+		return
+	}
+	s.mu.Lock()
+	s.queued--
+	s.running++
+	s.stats.Runs++
+	s.mu.Unlock()
+	e.setStatus(api.StatusRunning)
+
+	runCtx := s.baseCtx
+	var cancel context.CancelFunc
+	if s.opts.JobTimeout > 0 {
+		runCtx, cancel = context.WithTimeout(runCtx, s.opts.JobTimeout)
+	}
+	if s.opts.beforeRun != nil {
+		s.opts.beforeRun(e.id)
+	}
+	start := time.Now()
+	table, err := experiment.RunContext(runCtx, e.req.Experiment, s.expOptions(e))
+	if cancel != nil {
+		cancel()
+	}
+	<-s.sem
+	s.mu.Lock()
+	s.running--
+	s.mu.Unlock()
+
+	switch {
+	case err == nil:
+		e.finish(api.StatusDone, table, nil)
+		s.opts.Logf("job %s: done in %.1fs", shortID(e.id), time.Since(start).Seconds())
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		e.finish(api.StatusCanceled, nil, err)
+		s.opts.Logf("job %s: canceled after %.1fs: %v", shortID(e.id), time.Since(start).Seconds(), err)
+	default:
+		e.finish(api.StatusFailed, nil, err)
+		s.opts.Logf("job %s: failed: %v", shortID(e.id), err)
+	}
+	s.persist(e)
+}
+
+func (s *Server) lookup(id string) *jobEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(r.PathValue("id"))
+	if e == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, e.snapshot())
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(r.PathValue("id"))
+	if e == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	fname := r.URL.Query().Get("format")
+	if fname == "" {
+		fname = string(sweep.FormatTable)
+	}
+	f, err := sweep.ParseFormat(fname)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, table := e.result()
+	if st != api.StatusDone || table == nil {
+		writeError(w, http.StatusConflict, "job is %s; artifact requires done", st)
+		return
+	}
+	switch f {
+	case sweep.FormatJSON:
+		w.Header().Set("Content-Type", "application/json")
+	case sweep.FormatCSV:
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	if err := table.Write(w, f); err != nil {
+		s.opts.Logf("job %s: artifact write: %v", shortID(e.id), err)
+	}
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	infos := experiment.Infos()
+	out := make([]api.ExperimentInfo, len(infos))
+	for i, in := range infos {
+		out[i] = api.ExperimentInfo{Name: in.Name, Title: in.Title, Description: in.Description}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, api.Error{Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}
+
+// buildVersion derives the code version from the binary's VCS stamp.
+func buildVersion() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, kv := range info.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				rev = kv.Value
+			case "vcs.modified":
+				if kv.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			return rev + dirty
+		}
+	}
+	return "dev"
+}

@@ -134,3 +134,10 @@ func (t *Table) Write(w io.Writer, f Format) error {
 		return fmt.Errorf("sweep: unknown format %q", f)
 	}
 }
+
+// Writer returns a function that encodes the table in the given
+// format, for callers that plumb artifacts through a generic
+// destination (stdout, a file, an HTTP response).
+func (t *Table) Writer(f Format) func(io.Writer) error {
+	return func(w io.Writer) error { return t.Write(w, f) }
+}

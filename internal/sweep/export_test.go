@@ -119,3 +119,131 @@ func TestWriteDispatchAndFormats(t *testing.T) {
 		t.Errorf("bad format err = %v", err)
 	}
 }
+
+// TestWriteCSVEscaping locks RFC-4180 behaviour for the cell contents
+// that break naive writers: embedded commas, double quotes, and
+// newlines must be quoted/doubled so a conforming reader recovers the
+// exact cells.
+func TestWriteCSVEscaping(t *testing.T) {
+	tb := &Table{
+		Title:   "escaping",
+		Columns: []string{"key", "value"},
+		Rows: [][]string{
+			{"comma", "a,b,c"},
+			{"quote", `say "heat stroke"`},
+			{"newline", "line1\nline2"},
+			{"all", "a,\"b\"\nc"},
+			{"empty", ""},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"a,b,c"`, `"say ""heat stroke"""`, "\"line1\nline2\""} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing escaped form %q in:\n%s", want, out)
+		}
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV not parseable: %v\n%s", err, out)
+	}
+	if len(records) != len(tb.Rows)+1 {
+		t.Fatalf("got %d records, want %d", len(records), len(tb.Rows)+1)
+	}
+	for i, row := range tb.Rows {
+		for j, cell := range row {
+			if records[i+1][j] != cell {
+				t.Errorf("row %d col %d: round-tripped %q, want %q", i, j, records[i+1][j], cell)
+			}
+		}
+	}
+}
+
+// TestJSONSummaryRoundTrip re-encodes a decoded artifact and checks the
+// Summary aggregates survive a full Table -> JSON -> Table cycle (the
+// serving layer persists cached results this way).
+func TestJSONSummaryRoundTrip(t *testing.T) {
+	tb := sampleTable()
+	tb.Summary = &Summary{
+		Jobs: 4, Succeeded: 3, Failed: 1, Retries: 2, Parallelism: 2,
+		WallTime: 1500 * time.Millisecond, JobTime: 3 * time.Second, MaxJobTime: 2 * time.Second,
+		Metrics: map[string]Agg{
+			MetricPeakTempK:   {Count: 3, Sum: 1061.4, Min: 351.0, Max: 356.2},
+			MetricEmergencies: {Count: 3, Sum: 0, Min: 0, Max: 0},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back.Summary == nil {
+		t.Fatal("summary lost")
+	}
+	if back.Summary.Jobs != 4 || back.Summary.Failed != 1 || back.Summary.Retries != 2 {
+		t.Errorf("counts drifted: %+v", back.Summary)
+	}
+	if back.Summary.WallTime != tb.Summary.WallTime || back.Summary.MaxJobTime != tb.Summary.MaxJobTime {
+		t.Errorf("durations drifted: %+v", back.Summary)
+	}
+	peak := back.Summary.Metrics[MetricPeakTempK]
+	if peak.Count != 3 || peak.Min != 351.0 || peak.Max != 356.2 {
+		t.Errorf("aggregate drifted: %+v", peak)
+	}
+	if got, want := peak.Mean(), tb.Summary.Metrics[MetricPeakTempK].Mean(); got != want {
+		t.Errorf("mean drifted: %v != %v", got, want)
+	}
+	// A second encode must be byte-identical to the first: the decoded
+	// Agg re-derives the same mean, so persistence is idempotent.
+	var buf2 bytes.Buffer
+	if err := back.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Errorf("re-encode not idempotent:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+// TestEmptyRowTables: a table with columns but no rows must render and
+// encode in every format without panicking, and CSV/JSON must preserve
+// the header/structure.
+func TestEmptyRowTables(t *testing.T) {
+	tb := &Table{Title: "empty", Columns: []string{"a", "b"}}
+	for _, f := range Formats() {
+		var buf bytes.Buffer
+		if err := tb.Write(&buf, f); err != nil {
+			t.Errorf("write %s: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("write %s produced nothing", f)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || records[0][0] != "a" {
+		t.Errorf("records = %v", records)
+	}
+	var back Table
+	buf.Reset()
+	if err := tb.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Columns) != 2 || len(back.Rows) != 0 || back.Summary != nil {
+		t.Errorf("round-trip = %+v", back)
+	}
+}

@@ -16,7 +16,10 @@ type Agg struct {
 	Max   float64
 }
 
-func (a *Agg) add(v float64) {
+// Add folds one value into the aggregate. Exported so consumers that
+// receive per-job metrics incrementally (e.g. a progress stream) can
+// build the same aggregates Summary would.
+func (a *Agg) Add(v float64) {
 	if a.Count == 0 || v < a.Min {
 		a.Min = v
 	}
@@ -150,7 +153,7 @@ func summarize[T any](r *Result[T], parallelism int, wall time.Duration, metrics
 				s.Metrics = make(map[string]Agg)
 			}
 			agg := s.Metrics[name]
-			agg.add(v)
+			agg.Add(v)
 			s.Metrics[name] = agg
 		}
 	}

@@ -73,6 +73,31 @@ type Options[T any] struct {
 	// OnDone, when set, is called after each job finishes (serially,
 	// in completion order) — for progress reporting.
 	OnDone func(r JobResult[T])
+	// OnProgress, when set, is called after each job finishes with a
+	// snapshot of the sweep so far (serially, in completion order; the
+	// same lock as OnDone, so the two never interleave). Completed is
+	// monotonically non-decreasing across calls. The snapshot carries
+	// the finished job's measurements as extracted by Metrics, so a
+	// live consumer (progress bar, SSE stream) sees the same numbers
+	// the final Summary will aggregate.
+	OnProgress func(p Progress)
+}
+
+// Progress is a point-in-time snapshot of a running sweep, delivered
+// to Options.OnProgress after each job finishes. Skipped jobs never
+// ran and produce no Progress event, so Completed reaches Total only
+// when every job actually executed.
+type Progress struct {
+	// Completed counts jobs finished so far (succeeded or failed).
+	Completed int
+	// Total is the number of jobs in the sweep.
+	Total int
+	// Key and Err identify the job that just finished and its outcome.
+	Key string
+	Err error
+	// Metrics are the finished job's measurements as extracted by
+	// Options.Metrics (nil when unset or the job failed).
+	Metrics map[string]float64
 }
 
 // Result is the outcome of a sweep: one JobResult per input job, in
@@ -153,6 +178,7 @@ func Run[T any](ctx context.Context, jobs []Job[T], o Options[T]) (*Result[T], e
 	}()
 
 	var doneMu sync.Mutex
+	completed := 0
 	var wg sync.WaitGroup
 	for w := 0; w < par; w++ {
 		wg.Add(1)
@@ -164,9 +190,19 @@ func Run[T any](ctx context.Context, jobs []Job[T], o Options[T]) (*Result[T], e
 				if jr.Err != nil && o.Policy == FailFast {
 					cancel()
 				}
-				if o.OnDone != nil {
+				if o.OnDone != nil || o.OnProgress != nil {
 					doneMu.Lock()
-					o.OnDone(jr)
+					if o.OnDone != nil {
+						o.OnDone(jr)
+					}
+					if o.OnProgress != nil && !jr.Skipped {
+						completed++
+						p := Progress{Completed: completed, Total: len(jobs), Key: jr.Key, Err: jr.Err}
+						if o.Metrics != nil && jr.Err == nil {
+							p.Metrics = o.Metrics(jr)
+						}
+						o.OnProgress(p)
+					}
 					doneMu.Unlock()
 				}
 			}

@@ -296,3 +296,105 @@ func TestSummaryString(t *testing.T) {
 		t.Errorf("throughput = %f", s.Throughput(MetricSimCycles))
 	}
 }
+
+// TestOnProgress checks the progress stream: one event per executed
+// job, strictly monotonic Completed reaching Total, and per-job
+// metrics matching what the Summary later aggregates.
+func TestOnProgress(t *testing.T) {
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Key: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) { return i * 10, nil }}
+	}
+	var events []Progress
+	res, err := Run(context.Background(), jobs, Options[int]{
+		Parallelism: 4,
+		Metrics: func(r JobResult[int]) map[string]float64 {
+			return map[string]float64{"value": float64(r.Value)}
+		},
+		OnProgress: func(p Progress) { events = append(events, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(jobs) {
+		t.Fatalf("got %d progress events, want %d", len(events), len(jobs))
+	}
+	var sum float64
+	for i, p := range events {
+		if p.Completed != i+1 {
+			t.Errorf("event %d: Completed = %d, want %d (monotonic)", i, p.Completed, i+1)
+		}
+		if p.Total != len(jobs) {
+			t.Errorf("event %d: Total = %d", i, p.Total)
+		}
+		if p.Err != nil || p.Metrics == nil {
+			t.Errorf("event %d: err=%v metrics=%v", i, p.Err, p.Metrics)
+		}
+		sum += p.Metrics["value"]
+	}
+	if agg := res.Summary.Metrics["value"]; agg.Sum != sum {
+		t.Errorf("progress metrics sum %v != summary sum %v", sum, agg.Sum)
+	}
+}
+
+// TestOnProgressCancelled: skipped jobs emit no events, so a cancelled
+// sweep's progress stops short of Total but stays monotonic.
+func TestOnProgressCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Key: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) {
+			if i == 0 {
+				cancel()
+			}
+			return i, nil
+		}}
+	}
+	var events []Progress
+	res, _ := Run(ctx, jobs, Options[int]{
+		Parallelism: 2,
+		OnProgress:  func(p Progress) { events = append(events, p) },
+	})
+	if len(events) == 0 || len(events) >= len(jobs) {
+		t.Fatalf("got %d events for a sweep cancelled early (want >0, <%d)", len(events), len(jobs))
+	}
+	for i, p := range events {
+		if p.Completed != i+1 {
+			t.Errorf("event %d: Completed = %d, want %d", i, p.Completed, i+1)
+		}
+	}
+	if res.Summary.Skipped == 0 {
+		t.Errorf("expected skipped jobs, summary = %+v", res.Summary)
+	}
+}
+
+// TestOnProgressAndOnDoneInterlock: both hooks fire under one lock, so
+// an OnDone observer and an OnProgress observer never interleave and
+// see the same completion order.
+func TestOnProgressAndOnDoneInterlock(t *testing.T) {
+	jobs := make([]Job[int], 12)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Key: fmt.Sprintf("j%d", i), Run: func(context.Context) (int, error) { return i, nil }}
+	}
+	var doneOrder, progOrder []string
+	_, err := Run(context.Background(), jobs, Options[int]{
+		Parallelism: 6,
+		OnDone:      func(r JobResult[int]) { doneOrder = append(doneOrder, r.Key) },
+		OnProgress:  func(p Progress) { progOrder = append(progOrder, p.Key) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doneOrder) != len(progOrder) {
+		t.Fatalf("hook counts differ: %d vs %d", len(doneOrder), len(progOrder))
+	}
+	for i := range doneOrder {
+		if doneOrder[i] != progOrder[i] {
+			t.Fatalf("order diverged at %d: %v vs %v", i, doneOrder, progOrder)
+		}
+	}
+}

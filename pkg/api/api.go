@@ -1,0 +1,132 @@
+// Package api defines the wire types of the heatstroked experiment
+// daemon: job requests, job status, progress snapshots, and the
+// experiment listing. Both the server (internal/server) and the typed
+// client (pkg/client) speak these types, so the JSON encoding here is
+// the protocol.
+//
+// Endpoints (all JSON unless noted):
+//
+//	POST /v1/jobs                    submit a job; identical requests are
+//	                                 content-addressed to one result
+//	GET  /v1/jobs/{id}               status + summary
+//	GET  /v1/jobs/{id}/artifact      rendered table (?format=table|json|csv)
+//	GET  /v1/jobs/{id}/events        SSE progress stream
+//	GET  /v1/experiments             experiment registry listing
+//	GET  /v1/stats                   serving counters
+//	GET  /healthz, GET /readyz       liveness / readiness
+package api
+
+import "github.com/heatstroke-sim/heatstroke/internal/sweep"
+
+// JobRequest describes one experiment run. Every field except
+// Experiment is optional; omitted fields take the daemon's defaults.
+// Two requests that resolve to the same parameters share one cache
+// entry — and one in-flight simulation — regardless of how many
+// clients submit them.
+type JobRequest struct {
+	// Experiment names one of the registry's experiments (see
+	// GET /v1/experiments).
+	Experiment string `json:"experiment"`
+	// Benchmarks selects the SPEC-like workload subset (default: all).
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Quantum overrides the per-run cycle count (0 = config default).
+	Quantum int64 `json:"quantum,omitempty"`
+	// Warmup overrides the unmeasured warmup prefix (0 = default).
+	Warmup int64 `json:"warmup,omitempty"`
+	// Scale overrides the thermal scale factor (0 = config default).
+	Scale float64 `json:"scale,omitempty"`
+	// Seed seeds workload generation. A present-but-zero seed is
+	// honoured as literal seed 0; an absent seed means the config
+	// default (the pointer distinguishes the two).
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Progress is a live snapshot of a running job's sweep.
+type Progress struct {
+	// Completed / Total count the sweep's finished vs planned
+	// simulations. Completed is monotonically non-decreasing.
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+	// PeakTempK is the hottest sensor observation across completed
+	// simulations so far (0 until the first one finishes).
+	PeakTempK float64 `json:"peak_temp_k,omitempty"`
+	// CyclesPerSec is the most recent simulation's speed.
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	// SimCycles is the total cycles simulated so far.
+	SimCycles float64 `json:"sim_cycles,omitempty"`
+}
+
+// JobStatus is the server's view of one job.
+type JobStatus struct {
+	// ID is the job's content address: a digest of (experiment,
+	// resolved config, seed, benchmarks, code version). Identical
+	// requests get identical IDs.
+	ID         string     `json:"id"`
+	Experiment string     `json:"experiment"`
+	Request    JobRequest `json:"request"`
+	Status     Status     `json:"status"`
+	// Cached is set on submit responses served from a completed cache
+	// entry (no new simulation); Coalesced on submit responses joined
+	// to an identical in-flight job.
+	Cached    bool     `json:"cached,omitempty"`
+	Coalesced bool     `json:"coalesced,omitempty"`
+	Progress  Progress `json:"progress"`
+	// Summary is the sweep's execution summary: complete for done
+	// jobs, partial (rebuilt from progress events) for jobs cancelled
+	// mid-flight.
+	Summary *sweep.Summary `json:"summary,omitempty"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// ExperimentInfo is one registry entry of GET /v1/experiments.
+type ExperimentInfo struct {
+	Name        string `json:"name"`
+	Title       string `json:"title"`
+	Description string `json:"description"`
+}
+
+// Stats are the daemon's serving counters (GET /v1/stats).
+type Stats struct {
+	// Submitted counts POST /v1/jobs requests accepted (including
+	// cache hits and coalesced joins); Runs counts sweeps actually
+	// started. Runs <= Submitted, and the gap is work saved.
+	Submitted int64 `json:"submitted"`
+	Runs      int64 `json:"runs"`
+	CacheHits int64 `json:"cache_hits"`
+	Coalesced int64 `json:"coalesced"`
+	Rejected  int64 `json:"rejected"` // 429 backpressure rejections
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Jobs      int   `json:"jobs"` // entries resident (cache + active)
+}
+
+// Error is the JSON error envelope for non-2xx responses.
+type Error struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// Event is one SSE frame of GET /v1/jobs/{id}/events. Progress frames
+// carry Progress; the final frame carries the terminal JobStatus.
+type Event struct {
+	// Type is "progress" or "done" (terminal, regardless of outcome).
+	Type     string     `json:"type"`
+	Progress *Progress  `json:"progress,omitempty"`
+	Job      *JobStatus `json:"job,omitempty"`
+}

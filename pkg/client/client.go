@@ -1,0 +1,247 @@
+// Package client is the typed Go client for the heatstroked
+// experiment daemon (internal/server). It covers the full API:
+// submitting content-addressed jobs, polling status, streaming live
+// progress over SSE, fetching rendered artifacts, and listing the
+// experiment registry. cmd/heatstroke's -server passthrough mode is
+// built on it.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/heatstroke-sim/heatstroke/pkg/api"
+)
+
+// Client talks to one heatstroked daemon.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient. SSE streams live on
+	// long-running requests, so it must not set a global Timeout;
+	// cancel via context instead.
+	HTTPClient *http.Client
+	// PollInterval paces Wait's status polling when the event stream
+	// is unavailable (default 500ms).
+	PollInterval time.Duration
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError converts a non-2xx response into an error, decoding the
+// server's JSON envelope when present.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	var e api.Error
+	if err := json.Unmarshal(body, &e); err == nil && e.Message != "" {
+		return fmt.Errorf("client: server returned %d: %s", resp.StatusCode, e.Message)
+	}
+	return fmt.Errorf("client: server returned %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job. The returned status may already be terminal
+// (Cached) or joined to an in-flight run (Coalesced); identical
+// requests always return the same job ID.
+func (c *Client) Submit(ctx context.Context, jr api.JobRequest) (*api.JobStatus, error) {
+	body, err := json.Marshal(jr)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, apiError(resp)
+	}
+	var st api.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
+	var st api.JobStatus
+	if err := c.getJSON(ctx, "/v1/jobs/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Artifact fetches a completed job's rendered table in the given
+// format ("table", "json", or "csv"; empty means "table").
+func (c *Client) Artifact(ctx context.Context, id, format string) ([]byte, error) {
+	url := c.BaseURL + "/v1/jobs/" + id + "/artifact"
+	if format != "" {
+		url += "?format=" + format
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Experiments lists the daemon's experiment registry.
+func (c *Client) Experiments(ctx context.Context) ([]api.ExperimentInfo, error) {
+	var infos []api.ExperimentInfo
+	if err := c.getJSON(ctx, "/v1/experiments", &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Stats fetches the daemon's serving counters.
+func (c *Client) Stats(ctx context.Context) (*api.Stats, error) {
+	var st api.Stats
+	if err := c.getJSON(ctx, "/v1/stats", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Healthy checks the liveness endpoint.
+func (c *Client) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return nil
+}
+
+// Events consumes a job's SSE progress stream, calling fn for each
+// event until the stream ends (terminal "done" event), fn returns an
+// error, or ctx is cancelled. A nil return means the terminal event
+// was received.
+func (c *Client) Events(ctx context.Context, id string, fn func(api.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // event-type lines and heartbeat comments
+		}
+		var ev api.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return fmt.Errorf("client: bad event frame: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+		if ev.Type == "done" {
+			return nil
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("client: event stream: %w", err)
+	}
+	return fmt.Errorf("client: event stream ended without a terminal event")
+}
+
+// Wait blocks until the job reaches a terminal state, reporting live
+// progress through onProgress (which may be nil). It prefers the SSE
+// stream and falls back to status polling if streaming fails.
+func (c *Client) Wait(ctx context.Context, id string, onProgress func(api.Progress)) (*api.JobStatus, error) {
+	err := c.Events(ctx, id, func(ev api.Event) error {
+		if ev.Type == "progress" && ev.Progress != nil && onProgress != nil {
+			onProgress(*ev.Progress)
+		}
+		return nil
+	})
+	if err != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	// Whether the stream delivered the terminal event or broke, the
+	// status endpoint is authoritative; poll it until terminal.
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if onProgress != nil {
+			onProgress(st.Progress)
+		}
+		if st.Status.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
