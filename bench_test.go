@@ -7,17 +7,60 @@
 // on one core; set HEATSTROKE_BENCH_FULL=1 to regenerate the figures at
 // full scale (all benchmarks, 8M-cycle quanta — use cmd/heatstroke for
 // the rendered tables).
+//
+// HEATSTROKE_BENCH_CPUPROFILE and HEATSTROKE_BENCH_MEMPROFILE name
+// files to receive pprof profiles of the whole benchmark run. They
+// exist for wrappers like cmd/heatstroke-bench that invoke `go test`
+// on several packages at once, where per-package -cpuprofile flags
+// would clobber each other's output paths.
 package heatstroke_test
 
 import (
 	"context"
 	"io"
+	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	heatstroke "github.com/heatstroke-sim/heatstroke"
 	"github.com/heatstroke-sim/heatstroke/internal/sweep"
 )
+
+func TestMain(m *testing.M) {
+	// Not os.Exit(m.Run()) directly: the profile defers must flush
+	// before the process exits.
+	os.Exit(func() int {
+		if path := os.Getenv("HEATSTROKE_BENCH_CPUPROFILE"); path != "" {
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			defer func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			}()
+		}
+		if path := os.Getenv("HEATSTROKE_BENCH_MEMPROFILE"); path != "" {
+			defer func() {
+				f, err := os.Create(path)
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					log.Fatal(err)
+				}
+			}()
+		}
+		return m.Run()
+	}())
+}
 
 func benchOptions(b *testing.B) heatstroke.ExperimentOptions {
 	b.Helper()

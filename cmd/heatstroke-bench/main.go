@@ -1,0 +1,188 @@
+// Command heatstroke-bench runs the repo's Go benchmarks and renders
+// the results as a stable JSON artifact, so performance can be tracked
+// in version control and compared mechanically.
+//
+// Usage:
+//
+//	heatstroke-bench -out BENCH_baseline.json          # record a baseline
+//	heatstroke-bench -compare BENCH_baseline.json      # run and diff
+//	heatstroke-bench -bench 'ProfilePair' -benchtime 4x
+//
+// Recording runs `go test -run '^$' -bench <pattern> -benchmem` on the
+// benchmark-bearing packages and parses the standard output lines into
+// {name, iterations, ns_per_op, bytes_per_op, allocs_per_op} records
+// (the -N GOMAXPROCS suffix is stripped so names are stable across
+// machines).
+//
+// Comparing re-runs the same benchmarks and reports the per-benchmark
+// ns/op ratio against the baseline file. Regressions beyond -threshold
+// (default 10%) print a WARNING but do not fail the run — shared CI
+// machines are too noisy for a hard gate; the warnings make a genuine
+// regression visible in the job log without blocking merges on
+// scheduler jitter. -strict upgrades warnings to a non-zero exit for
+// local use on a quiet machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the artifact schema.
+type File struct {
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// defaultPattern covers the simulator-speed benchmarks the committed
+// baseline tracks: the profile pair/solo runs that dominate experiment
+// wall time, the raw pipeline rate, and one full quantum.
+const defaultPattern = "^(BenchmarkProfileSolo|BenchmarkProfilePair|BenchmarkPipelineCycles|BenchmarkQuantumSimulation)$"
+
+// defaultPackages are the packages holding those benchmarks.
+var defaultPackages = []string{".", "./internal/experiment"}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("heatstroke-bench: ")
+	pattern := flag.String("bench", defaultPattern, "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value (e.g. 4x, 2s)")
+	count := flag.Int("count", 1, "go test -count value")
+	pkgs := flag.String("packages", strings.Join(defaultPackages, ","), "comma-separated packages to benchmark")
+	out := flag.String("out", "", "write the JSON artifact to this file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON to diff the run against")
+	threshold := flag.Float64("threshold", 10, "regression warning threshold in percent ns/op")
+	strict := flag.Bool("strict", false, "exit non-zero when a regression exceeds the threshold")
+	flag.Parse()
+
+	results, err := runBenchmarks(*pattern, *benchtime, *count, strings.Split(*pkgs, ","))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatalf("no benchmarks matched %q", *pattern)
+	}
+	artifact := File{Benchtime: *benchtime, Benchmarks: results}
+
+	if *compare != "" {
+		base, err := readBaseline(*compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if regressed := diff(base, artifact, *threshold); regressed && *strict {
+			os.Exit(1)
+		}
+		return
+	}
+
+	enc, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d benchmarks)", *out, len(results))
+}
+
+// benchLine matches `BenchmarkName-8  4  874652470 ns/op  93389022 B/op  2728139 allocs/op`
+// (the memory columns require -benchmem, which runBenchmarks passes).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// runBenchmarks shells out to go test and parses the result lines.
+// Packages run one at a time so a result can be attributed to its
+// package even though the text format does not repeat it per line.
+func runBenchmarks(pattern, benchtime string, count int, pkgs []string) ([]Benchmark, error) {
+	var all []Benchmark
+	for _, pkg := range pkgs {
+		pkg = strings.TrimSpace(pkg)
+		if pkg == "" {
+			continue
+		}
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", pattern, "-benchmem",
+			"-benchtime", benchtime, "-count", strconv.Itoa(count), pkg)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go test -bench %s: %w", pkg, err)
+		}
+		for _, line := range strings.Split(string(outBytes), "\n") {
+			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			b := Benchmark{Name: m[1], Package: pkg}
+			b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+			b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+			if m[4] != "" {
+				b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			}
+			if m[5] != "" {
+				b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			}
+			all = append(all, b)
+		}
+	}
+	return all, nil
+}
+
+func readBaseline(path string) (File, error) {
+	var f File
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// diff prints a per-benchmark comparison and returns whether any
+// benchmark regressed past the threshold.
+func diff(base, cur File, thresholdPct float64) bool {
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	regressed := false
+	for _, b := range cur.Benchmarks {
+		o, ok := baseBy[b.Name]
+		if !ok || o.NsPerOp <= 0 {
+			fmt.Printf("%-32s %14.0f ns/op  (no baseline)\n", b.Name, b.NsPerOp)
+			continue
+		}
+		deltaPct := (b.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		fmt.Printf("%-32s %14.0f ns/op  baseline %14.0f  %+6.1f%%  allocs %d -> %d\n",
+			b.Name, b.NsPerOp, o.NsPerOp, deltaPct, o.AllocsPerOp, b.AllocsPerOp)
+		if deltaPct > thresholdPct {
+			fmt.Printf("WARNING: %s regressed %.1f%% over baseline (threshold %.0f%%)\n",
+				b.Name, deltaPct, thresholdPct)
+			regressed = true
+		}
+	}
+	return regressed
+}

@@ -28,6 +28,11 @@
 //
 // The -scale flag trades fidelity for speed (DESIGN.md §6): -scale 1
 // -quantum 500000000 is the paper's physical time base.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (local
+// simulation only — profiling a -server run profiles just the client),
+// for chasing simulator hot spots alongside the committed benchmark
+// baseline (see DESIGN.md "Performance").
 package main
 
 import (
@@ -39,6 +44,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -53,6 +60,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("heatstroke: ")
+	os.Exit(run())
+}
+
+// run holds main's body so profile-writing defers fire before exit.
+func run() int {
 	name := flag.String("experiment", "", "experiment to run (or 'all')")
 	list := flag.Bool("list", false, "list available experiments")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all)")
@@ -65,21 +77,53 @@ func main() {
 	out := flag.String("out", "", "write artifacts to this file (one experiment) or directory (default: stdout)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	serverURL := flag.String("server", "", "run via a heatstroked daemon at this URL instead of locally")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	if *list {
 		for _, n := range experiment.Names() {
 			fmt.Println(n)
 		}
-		return
+		return 0
 	}
 	if *name == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			mf, err := os.Create(*memprofile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				log.Print(err)
+			}
+		}()
 	}
 	f, err := sweep.ParseFormat(*format)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 
 	// A literal -seed 0 must mean "seed zero", not "use the default";
@@ -126,10 +170,11 @@ func main() {
 				req.Seed = &s
 			}
 			if err := runRemote(ctx, c, req, f, *format, *out, len(names) > 1); err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return 1
 			}
 		}
-		return
+		return 0
 	}
 
 	cfg := config.Default()
@@ -150,10 +195,12 @@ func main() {
 		start := time.Now()
 		table, err := experiment.RunContext(ctx, n, opts)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		if err := emit(table.Writer(f), n, f, *out, len(names) > 1); err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		status := fmt.Sprintf("%s in %.1fs", n, time.Since(start).Seconds())
 		if table.Summary != nil {
@@ -161,6 +208,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "  (%s)\n", status)
 	}
+	return 0
 }
 
 // runRemote submits one experiment to a heatstroked daemon, streams

@@ -1,0 +1,51 @@
+package cpu
+
+import "github.com/heatstroke-sim/heatstroke/internal/isa"
+
+// decInfo is the static decode cache: everything the timing pipeline
+// needs to know about a static instruction, precomputed once at program
+// load so the per-cycle stages index a flat table instead of re-deriving
+// operand classes, port counts, and functional-unit routing for every
+// dynamic instruction. The table is immutable after decodeProgram and is
+// indexed by program counter, in lockstep with isa.Program.Insts.
+//
+// Determinism note (DESIGN.md "Performance"): every field is a pure
+// function of the static isa.Instruction; caching it cannot change any
+// simulation result, only the cost of looking it up.
+type decInfo struct {
+	fu       uint8 // fuIndex(Op.FU()): issue queue + FU-pool routing
+	latency  int64 // Op.Latency()
+	intReads uint8 // integer register-file read ports at issue
+	fpReads  uint8 // FP register-file read ports at issue
+	intWrite bool  // writes an integer register-file port at writeback
+	fpWrite  bool  // writes an FP register-file port at writeback
+	isBranch bool
+	isMem    bool
+	// src1Class/src2Class are the rename-relevant operand classes, with
+	// an immediate second operand already folded to NoClass.
+	src1Class isa.RegClass
+	src2Class isa.RegClass
+}
+
+// decodeProgram builds the decode cache for one program.
+func decodeProgram(p *isa.Program) []decInfo {
+	dec := make([]decInfo, len(p.Insts))
+	for i := range p.Insts {
+		in := &p.Insts[i]
+		d := &dec[i]
+		d.fu = uint8(fuIndex(in.Op.FU()))
+		d.latency = int64(in.Op.Latency())
+		d.intReads = uint8(in.IntRegReads())
+		d.fpReads = uint8(in.FPRegReads())
+		d.intWrite = in.IntRegWrites() > 0
+		d.fpWrite = in.FPRegWrites() > 0
+		d.isBranch = in.Op.IsBranch()
+		d.isMem = in.Op.IsMem()
+		d.src1Class = in.Op.Src1Class()
+		d.src2Class = in.Op.Src2Class()
+		if in.UseImm {
+			d.src2Class = isa.NoClass
+		}
+	}
+	return dec
+}

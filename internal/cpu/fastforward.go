@@ -1,0 +1,190 @@
+package cpu
+
+import "math"
+
+// Stalled-cycle fast-forward.
+//
+// Under the paper's attack scenarios the stop-and-go base case holds
+// the pipeline globally stalled for ~91% of all cycles (duty cycle
+// 0.09), and even un-stalled threads spend long stretches waiting on a
+// known future cycle (an L2 miss return, a mispredict redirect, an
+// icache fill). Ticking those cycles one Step at a time does nothing
+// but increment the clock. Run therefore proves, from the pipeline
+// state alone, the earliest future cycle at which any stage could do
+// work, and advances the clock (plus the per-cycle sedation
+// accounting) arithmetically up to that cycle.
+//
+// The invariant that makes this byte-identical to stepping (tested by
+// TestFastForwardEquivalence): a cycle is skipped only if Step would
+// have been a pure clock tick — every condition below is exactly the
+// guard the corresponding stage evaluates, and quiescence is
+// self-sustaining because no entry state, queue, or counter can change
+// without one of the enumerated wake-up sources firing first.
+
+// never is a sentinel cycle meaning "no work is scheduled".
+const never = int64(math.MaxInt64)
+
+// SetFastForward enables or disables the stalled-cycle fast-forward
+// (enabled by default). Results are identical either way — the switch
+// exists so tests can prove that, and so profiles can isolate the
+// stage costs.
+func (c *Core) SetFastForward(enabled bool) { c.ffDisabled = !enabled }
+
+// nextActiveCycle returns the earliest cycle in (c.cycle, end] at
+// which Step could perform pipeline work, or end+1 if the window is
+// provably quiescent.
+func (c *Core) nextActiveCycle(end int64) int64 {
+	if c.globalStall {
+		// Step returns before any stage (and before the sedation
+		// accounting) while the chip is stalled.
+		return end + 1
+	}
+	now := c.cycle
+	earliest := never
+
+	// Writeback: the earliest pending completion event. Events whose
+	// deadline passed during a stalled or gated stretch fire on the
+	// next live cycle.
+	if len(c.events) > 0 {
+		earliest = c.events[0].at
+		if earliest <= now {
+			earliest = now + 1
+		}
+	}
+
+	// Issue: a live ready head issues next cycle. Stale (squashed)
+	// heads are dropped here exactly as issue() drops them lazily.
+	for f := 0; f < fuCount && earliest > now+1; f++ {
+		if c.fuLimit[f] <= 0 {
+			continue
+		}
+		q := &c.readyQ[f]
+		for !q.empty() {
+			top := q.peek()
+			e := &c.entries[top.id]
+			if e.gen != top.gen || e.state != esDispatched {
+				q.pop()
+				continue
+			}
+			earliest = now + 1
+			break
+		}
+	}
+
+	if earliest > now+1 {
+		for _, t := range c.threads {
+			if t.prog == nil {
+				continue
+			}
+			// Commit: a completed head-of-list entry retires next cycle.
+			if t.listHead >= 0 && c.entries[t.listHead].state == esDone {
+				earliest = now + 1
+				break
+			}
+			// Dispatch: a renameable fetch-queue head dispatches next
+			// cycle (same RUU/LSQ gates as dispatch()).
+			if t.ifqLen > 0 && c.ruuUsed < c.cfg.Pipeline.RUUSize {
+				e := &c.entries[t.ifqFront()]
+				if !((e.isLoad || e.isStore) && c.lsqUsed >= c.cfg.Pipeline.LSQSize) {
+					earliest = now + 1
+					break
+				}
+			}
+			// Fetch: resumes at a known cycle unless blocked on an
+			// in-flight entry, whose completion event is already
+			// accounted for above.
+			if t.fetchEnabled && t.ifqLen < ifqDepth &&
+				!(t.blocker.valid() && c.lookup(t.blocker) != nil) {
+				at := t.fetchResumeAt
+				if t.icacheStallEnd > at {
+					at = t.icacheStallEnd
+				}
+				if at <= now {
+					at = now + 1
+				}
+				if at < earliest {
+					earliest = at
+				}
+				if earliest <= now+1 {
+					break
+				}
+			}
+		}
+	}
+
+	if earliest > end {
+		return end + 1
+	}
+	// Interleaved clock gating postpones work to the first ungated
+	// cycle; the gated cycles in between are pure ticks.
+	if c.throttleDen > 0 {
+		earliest = c.firstUngated(earliest)
+		if earliest > end {
+			return end + 1
+		}
+	}
+	return earliest
+}
+
+// skipTo advances the clock to target, crediting each skipped live
+// (un-stalled, un-gated) cycle to the sedation counters exactly as the
+// per-cycle loop in Step would have.
+func (c *Core) skipTo(target int64) {
+	if target <= c.cycle {
+		return
+	}
+	if c.globalStall {
+		c.cycle = target
+		return
+	}
+	live := target - c.cycle
+	if c.throttleDen > 0 {
+		live = c.ungatedIn(c.cycle+1, target)
+	}
+	if live > 0 {
+		for _, t := range c.threads {
+			if t.prog != nil && !t.fetchEnabled {
+				c.stats[t.id].SedatedCycles += uint64(live)
+			}
+		}
+		// dispatch() advances its round-robin cursor every live cycle,
+		// whether or not anything dispatches; the cursor's phase decides
+		// which thread renames first once work resumes.
+		c.dispatchRR += int(live)
+	}
+	c.cycle = target
+}
+
+// firstUngated returns the first cycle >= x whose clock is not gated
+// by the current throttle setting (never if the clock is fully gated).
+func (c *Core) firstUngated(x int64) int64 {
+	num, den := int64(c.throttleNum), int64(c.throttleDen)
+	if num >= den {
+		return never
+	}
+	if r := x % den; r < num {
+		return x + (num - r)
+	}
+	return x
+}
+
+// ungatedIn counts the cycles in [a, b] that are not throttle-gated.
+func (c *Core) ungatedIn(a, b int64) int64 {
+	num, den := int64(c.throttleNum), int64(c.throttleDen)
+	if num >= den {
+		return 0
+	}
+	// count(n) is the number of ungated cycles in [0, n).
+	count := func(n int64) int64 {
+		if n <= 0 {
+			return 0
+		}
+		full, rem := n/den, n%den
+		cnt := full * (den - num)
+		if rem > num {
+			cnt += rem - num
+		}
+		return cnt
+	}
+	return count(b+1) - count(a)
+}

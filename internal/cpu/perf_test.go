@@ -1,0 +1,205 @@
+package cpu
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/isa"
+	"github.com/heatstroke-sim/heatstroke/internal/workload"
+)
+
+// TestReadyQueueAgeOrder drives readyQueue with adversarial push
+// sequences — sorted runs, reversed runs, duplicates, and pushes
+// interleaved with pops so insertions land in a partially-drained
+// buffer — and checks every pop against a reference model: pops must
+// come out in nondecreasing seq order, FIFO among equal seqs.
+func TestReadyQueueAgeOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var q readyQueue
+		var model []readyRef // kept sorted: the expected pop order
+		serial := int32(0)
+
+		push := func(seq uint64) {
+			r := readyRef{id: serial, seq: seq}
+			serial++
+			q.push(r)
+			// First slot whose seq exceeds r.seq: equal seqs stay FIFO.
+			i := sort.Search(len(model), func(i int) bool { return model[i].seq > r.seq })
+			model = append(model, readyRef{})
+			copy(model[i+1:], model[i:])
+			model[i] = r
+		}
+		popCheck := func() {
+			want := model[0]
+			model = model[1:]
+			if q.empty() {
+				t.Fatalf("trial %d: queue empty, model has %d", trial, len(model)+1)
+			}
+			if got := q.peek(); got != want {
+				t.Fatalf("trial %d: peek = {id %d seq %d}, want {id %d seq %d}",
+					trial, got.id, got.seq, want.id, want.seq)
+			}
+			if got := q.pop(); got != want {
+				t.Fatalf("trial %d: pop = {id %d seq %d}, want {id %d seq %d}",
+					trial, got.id, got.seq, want.id, want.seq)
+			}
+		}
+
+		for op, nops := 0, 40+rng.Intn(400); op < nops; op++ {
+			if len(model) > 0 && rng.Intn(3) == 0 {
+				popCheck()
+				continue
+			}
+			switch rng.Intn(4) {
+			case 0: // near-monotone, the common dispatch pattern
+				push(uint64(serial) + uint64(rng.Intn(3)))
+			case 1: // old wakeup arriving behind younger entries
+				push(uint64(rng.Intn(10)))
+			case 2: // duplicate-heavy band to stress FIFO tie-breaks
+				push(uint64(rng.Intn(4)) * 100)
+			default:
+				push(rng.Uint64() >> 1)
+			}
+		}
+		for len(model) > 0 {
+			popCheck()
+		}
+		if !q.empty() {
+			t.Fatalf("trial %d: model drained but queue has entries", trial)
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocs pins the tentpole claim that the warmed-up
+// core allocates nothing per cycle: a two-thread core running the
+// squash-heavy kernels (mispredicts, L2 misses, stores) must show zero
+// allocations across whole samples once its scratch buffers have grown
+// to their high-water marks.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	a, err := workload.Kernel("branchstorm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.Kernel("pointerchase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	c := newCore(t, cfg, a, b)
+	c.Run(50_000) // warm caches, predictors, and scratch capacities
+
+	if avg := testing.AllocsPerRun(10, func() { c.Run(1_000) }); avg != 0 {
+		t.Errorf("warmed core allocates %.1f times per 1000 cycles, want 0", avg)
+	}
+
+	// The throttled (DVS-style) and globally-stalled paths must stay
+	// allocation-free too: fast-forward may not build anything per skip.
+	c.SetThrottle(9, 10)
+	if avg := testing.AllocsPerRun(10, func() { c.Run(1_000) }); avg != 0 {
+		t.Errorf("throttled core allocates %.1f times per 1000 cycles, want 0", avg)
+	}
+	c.SetThrottle(0, 0)
+	c.SetGlobalStall(true)
+	if avg := testing.AllocsPerRun(10, func() { c.Run(1_000) }); avg != 0 {
+		t.Errorf("stalled core allocates %.1f times per 1000 cycles, want 0", avg)
+	}
+	c.SetGlobalStall(false)
+}
+
+// TestDecodeProgramMatchesInstructions cross-checks the static decode
+// cache against the isa metadata it memoizes, for every kernel.
+func TestDecodeProgramMatchesInstructions(t *testing.T) {
+	for _, name := range workload.KernelNames() {
+		prog, err := workload.Kernel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := decodeProgram(prog)
+		if len(dec) != prog.Len() {
+			t.Fatalf("%s: %d decode entries for %d instructions", name, len(dec), prog.Len())
+		}
+		for pc := range dec {
+			in := &prog.Insts[pc]
+			d := &dec[pc]
+			if int(d.fu) != fuIndex(in.Op.FU()) {
+				t.Errorf("%s[%d]: fu %d, want %d", name, pc, d.fu, fuIndex(in.Op.FU()))
+			}
+			if d.latency != int64(in.Op.Latency()) {
+				t.Errorf("%s[%d]: latency %d, want %d", name, pc, d.latency, in.Op.Latency())
+			}
+			if int(d.intReads) != in.IntRegReads() {
+				t.Errorf("%s[%d]: intReads %d, want %d", name, pc, d.intReads, in.IntRegReads())
+			}
+			if int(d.fpReads) != in.FPRegReads() {
+				t.Errorf("%s[%d]: fpReads %d, want %d", name, pc, d.fpReads, in.FPRegReads())
+			}
+			if d.isBranch != in.Op.IsBranch() {
+				t.Errorf("%s[%d]: isBranch %v, want %v", name, pc, d.isBranch, in.Op.IsBranch())
+			}
+		}
+	}
+}
+
+// TestFastForwardMatchesStepping runs the same workloads on a stepping
+// core and a fast-forwarding core through the regimes the skip logic
+// reasons about — free-running, globally stalled, and clock-gated —
+// and requires identical cycle counts, stats, and architectural state.
+func TestFastForwardMatchesStepping(t *testing.T) {
+	build := func() (*Core, *Core) {
+		a, err := workload.Kernel("branchstorm")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := workload.Kernel("stream")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig()
+		ref := newCore(t, cfg, a, b)
+		ref.SetFastForward(false)
+		a2, _ := workload.Kernel("branchstorm")
+		b2, _ := workload.Kernel("stream")
+		ff := newCore(t, cfg, a2, b2)
+		return ref, ff
+	}
+	check := func(ref, ff *Core, phase string) {
+		t.Helper()
+		if ref.Cycle() != ff.Cycle() {
+			t.Fatalf("%s: cycle %d vs %d", phase, ff.Cycle(), ref.Cycle())
+		}
+		for tid := 0; tid < ref.Threads(); tid++ {
+			if ref.Stats(tid) != ff.Stats(tid) {
+				t.Errorf("%s: thread %d stats %+v vs %+v", phase, tid, ff.Stats(tid), ref.Stats(tid))
+			}
+			for r := 1; r < isa.NumIntRegs; r++ {
+				if ref.IntRegValue(tid, r) != ff.IntRegValue(tid, r) {
+					t.Errorf("%s: thread %d $%d = %d vs %d", phase, tid, r,
+						ff.IntRegValue(tid, r), ref.IntRegValue(tid, r))
+				}
+			}
+		}
+	}
+	ref, ff := build()
+	apply := func(f func(c *Core)) { f(ref); f(ff) }
+
+	apply(func(c *Core) { c.Run(10_000) })
+	check(ref, ff, "free-running")
+
+	// Stop-and-go: stall with work in flight, thaw, repeat with odd
+	// sample lengths so skip targets land on both kinds of boundary.
+	for i := 0; i < 5; i++ {
+		apply(func(c *Core) { c.SetGlobalStall(true); c.Run(911) })
+		apply(func(c *Core) { c.SetGlobalStall(false); c.Run(89) })
+	}
+	check(ref, ff, "stop-and-go")
+
+	// DVS-style interleaved gating, plus a sedated thread so skipped
+	// cycles must credit SedatedCycles identically.
+	apply(func(c *Core) { c.SetFetchEnabled(1, false); c.SetThrottle(7, 10); c.Run(10_000) })
+	check(ref, ff, "throttled+sedated")
+
+	apply(func(c *Core) { c.SetThrottle(0, 0); c.SetFetchEnabled(1, true); c.Run(10_000) })
+	check(ref, ff, "recovered")
+}

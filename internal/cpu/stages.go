@@ -1,8 +1,6 @@
 package cpu
 
 import (
-	"sort"
-
 	"github.com/heatstroke-sim/heatstroke/internal/bpred"
 	"github.com/heatstroke-sim/heatstroke/internal/isa"
 	"github.com/heatstroke-sim/heatstroke/internal/power"
@@ -12,13 +10,11 @@ import (
 // each cycle, fewest-instructions-in-flight first, and share FetchWidth
 // fetch slots. A thread's fetch breaks on a taken branch, an icache
 // miss, a full fetch queue, or a fetch block (mispredict / L2 squash /
-// sedation).
+// sedation). Candidate selection runs on a reusable Core scratch slice
+// with an in-place stable insertion sort (contexts are few), so the
+// hot loop allocates nothing.
 func (c *Core) fetch() {
-	type cand struct {
-		t        *thread
-		inFlight int
-	}
-	var cands []cand
+	cands := c.fetchCands[:0]
 	for _, t := range c.threads {
 		if t.prog == nil || !t.fetchEnabled {
 			continue
@@ -30,38 +26,44 @@ func (c *Core) fetch() {
 		if c.cycle < t.fetchResumeAt || c.cycle < t.icacheStallEnd {
 			continue
 		}
-		if len(t.ifq) >= ifqDepth {
+		if t.ifqLen >= ifqDepth {
 			continue
 		}
-		cands = append(cands, cand{t: t, inFlight: t.inFlight})
+		cands = append(cands, fetchCand{t: t, inFlight: t.inFlight})
 	}
-	if len(cands) == 0 {
+	c.fetchCands = cands
+	n := len(cands)
+	if n == 0 {
 		return
 	}
+	rot := 0
 	if c.cfg.Pipeline.FetchPolicy == "rr" {
 		// Round-robin ablation: rotate priority each cycle instead of
 		// favouring the thread with the fewest instructions in flight.
-		rot := int(c.cycle) % len(cands)
-		cands = append(cands[rot:], cands[:rot]...)
+		rot = int(c.cycle) % n
 	} else {
-		sort.SliceStable(cands, func(i, j int) bool { return cands[i].inFlight < cands[j].inFlight })
+		// Stable insertion sort: equal ICOUNTs keep hardware-context
+		// order, exactly as sort.SliceStable did.
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && cands[j-1].inFlight > cands[j].inFlight; j-- {
+				cands[j-1], cands[j] = cands[j], cands[j-1]
+			}
+		}
 	}
-	if len(cands) > c.cfg.Pipeline.FetchThreads {
-		cands = cands[:c.cfg.Pipeline.FetchThreads]
+	picks := n
+	if picks > c.cfg.Pipeline.FetchThreads {
+		picks = c.cfg.Pipeline.FetchThreads
 	}
 	budget := c.cfg.Pipeline.FetchWidth
-	for _, cd := range cands {
-		if budget <= 0 {
-			break
-		}
-		budget = c.fetchThread(cd.t, budget)
+	for k := 0; k < picks && budget > 0; k++ {
+		budget = c.fetchThread(cands[(rot+k)%n].t, budget)
 	}
 }
 
 // fetchThread fetches up to budget instructions from t; it returns the
 // remaining budget.
 func (c *Core) fetchThread(t *thread, budget int) int {
-	for budget > 0 && len(t.ifq) < ifqDepth {
+	for budget > 0 && t.ifqLen < ifqDepth {
 		iaddr := t.instAddr(t.pc)
 		line := int64(iaddr >> 6)
 		if line != t.curLine {
@@ -83,15 +85,16 @@ func (c *Core) fetchThread(t *thread, budget int) int {
 		e.state = esFetched
 		e.tid = t.id
 		e.pc = t.pc
-		e.inst = t.prog.Insts[t.pc]
+		e.inst = &t.prog.Insts[t.pc]
+		e.dec = &t.dec[t.pc]
 		nextPC := t.exec(e)
 
-		t.ifq = append(t.ifq, e.id)
+		t.ifqPush(e.id)
 		t.inFlight++
 		c.stats[t.id].Fetched++
 		budget--
 
-		if e.inst.Op.IsBranch() {
+		if e.dec.isBranch {
 			c.stats[t.id].Branches++
 			if e.isCond {
 				e.brPCAddr = iaddr
@@ -129,15 +132,15 @@ func (c *Core) dispatch() {
 		if t.prog == nil {
 			continue
 		}
-		for budget > 0 && len(t.ifq) > 0 {
+		for budget > 0 && t.ifqLen > 0 {
 			if c.ruuUsed >= c.cfg.Pipeline.RUUSize {
 				break
 			}
-			e := &c.entries[t.ifq[0]]
+			e := &c.entries[t.ifqFront()]
 			if (e.isLoad || e.isStore) && c.lsqUsed >= c.cfg.Pipeline.LSQSize {
 				break
 			}
-			t.ifq = t.ifq[1:]
+			t.ifqPop()
 			c.rename(t, e)
 			budget--
 		}
@@ -150,18 +153,17 @@ func (c *Core) dispatch() {
 // the destination register's rename-table slot is displaced (recorded
 // for squash undo).
 func (c *Core) rename(t *thread, e *entry) {
-	in := &e.inst
-	if cl := in.Op.Src1Class(); cl == isa.IntClass {
+	in := e.inst
+	d := e.dec
+	if d.src1Class == isa.IntClass {
 		e.prod[0] = t.renInt[in.Src1]
-	} else if cl == isa.FPClass {
+	} else if d.src1Class == isa.FPClass {
 		e.prod[0] = t.renFP[in.Src1]
 	}
-	if cl := in.Op.Src2Class(); !in.UseImm {
-		if cl == isa.IntClass {
-			e.prod[1] = t.renInt[in.Src2]
-		} else if cl == isa.FPClass {
-			e.prod[1] = t.renFP[in.Src2]
-		}
+	if d.src2Class == isa.IntClass {
+		e.prod[1] = t.renInt[in.Src2]
+	} else if d.src2Class == isa.FPClass {
+		e.prod[1] = t.renFP[in.Src2]
 	}
 
 	tid := int(t.id)
@@ -214,38 +216,56 @@ func (c *Core) rename(t *thread, e *entry) {
 	}
 }
 
+// seqNone marks an empty (or unusable) ready-queue head; real sequence
+// numbers start at 1.
+const seqNone = ^uint64(0)
+
+// liveHead returns the sequence number of queue f's oldest live entry,
+// dropping squashed heads lazily (exactly as the old per-budget scan
+// did), or seqNone if the queue has nothing issuable.
+func (c *Core) liveHead(f int) uint64 {
+	if c.fuLimit[f] <= 0 {
+		return seqNone
+	}
+	q := &c.readyQ[f]
+	for !q.empty() {
+		top := q.peek()
+		e := &c.entries[top.id]
+		if e.gen != top.gen || e.state != esDispatched {
+			q.pop()
+			continue
+		}
+		return top.seq
+	}
+	return seqNone
+}
+
 // issue picks the globally oldest ready instruction among the
 // functional-unit classes that still have a free unit, up to
 // IssueWidth per cycle. Entries blocked on a busy unit class are never
-// scanned.
+// scanned. The live head of each queue is cached across the budget
+// loop — only the popped class changes, unless an issued load squashed
+// its thread, which invalidates every cached head.
 func (c *Core) issue() {
-	for i := range c.fuUsed {
-		c.fuUsed[i] = 0
+	var heads [fuCount]uint64
+	any := false
+	for f := 0; f < fuCount; f++ {
+		c.fuUsed[f] = 0
+		heads[f] = c.liveHead(f)
+		any = any || heads[f] != seqNone
+	}
+	if !any {
+		return
 	}
 	for budget := c.cfg.Pipeline.IssueWidth; budget > 0; budget-- {
 		best := -1
-		var bestSeq uint64
+		bestSeq := seqNone
 		for f := 0; f < fuCount; f++ {
 			if c.fuUsed[f] >= c.fuLimit[f] {
 				continue
 			}
-			q := &c.readyQ[f]
-			// Drop squashed heads lazily.
-			for !q.empty() {
-				top := q.peek()
-				e := &c.entries[top.id]
-				if e.gen != top.gen || e.state != esDispatched {
-					q.pop()
-					continue
-				}
-				break
-			}
-			if q.empty() {
-				continue
-			}
-			if best < 0 || q.peek().seq < bestSeq {
-				best = f
-				bestSeq = q.peek().seq
+			if heads[f] < bestSeq {
+				best, bestSeq = f, heads[f]
 			}
 		}
 		if best < 0 {
@@ -253,32 +273,41 @@ func (c *Core) issue() {
 		}
 		r := c.readyQ[best].pop()
 		c.fuUsed[best]++
+		before := c.squashes
 		c.issueOne(&c.entries[r.id])
+		if c.squashes != before {
+			for f := 0; f < fuCount; f++ {
+				heads[f] = c.liveHead(f)
+			}
+		} else {
+			heads[best] = c.liveHead(best)
+		}
 	}
 }
 
 func (c *Core) issueOne(e *entry) {
 	tid := int(e.tid)
+	d := e.dec
 	e.state = esIssued
 	c.act.Add(power.UnitIntQ, tid, 1) // issue-queue read-out
 
 	// Register-file read ports.
-	if n := e.inst.IntRegReads(); n > 0 {
-		c.act.Add(power.UnitIntReg, tid, uint64(n))
+	if d.intReads > 0 {
+		c.act.Add(power.UnitIntReg, tid, uint64(d.intReads))
 	}
-	if n := e.inst.FPRegReads(); n > 0 {
-		c.act.Add(power.UnitFPReg, tid, uint64(n))
+	if d.fpReads > 0 {
+		c.act.Add(power.UnitFPReg, tid, uint64(d.fpReads))
 	}
 
-	lat := int64(e.inst.Op.Latency())
-	switch e.inst.Op.FU() {
-	case isa.FUIntALU, isa.FUIntMulDiv, isa.FUBranch, isa.FUNone:
+	lat := d.latency
+	switch d.fu {
+	case fuIntALU, fuIntMulDiv:
 		c.act.Add(power.UnitIntExec, tid, 1)
-	case isa.FUFPAdd:
+	case fuFPAdd:
 		c.act.Add(power.UnitFPAdd, tid, 1)
-	case isa.FUFPMulDiv:
+	case fuFPMulDiv:
 		c.act.Add(power.UnitFPMul, tid, 1)
-	case isa.FUMem:
+	case fuMem:
 		c.act.Add(power.UnitLSQ, tid, 1)
 		if e.isLoad {
 			if c.lookup(e.prod[2]) != nil {
@@ -334,11 +363,11 @@ func (c *Core) writeback() {
 		t := c.threads[e.tid]
 
 		// Register-file write ports.
-		if n := e.inst.IntRegWrites(); n > 0 {
-			c.act.Add(power.UnitIntReg, tid, uint64(n))
+		if e.dec.intWrite {
+			c.act.Add(power.UnitIntReg, tid, 1)
 		}
-		if n := e.inst.FPRegWrites(); n > 0 {
-			c.act.Add(power.UnitFPReg, tid, uint64(n))
+		if e.dec.fpWrite {
+			c.act.Add(power.UnitFPReg, tid, 1)
 		}
 
 		if e.isCond {
@@ -436,16 +465,17 @@ func (c *Core) commitOne(t *thread, e *entry) {
 func (c *Core) squashAfter(e *entry) {
 	t := c.threads[e.tid]
 	c.stats[e.tid].L2Squashes++
+	c.squashes++
 
 	// Undo the fetch queue (all younger than anything dispatched).
-	for i := len(t.ifq) - 1; i >= 0; i-- {
-		y := &c.entries[t.ifq[i]]
+	for i := t.ifqLen - 1; i >= 0; i-- {
+		y := &c.entries[t.ifqAt(i)]
 		t.undo(y)
 		t.inFlight--
 		c.stats[e.tid].Squashed++
 		c.release(y)
 	}
-	t.ifq = t.ifq[:0]
+	t.ifqHead, t.ifqLen = 0, 0
 
 	// Undo younger RUU entries of this thread, newest-first.
 	for id := t.listTail; id >= 0; {

@@ -15,6 +15,9 @@ import (
 type thread struct {
 	id   int32
 	prog *isa.Program
+	// dec is the static decode cache, indexed by program counter in
+	// lockstep with prog.Insts.
+	dec []decInfo
 
 	// Architectural register state, updated at fetch (functional-first).
 	iregs [isa.NumIntRegs]int64
@@ -33,8 +36,13 @@ type thread struct {
 	blocker ref
 
 	// ifq is the fetch queue: fetched-but-not-dispatched entry ids in
-	// program order.
-	ifq []int32
+	// program order, kept in a fixed ring so the steady-state pipeline
+	// never reallocates it (popping a slice from the front would creep
+	// through its backing array and force a fresh allocation every
+	// ifqDepth dispatches).
+	ifq     [ifqDepth]int32
+	ifqHead int
+	ifqLen  int
 
 	// Rename tables: architectural register -> youngest producing entry.
 	renInt [isa.NumIntRegs]ref
@@ -74,6 +82,8 @@ func newThread(id int, prog *isa.Program, cfg *config.Config) (*thread, error) {
 			return nil, fmt.Errorf("cpu: thread %d: %w", id, err)
 		}
 		t.pc = prog.Entry
+		t.dec = decodeProgram(prog)
+		t.stores = make([]ref, 0, cfg.Pipeline.LSQSize)
 		p, err := bpred.New(cfg.Bpred.Kind, cfg.Bpred.TableBits)
 		if err != nil {
 			return nil, err
@@ -83,6 +93,25 @@ func newThread(id int, prog *isa.Program, cfg *config.Config) (*thread, error) {
 	}
 	return t, nil
 }
+
+// ifqPush appends an entry id at the tail of the fetch queue; the
+// caller has already checked for space.
+func (t *thread) ifqPush(id int32) {
+	t.ifq[(t.ifqHead+t.ifqLen)%ifqDepth] = id
+	t.ifqLen++
+}
+
+// ifqFront returns the oldest queued entry id.
+func (t *thread) ifqFront() int32 { return t.ifq[t.ifqHead] }
+
+// ifqPop removes the oldest queued entry id.
+func (t *thread) ifqPop() {
+	t.ifqHead = (t.ifqHead + 1) % ifqDepth
+	t.ifqLen--
+}
+
+// ifqAt returns the i-th queued entry id counting from the oldest.
+func (t *thread) ifqAt(i int) int32 { return t.ifq[(t.ifqHead+i)%ifqDepth] }
 
 // Address-space layout: each context's cache-visible addresses carry
 // the context id in high bits, so contexts share cache sets (and so
@@ -123,7 +152,7 @@ func (t *thread) intSrc2(in *isa.Instruction) int64 {
 // e's undo record, and returns the next PC. It must be called in
 // program order (at fetch).
 func (t *thread) exec(e *entry) int32 {
-	in := &e.inst
+	in := e.inst
 	e.dstClass = isa.NoClass
 	switch in.Op {
 	case isa.OpNop:

@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/sim"
+)
+
+// TestFastForwardEquivalence locks in the tentpole invariant end to
+// end: the stalled-cycle fast-forward must be invisible in every
+// measured quantity. A Figure-5-style attack pair (SPEC program vs
+// malicious variant 2) runs under each DTM policy twice — once
+// stepping every cycle, once fast-forwarding — and the full sim.Result
+// structs, thermal trace included, must be deeply equal.
+func TestFastForwardEquivalence(t *testing.T) {
+	for _, policy := range []dtm.Kind{dtm.StopAndGo, dtm.SelectiveSedation, dtm.DVS} {
+		policy := policy
+		t.Run(string(policy), func(t *testing.T) {
+			run := func(fastForward bool) *sim.Result {
+				o := tinyOptions().normalized()
+				spec, err := specThread("crafty", o.Seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				vt, err := variantThread(2, o.Config.Thermal.Scale)
+				if err != nil {
+					t.Fatal(err)
+				}
+				j := pairJob(o, "p", spec, vt, policy, false)
+				j.opts.TraceTemps = true
+				s, err := sim.New(j.cfg, j.threads, j.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.Core().SetFastForward(fastForward)
+				r, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r
+			}
+			stepped := run(false)
+			skipped := run(true)
+			if !reflect.DeepEqual(stepped, skipped) {
+				t.Errorf("results diverge:\n--- stepped\n%s\n--- fast-forwarded\n%s",
+					resultSummary(stepped), resultSummary(skipped))
+			}
+		})
+	}
+}
+
+// resultSummary flattens the fields most likely to diverge for a
+// readable failure message.
+func resultSummary(r *sim.Result) string {
+	s := fmt.Sprintf("cycles=%d emergencies=%d stopgo=%d peak=%.4f power=%.4f sedation=%+v",
+		r.Cycles, r.Emergencies, r.StopGoCycles, r.PeakTemp, r.TotalPowerW, r.Sedation)
+	for i, tr := range r.Threads {
+		s += fmt.Sprintf("\n  thread %d: %+v", i, tr)
+	}
+	return s
+}
