@@ -6,6 +6,14 @@
 //
 //	heatstroke-trace -bench crafty -variant 2 -policy stopgo > run.csv
 //	heatstroke-trace -bench gcc -variant 1 -policy sedation -cycles 16000000 -o trace.csv
+//	heatstroke-trace -policy sedation -events-out run.ndjson -perfetto-out run.json -o run.csv
+//
+// Alongside the CSV, -events-out writes the typed DTM event timeline
+// (threshold crossings, sedations with the culprit thread and EWMA
+// score, stop-and-go engage/release, OS reports) as NDJSON, and
+// -perfetto-out writes the same run as Chrome/Perfetto trace-event
+// JSON — open it in ui.perfetto.dev to see sedation slices per thread
+// over the per-unit temperature counters.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	heatstroke "github.com/heatstroke-sim/heatstroke"
 	"github.com/heatstroke-sim/heatstroke/internal/dtm"
 	"github.com/heatstroke-sim/heatstroke/internal/sim"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry"
 	"github.com/heatstroke-sim/heatstroke/internal/trace"
 	"github.com/heatstroke-sim/heatstroke/internal/workload"
 )
@@ -31,6 +40,8 @@ func main() {
 	warmup := flag.Int64("warmup", 500_000, "warmup cycles before tracing")
 	stride := flag.Int("stride", 1, "keep every n-th sensor sample")
 	out := flag.String("o", "", "output file (default stdout)")
+	eventsOut := flag.String("events-out", "", "write the DTM event timeline as NDJSON to this file")
+	perfettoOut := flag.String("perfetto-out", "", "write a Chrome/Perfetto trace-event JSON to this file")
 	flag.Parse()
 
 	cfg := heatstroke.DefaultConfig()
@@ -57,15 +68,41 @@ func main() {
 
 	rec := &trace.Recorder{Stride: *stride}
 	s, err := sim.New(cfg, threads, sim.Options{
-		Policy:       dtm.Kind(*policy),
-		WarmupCycles: *warmup,
-		Recorder:     rec,
+		Policy:        dtm.Kind(*policy),
+		WarmupCycles:  *warmup,
+		Recorder:      rec,
+		CollectEvents: *eventsOut != "" || *perfettoOut != "",
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := s.Run(); err != nil {
+	res, err := s.Run()
+	if err != nil {
 		log.Fatal(err)
+	}
+
+	names := make([]string, len(threads))
+	for i, th := range threads {
+		names[i] = th.Name
+	}
+	if *eventsOut != "" {
+		if err := writeFile(*eventsOut, func(w *os.File) error {
+			return telemetry.WriteNDJSON(w, res.Events)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *perfettoOut != "" {
+		if err := writeFile(*perfettoOut, func(w *os.File) error {
+			return telemetry.WritePerfetto(w, telemetry.TraceOptions{
+				FrequencyHz: cfg.Power.FrequencyHz,
+				ThreadNames: names,
+				Events:      res.Events,
+				Samples:     rec.Samples,
+			})
+		}); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	w := os.Stdout
@@ -81,6 +118,24 @@ func main() {
 		log.Fatal(err)
 	}
 	sum := rec.Summarize()
-	fmt.Fprintf(os.Stderr, "samples=%d peak=%.2fK@%s stalled=%.1f%% meanPower=%.1fW\n",
-		sum.Samples, sum.PeakTempK, sum.PeakUnit, 100*sum.StallFrac, sum.MeanPowerW)
+	fmt.Fprintf(os.Stderr, "samples=%d peak=%.2fK@%s stalled=%.1f%% meanPower=%.1fW events=%d\n",
+		sum.Samples, sum.PeakTempK, sum.PeakUnit, 100*sum.StallFrac, sum.MeanPowerW, len(res.Events))
+}
+
+// writeFile creates path, hands it to fill, and reports the write on
+// stderr.
+func writeFile(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }

@@ -16,6 +16,7 @@
 //	GET  /v1/jobs/{id}/events    SSE progress stream
 //	GET  /v1/experiments         registry listing
 //	GET  /v1/stats               serving counters
+//	GET  /metrics                Prometheus text-format exposition
 //	GET  /healthz, /readyz       probes
 //
 // Identical requests share one simulation: concurrent duplicates
@@ -31,8 +32,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -64,8 +67,23 @@ func run(args []string, ready func(addr string)) error {
 	scale := fs.Float64("scale", 0, "base thermal scale factor (default: config's)")
 	quantum := fs.Int64("quantum", 0, "base cycles per OS quantum (default: config's)")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "shutdown drain deadline")
+	logJSON := fs.Bool("log-json", false, "emit structured JSON logs instead of text")
+	logLevel := fs.String("log-level", "info", "log level: debug (includes per-request lines), info, warn, error")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	handlerOpts := &slog.HandlerOptions{Level: level}
+	var logger *slog.Logger
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, handlerOpts))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, handlerOpts))
 	}
 
 	baseConfig := func() config.Config {
@@ -85,10 +103,31 @@ func run(args []string, ready func(addr string)) error {
 		Parallelism:   *parallel,
 		CacheDir:      *cacheDir,
 		BaseConfig:    baseConfig,
-		Logf:          log.Printf,
+		Logger:        logger,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		// The profiling mux is opt-in and on its own listener, so the
+		// public API surface never exposes pprof.
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugLn, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		log.Printf("pprof listening on %s", debugLn.Addr())
+		go func() {
+			if err := http.Serve(debugLn, debugMux); err != nil {
+				log.Printf("pprof serve: %v", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

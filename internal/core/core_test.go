@@ -345,7 +345,7 @@ func TestEngineReleaseAll(t *testing.T) {
 	if h.ctl.enabled[1] {
 		t.Fatal("setup: thread 1 should be sedated")
 	}
-	h.eng.ReleaseAll()
+	h.eng.ReleaseAll(h.cycle)
 	if !h.ctl.enabled[1] {
 		t.Fatal("ReleaseAll did not restore the thread")
 	}

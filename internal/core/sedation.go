@@ -5,6 +5,7 @@ import (
 
 	"github.com/heatstroke-sim/heatstroke/internal/config"
 	"github.com/heatstroke-sim/heatstroke/internal/power"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry"
 )
 
 // CoreControl is the slice of the pipeline the sedation engine drives.
@@ -77,6 +78,9 @@ type Engine struct {
 
 	report func(Report)
 	stats  Stats
+	// events, when set, receives the typed DTM timeline (threshold
+	// crossings, sedation start/end, OS reports). Nil drops them.
+	events *telemetry.EventLog
 }
 
 // NewEngine builds the engine. coolingCycles is the expected cooling
@@ -109,6 +113,9 @@ func NewEngine(cfg config.Sedation, mon *Monitor, ctl CoreControl, coolingCycles
 // Stats returns the engine's event counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// SetEvents wires the engine's typed event stream (nil to disable).
+func (e *Engine) SetEvents(log *telemetry.EventLog) { e.events = log }
+
 // Sedated reports whether thread tid is currently sedated.
 func (e *Engine) Sedated(tid int) bool { return e.sedations[tid] > 0 }
 
@@ -124,19 +131,23 @@ func (e *Engine) Tick(cycle int64, temp func(power.Unit) float64) {
 		if !e.hot[u] {
 			if t >= e.cfg.UpperK {
 				e.hot[u] = true
-				e.sedateCulprit(cycle, u, false)
+				e.events.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.KindThresholdUpper,
+					Unit: u.String(), Thread: -1, TempK: t})
+				e.sedateCulprit(cycle, u, t, false)
 				e.reexamineAt[u] = cycle + e.reexamineDelay()
 			}
 			continue
 		}
 		if t <= e.cfg.LowerK {
-			e.resumeAll(u)
+			e.events.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.KindThresholdLower,
+				Unit: u.String(), Thread: -1, TempK: t})
+			e.resumeAll(cycle, u)
 			continue
 		}
 		if cycle >= e.reexamineAt[u] {
 			// Still hot after 2x the expected cooling time: another
 			// thread must also have a power-density problem.
-			e.sedateCulprit(cycle, u, true)
+			e.sedateCulprit(cycle, u, t, true)
 			e.reexamineAt[u] = cycle + e.reexamineDelay()
 		}
 	}
@@ -156,6 +167,7 @@ func (e *Engine) tickAbsolute(cycle int64) {
 				e.ctl.SetFetchEnabled(tid, true)
 				e.mon.SetFrozen(tid, false)
 				e.stats.Resumes++
+				e.events.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.KindResume, Thread: tid})
 			}
 			continue
 		}
@@ -169,6 +181,8 @@ func (e *Engine) tickAbsolute(cycle int64) {
 				e.absSedatedUntil[tid] = cycle + e.coolingCycles
 				e.ctl.SetFetchEnabled(tid, false)
 				e.mon.SetFrozen(tid, true)
+				e.events.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.KindSedate,
+					Unit: u.String(), Thread: tid, Rate: e.mon.Rate(tid, u)})
 				if e.report != nil {
 					e.report(Report{Cycle: cycle, Unit: u, Thread: tid, Rate: e.mon.Rate(tid, u)})
 				}
@@ -193,7 +207,7 @@ func (e *Engine) unsedatedActive() int {
 	return n
 }
 
-func (e *Engine) sedateCulprit(cycle int64, u power.Unit, reexamine bool) {
+func (e *Engine) sedateCulprit(cycle int64, u power.Unit, tempK float64, reexamine bool) {
 	// Last-thread exception: with a single un-sedated thread left, no
 	// other thread can be degraded; let it run and rely on the
 	// stop-and-go safety net.
@@ -223,13 +237,15 @@ func (e *Engine) sedateCulprit(cycle int64, u power.Unit, reexamine bool) {
 		e.ctl.SetFetchEnabled(tid, false)
 		e.mon.SetFrozen(tid, true)
 	}
+	e.events.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.KindSedate,
+		Unit: u.String(), Thread: tid, TempK: tempK, Rate: rate})
 	if e.report != nil {
 		e.report(Report{Cycle: cycle, Unit: u, Thread: tid, Rate: rate})
 	}
 }
 
 // resumeAll restores every thread sedated for unit u.
-func (e *Engine) resumeAll(u power.Unit) {
+func (e *Engine) resumeAll(cycle int64, u power.Unit) {
 	e.hot[u] = false
 	if len(e.sedatedFor[u]) == 0 {
 		return
@@ -240,6 +256,8 @@ func (e *Engine) resumeAll(u power.Unit) {
 		if e.sedations[tid] == 0 {
 			e.ctl.SetFetchEnabled(tid, true)
 			e.mon.SetFrozen(tid, false)
+			e.events.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.KindResume,
+				Unit: u.String(), Thread: tid})
 		}
 	}
 	e.sedatedFor[u] = e.sedatedFor[u][:0]
@@ -247,9 +265,10 @@ func (e *Engine) resumeAll(u power.Unit) {
 
 // ReleaseAll restores every sedated thread on every resource; the
 // stop-and-go safety net calls it when the pipeline halts globally
-// ("restoring all sedated threads to normal execution").
-func (e *Engine) ReleaseAll() {
+// ("restoring all sedated threads to normal execution"). cycle stamps
+// the resulting resume events.
+func (e *Engine) ReleaseAll(cycle int64) {
 	for u := power.Unit(0); u < power.NumUnits; u++ {
-		e.resumeAll(u)
+		e.resumeAll(cycle, u)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"github.com/heatstroke-sim/heatstroke/internal/config"
 	"github.com/heatstroke-sim/heatstroke/internal/core"
 	"github.com/heatstroke-sim/heatstroke/internal/power"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry"
 )
 
 // Kind names a policy.
@@ -81,6 +82,7 @@ type stopGo struct {
 	engaged       bool
 	resumeAt      int64
 	Engagements   uint64
+	events        *telemetry.EventLog
 }
 
 // newStopGo builds the shared stop-and-go mechanism.
@@ -102,6 +104,8 @@ func (s *stopGo) Tick(cycle int64, maxT float64, _ func(power.Unit) float64) {
 		if cycle >= s.resumeAt {
 			s.engaged = false
 			s.pipe.SetGlobalStall(false)
+			s.events.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.KindStopGoRelease,
+				Thread: -1, TempK: maxT})
 		}
 		return
 	}
@@ -110,6 +114,8 @@ func (s *stopGo) Tick(cycle int64, maxT float64, _ func(power.Unit) float64) {
 		s.Engagements++
 		s.resumeAt = cycle + s.coolingCycles
 		s.pipe.SetGlobalStall(true)
+		s.events.Emit(telemetry.Event{Cycle: cycle, Kind: telemetry.KindStopGoEngage,
+			Thread: -1, TempK: maxT})
 	}
 }
 
@@ -234,13 +240,28 @@ func (s *sedation) Tick(cycle int64, maxT float64, temp func(power.Unit) float64
 	if !wasEngaged && s.net.engaged {
 		// Safety net fired: restore all sedated threads (they resume
 		// when the stall lifts).
-		s.engine.ReleaseAll()
+		s.engine.ReleaseAll(cycle)
 		return
 	}
 	if s.net.engaged {
 		return
 	}
 	s.engine.Tick(cycle, temp)
+}
+
+// SetEventLog wires a policy's stop-and-go mechanism (direct or
+// safety-net) to the typed event stream; policies without one are
+// unaffected. The sedation engine's stream is wired separately via
+// Engine.SetEvents.
+func SetEventLog(p Policy, log *telemetry.EventLog) {
+	switch v := p.(type) {
+	case *stopGo:
+		v.events = log
+	case *dvs:
+		v.stopGo.events = log
+	case *sedation:
+		v.net.events = log
+	}
 }
 
 // SafetyNetEngagements returns how many times a policy's underlying

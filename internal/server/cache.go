@@ -53,22 +53,22 @@ func (s *Server) persist(e *jobEntry) {
 	e.mu.Unlock()
 
 	if err := os.MkdirAll(s.opts.CacheDir, 0o755); err != nil {
-		s.opts.Logf("cache: %v", err)
+		s.log.Info("cache error", "err", err)
 		return
 	}
 	path := filepath.Join(s.opts.CacheDir, rec.ID+".json")
 	tmp := path + ".tmp"
 	b, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
-		s.opts.Logf("cache: encode %s: %v", shortID(rec.ID), err)
+		s.log.Info("cache encode failed", "job", shortID(rec.ID), "err", err)
 		return
 	}
 	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		s.opts.Logf("cache: %v", err)
+		s.log.Info("cache write failed", "err", err)
 		return
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		s.opts.Logf("cache: %v", err)
+		s.log.Info("cache rename failed", "err", err)
 	}
 }
 
@@ -96,12 +96,12 @@ func (s *Server) loadCache() error {
 		path := filepath.Join(s.opts.CacheDir, de.Name())
 		b, err := os.ReadFile(path)
 		if err != nil {
-			s.opts.Logf("cache: read %s: %v", de.Name(), err)
+			s.log.Info("cache read failed", "file", de.Name(), "err", err)
 			continue
 		}
 		var rec record
 		if err := json.Unmarshal(b, &rec); err != nil {
-			s.opts.Logf("cache: decode %s: %v", de.Name(), err)
+			s.log.Info("cache decode failed", "file", de.Name(), "err", err)
 			continue
 		}
 		if rec.Status != api.StatusDone || rec.Table == nil || rec.ID == "" {
@@ -110,7 +110,7 @@ func (s *Server) loadCache() error {
 		if rec.Version != s.opts.Version {
 			continue
 		}
-		e := newJobEntry(rec.ID, rec.Request)
+		e := newJobEntry(rec.ID, rec.Request, s.met)
 		e.status = api.StatusDone
 		e.prog = rec.Progress
 		e.table = rec.Table
@@ -120,7 +120,7 @@ func (s *Server) loadCache() error {
 		loaded++
 	}
 	if loaded > 0 {
-		s.opts.Logf("cache: loaded %d completed result(s) from %s", loaded, s.opts.CacheDir)
+		s.log.Info("cache loaded", "results", loaded, "dir", s.opts.CacheDir)
 	}
 	return nil
 }

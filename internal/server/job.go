@@ -28,9 +28,13 @@ type jobEntry struct {
 	partial *sweep.Summary
 	subs    map[chan api.Event]struct{}
 	done    chan struct{}
+
+	// met receives per-simulation latency/outcome observations from
+	// onProgress (may be nil in tests).
+	met *serverMetrics
 }
 
-func newJobEntry(id string, req api.JobRequest) *jobEntry {
+func newJobEntry(id string, req api.JobRequest, met *serverMetrics) *jobEntry {
 	return &jobEntry{
 		id:     id,
 		req:    req,
@@ -38,6 +42,7 @@ func newJobEntry(id string, req api.JobRequest) *jobEntry {
 		aggs:   make(map[string]sweep.Agg),
 		subs:   make(map[chan api.Event]struct{}),
 		done:   make(chan struct{}),
+		met:    met,
 	}
 }
 
@@ -86,6 +91,9 @@ func (e *jobEntry) setStatus(st api.Status) {
 // snapshot out to SSE subscribers. The sweep serializes calls, so
 // Completed is monotonic.
 func (e *jobEntry) onProgress(p sweep.Progress) {
+	if e.met != nil {
+		e.met.observeSim(p.Elapsed.Seconds(), p.Err != nil)
+	}
 	e.mu.Lock()
 	e.prog.Completed = p.Completed
 	e.prog.Total = p.Total
@@ -212,6 +220,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case ev, open := <-ch:
 			if !open {
+				// The channel closed without this subscriber seeing a
+				// terminal frame — its buffer was full when "done" was
+				// broadcast. Synthesize it from the terminal snapshot so
+				// every stream still ends with a "done" event.
+				job := e.snapshot()
+				_ = writeEvent(w, api.Event{Type: "done", Job: &job})
+				flusher.Flush()
 				return
 			}
 			if err := writeEvent(w, ev); err != nil {

@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strings"
@@ -36,6 +37,7 @@ import (
 	"github.com/heatstroke-sim/heatstroke/internal/config"
 	"github.com/heatstroke-sim/heatstroke/internal/experiment"
 	"github.com/heatstroke-sim/heatstroke/internal/sweep"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry"
 	"github.com/heatstroke-sim/heatstroke/internal/workload"
 	"github.com/heatstroke-sim/heatstroke/pkg/api"
 )
@@ -62,7 +64,12 @@ type Options struct {
 	// from a different build never alias (default: the VCS revision
 	// from build info, else "dev").
 	Version string
-	// Logf, when set, receives operational log lines.
+	// Logger, when set, receives structured request and job logs. Job
+	// lifecycle events log at Info with a "job" attribute; per-request
+	// access lines log at Debug.
+	Logger *slog.Logger
+	// Logf, when set and Logger is not, receives the same logs rendered
+	// as printf lines (legacy bridge; prefer Logger).
 	Logf func(format string, args ...any)
 
 	// beforeRun, when set, is called immediately before each sweep
@@ -83,6 +90,8 @@ type Server struct {
 	cancel  context.CancelCauseFunc
 	sem     chan struct{}
 	mux     *http.ServeMux
+	log     *slog.Logger
+	met     *serverMetrics
 
 	mu      sync.Mutex
 	jobs    map[string]*jobEntry
@@ -107,8 +116,13 @@ func New(opts Options) (*Server, error) {
 	if opts.Version == "" {
 		opts.Version = buildVersion()
 	}
-	if opts.Logf == nil {
-		opts.Logf = func(string, ...any) {}
+	log := opts.Logger
+	if log == nil {
+		if opts.Logf != nil {
+			log = slog.New(&logfHandler{logf: opts.Logf})
+		} else {
+			log = slog.New(discardHandler{})
+		}
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
@@ -117,7 +131,9 @@ func New(opts Options) (*Server, error) {
 		cancel:  cancel,
 		sem:     make(chan struct{}, opts.MaxConcurrent),
 		jobs:    make(map[string]*jobEntry),
+		log:     log,
 	}
+	s.met = newServerMetrics(s, opts.Version)
 	if err := s.loadCache(); err != nil {
 		cancel(nil)
 		return nil, err
@@ -133,11 +149,16 @@ func New(opts Options) (*Server, error) {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.Handle("GET /metrics", s.met.reg.Handler())
 	return s, nil
 }
 
 // Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.logRequests(s.mux) }
+
+// Metrics returns the daemon's telemetry registry (exposed at
+// GET /metrics), so embedders can add their own series.
+func (s *Server) Metrics() *telemetry.Registry { return s.met.reg }
 
 // Shutdown drains the daemon: no new jobs are accepted, in-flight
 // sweeps are cancelled via context and allowed to finish their running
@@ -276,11 +297,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.stats.Submitted++
+	s.met.submitted.Inc()
 	if e, ok := s.jobs[id]; ok {
 		st := e.snapshot()
 		if st.Status == api.StatusDone {
 			// Content-addressed cache hit: the result already exists.
 			s.stats.CacheHits++
+			s.met.cacheHits.Inc()
 			st.Cached = true
 			s.mu.Unlock()
 			writeJSON(w, http.StatusOK, st)
@@ -290,6 +313,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// Singleflight: join the identical in-flight job instead
 			// of queueing a duplicate simulation.
 			s.stats.Coalesced++
+			s.met.coalesced.Inc()
 			st.Coalesced = true
 			s.mu.Unlock()
 			writeJSON(w, http.StatusAccepted, st)
@@ -300,12 +324,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.queued >= s.opts.MaxQueue {
 		s.stats.Rejected++
+		s.met.rejected.Inc()
 		s.mu.Unlock()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "queue full (%d queued)", s.opts.MaxQueue)
 		return
 	}
-	e := newJobEntry(id, resolved)
+	s.met.cacheMisses.Inc()
+	e := newJobEntry(id, resolved, s.met)
 	s.jobs[id] = e
 	s.queued++
 	s.wg.Add(1)
@@ -313,8 +339,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	st := e.snapshot()
 	s.mu.Unlock()
 
-	s.opts.Logf("job %s: queued %s (benchmarks=%d quantum=%d seed=%d)",
-		shortID(id), resolved.Experiment, len(resolved.Benchmarks), resolved.Quantum, *resolved.Seed)
+	s.log.Info("job queued",
+		"job", shortID(id),
+		"experiment", resolved.Experiment,
+		"benchmarks", len(resolved.Benchmarks),
+		"quantum", resolved.Quantum,
+		"seed", *resolved.Seed)
 	writeJSON(w, http.StatusAccepted, st)
 }
 
@@ -359,16 +389,20 @@ func (s *Server) execute(e *jobEntry) {
 	s.running--
 	s.mu.Unlock()
 
+	elapsed := time.Since(start)
 	switch {
 	case err == nil:
 		e.finish(api.StatusDone, table, nil)
-		s.opts.Logf("job %s: done in %.1fs", shortID(e.id), time.Since(start).Seconds())
+		s.met.finishJob(api.StatusDone, elapsed.Seconds())
+		s.log.Info("job done", "job", shortID(e.id), "dur", elapsed.Round(time.Millisecond).String())
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		e.finish(api.StatusCanceled, nil, err)
-		s.opts.Logf("job %s: canceled after %.1fs: %v", shortID(e.id), time.Since(start).Seconds(), err)
+		s.met.finishJob(api.StatusCanceled, elapsed.Seconds())
+		s.log.Info("job canceled", "job", shortID(e.id), "dur", elapsed.Round(time.Millisecond).String(), "err", err)
 	default:
 		e.finish(api.StatusFailed, nil, err)
-		s.opts.Logf("job %s: failed: %v", shortID(e.id), err)
+		s.met.finishJob(api.StatusFailed, elapsed.Seconds())
+		s.log.Info("job failed", "job", shortID(e.id), "err", err)
 	}
 	s.persist(e)
 }
@@ -417,7 +451,7 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	}
 	if err := table.Write(w, f); err != nil {
-		s.opts.Logf("job %s: artifact write: %v", shortID(e.id), err)
+		s.log.Info("artifact write failed", "job", shortID(e.id), "err", err)
 	}
 }
 

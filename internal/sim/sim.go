@@ -15,6 +15,7 @@ import (
 	"github.com/heatstroke-sim/heatstroke/internal/isa"
 	"github.com/heatstroke-sim/heatstroke/internal/power"
 	"github.com/heatstroke-sim/heatstroke/internal/stats"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry"
 	"github.com/heatstroke-sim/heatstroke/internal/thermal"
 	"github.com/heatstroke-sim/heatstroke/internal/trace"
 )
@@ -40,6 +41,13 @@ type Options struct {
 	// Recorder, when set, receives one trace.Sample per sensor interval
 	// (temperatures, power, stall state, per-thread interval IPC).
 	Recorder *trace.Recorder
+	// CollectEvents enables the typed DTM event stream: threshold
+	// crossings, sedation start/end with the culprit thread and EWMA
+	// score, stop-and-go engage/release, emergency trips, and OS
+	// culprit reports land in Result.Events in emission order. Events
+	// are emitted only at sensor boundaries, so collection does not
+	// perturb the hot path (and results stay byte-identical).
+	CollectEvents bool
 }
 
 // ThreadResult is one thread's measurements over the quantum.
@@ -81,6 +89,9 @@ type Result struct {
 	RFTrace []float64
 	// TotalPowerW is the average chip power over the quantum.
 	TotalPowerW float64
+	// Events is the quantum's typed DTM timeline when
+	// Options.CollectEvents is set (see telemetry.Event).
+	Events []telemetry.Event
 }
 
 // Simulator couples one core with its power, thermal, and DTM models.
@@ -95,6 +106,7 @@ type Simulator struct {
 
 	threads []Thread
 	reports []score.Report
+	events  *telemetry.EventLog
 	warmed  bool
 }
 
@@ -141,6 +153,9 @@ func New(cfg config.Config, threads []Thread, opts Options) (*Simulator, error) 
 	net.InitSteady(model.SteadyPowers(power.TypicalRates()))
 
 	s := &Simulator{cfg: cfg, core: c, model: model, net: net, opts: opts, threads: threads}
+	if opts.CollectEvents {
+		s.events = &telemetry.EventLog{}
+	}
 
 	mon, err := score.NewMonitor(cfg.Sedation, c.Activity())
 	if err != nil {
@@ -160,10 +175,15 @@ func New(cfg config.Config, threads []Thread, opts Options) (*Simulator, error) 
 		s.policy = dtm.NewTTDFS(c, cfg.Thermal)
 	case dtm.SelectiveSedation:
 		engine, err := score.NewEngine(cfg.Sedation, mon, c, cool,
-			func(r score.Report) { s.reports = append(s.reports, r) })
+			func(r score.Report) {
+				s.reports = append(s.reports, r)
+				s.events.Emit(telemetry.Event{Cycle: r.Cycle, Kind: telemetry.KindOSReport,
+					Unit: r.Unit.String(), Thread: r.Thread, Rate: r.Rate})
+			})
 		if err != nil {
 			return nil, err
 		}
+		engine.SetEvents(s.events)
 		s.policy, err = dtm.NewSelectiveSedation(c, cfg.Thermal, engine, cool)
 		if err != nil {
 			return nil, err
@@ -171,6 +191,7 @@ func New(cfg config.Config, threads []Thread, opts Options) (*Simulator, error) 
 	default:
 		return nil, fmt.Errorf("sim: unknown policy %q", opts.Policy)
 	}
+	dtm.SetEventLog(s.policy, s.events)
 	return s, nil
 }
 
@@ -252,6 +273,7 @@ func (s *Simulator) RunCycles(quantum int64) (*Result, error) {
 	secondsPerSensor := float64(s.cfg.Thermal.SensorIntervalCycles) / s.cfg.Power.FrequencyHz
 
 	res := &Result{PeakTemp: -1}
+	eventsStart := s.events.Len()
 	var powers [power.NumUnits]float64
 	var aboveEmergency bool
 	var energyAccum float64
@@ -294,6 +316,8 @@ func (s *Simulator) RunCycles(quantum int64) (*Result, error) {
 				if !aboveEmergency {
 					res.Emergencies++
 					aboveEmergency = true
+					s.events.Emit(telemetry.Event{Cycle: s.core.Cycle(), Kind: telemetry.KindEmergency,
+						Unit: maxU.String(), Thread: -1, TempK: maxT})
 				}
 			} else {
 				aboveEmergency = false
@@ -318,6 +342,9 @@ func (s *Simulator) RunCycles(quantum int64) (*Result, error) {
 		res.Sedation = eng.Stats()
 	}
 	res.Reports = append(res.Reports, s.reports...)
+	if s.events != nil {
+		res.Events = append(res.Events, s.events.Events[eventsStart:]...)
+	}
 
 	for tid, t := range s.threads {
 		st := s.core.Stats(tid).Sub(startStats[tid])

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/heatstroke-sim/heatstroke/internal/config"
 	"github.com/heatstroke-sim/heatstroke/internal/dtm"
 	"github.com/heatstroke-sim/heatstroke/internal/power"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry"
 	"github.com/heatstroke-sim/heatstroke/internal/trace"
 	"github.com/heatstroke-sim/heatstroke/internal/workload"
 )
@@ -267,5 +269,143 @@ func TestRecorderIntegration(t *testing.T) {
 				t.Fatalf("interval IPC %f out of range", ipc)
 			}
 		}
+	}
+}
+
+// TestEventStream locks the tentpole's simulator contract: with
+// CollectEvents the attack pair produces a typed DTM timeline whose
+// sedation begin/end events agree exactly with the per-thread sedated
+// flags the trace recorder samples at the same sensor boundaries, and
+// enabling collection changes nothing else about the Result.
+func TestEventStream(t *testing.T) {
+	run := func(collect bool, rec *trace.Recorder) *Result {
+		cfg := config.Default()
+		cfg.Run.QuantumCycles = 6_000_000
+		s, err := New(cfg, []Thread{specThread(t, "crafty"), variantThread(t, 2)},
+			Options{Policy: dtm.SelectiveSedation, WarmupCycles: 300_000,
+				CollectEvents: collect, Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rec := &trace.Recorder{}
+	res := run(true, rec)
+	if len(res.Events) == 0 {
+		t.Fatal("attack run produced no events")
+	}
+
+	// Emission order is chronological, every event sits on a sensor
+	// boundary, and sedations name the attacker with a positive score.
+	last := int64(0)
+	kinds := map[telemetry.EventKind]int{}
+	for _, ev := range res.Events {
+		if ev.Cycle < last {
+			t.Fatalf("events out of order: %d after %d", ev.Cycle, last)
+		}
+		last = ev.Cycle
+		kinds[ev.Kind]++
+		if ev.Kind == telemetry.KindSedate {
+			if ev.Thread != 1 {
+				t.Errorf("sedate named thread %d, want the attacker", ev.Thread)
+			}
+			if ev.Rate <= 0 || ev.TempK <= 0 {
+				t.Errorf("sedate event missing score/temp: %+v", ev)
+			}
+		}
+	}
+	for _, k := range []telemetry.EventKind{telemetry.KindThresholdUpper, telemetry.KindSedate,
+		telemetry.KindResume, telemetry.KindOSReport} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s events (have %v)", k, kinds)
+		}
+	}
+	if kinds[telemetry.KindSedate] != int(res.Sedation.Sedations) {
+		t.Errorf("sedate events = %d, engine counted %d", kinds[telemetry.KindSedate], res.Sedation.Sedations)
+	}
+
+	// Replay the event stream into a per-thread sedated timeline and
+	// check it against the recorder's sampled flags at every sensor
+	// boundary (the acceptance cross-check: trace CSV vs event stream).
+	sedated := make([]bool, 2)
+	i := 0
+	for _, smp := range rec.Samples {
+		for ; i < len(res.Events) && res.Events[i].Cycle <= smp.Cycle; i++ {
+			ev := res.Events[i]
+			switch ev.Kind {
+			case telemetry.KindSedate:
+				sedated[ev.Thread] = true
+			case telemetry.KindResume:
+				sedated[ev.Thread] = false
+			}
+		}
+		for tid, want := range smp.ThreadSedated {
+			if sedated[tid] != want {
+				t.Fatalf("cycle %d thread %d: events say sedated=%v, trace says %v",
+					smp.Cycle, tid, sedated[tid], want)
+			}
+		}
+	}
+
+	// Collection must not perturb the measurements.
+	plain := run(false, nil)
+	if plain.Events != nil {
+		t.Fatal("events collected without CollectEvents")
+	}
+	withEvents := run(true, nil)
+	withEvents.Events = nil
+	if !reflect.DeepEqual(plain, withEvents) {
+		t.Error("CollectEvents changed the measured Result")
+	}
+}
+
+// TestEventStreamStopGo: the base-case policy brackets its global
+// stalls, and the stall flag in the trace agrees.
+func TestEventStreamStopGo(t *testing.T) {
+	cfg := config.Default()
+	cfg.Run.QuantumCycles = 6_000_000
+	rec := &trace.Recorder{}
+	s, err := New(cfg, []Thread{specThread(t, "crafty"), variantThread(t, 2)},
+		Options{Policy: dtm.StopAndGo, WarmupCycles: 300_000, CollectEvents: true, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engage, release := 0, 0
+	open := false
+	for _, ev := range res.Events {
+		switch ev.Kind {
+		case telemetry.KindStopGoEngage:
+			if open {
+				t.Fatal("double engage")
+			}
+			open = true
+			engage++
+			if ev.TempK < cfg.Thermal.EmergencyK {
+				t.Errorf("engaged below the emergency temperature: %+v", ev)
+			}
+		case telemetry.KindStopGoRelease:
+			if !open {
+				t.Fatal("release without engage")
+			}
+			open = false
+			release++
+		}
+	}
+	if engage == 0 {
+		t.Fatal("attack under stop-and-go never engaged")
+	}
+	if res.StopGoCycles == 0 {
+		t.Error("no stalled cycles despite engagements")
+	}
+	if engage != res.Emergencies {
+		t.Errorf("engagements %d != emergencies %d", engage, res.Emergencies)
 	}
 }

@@ -3,17 +3,22 @@ package sweep
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
 )
 
 // Agg is a running aggregate of one named metric across a sweep.
+// M2 is the Welford sum of squared deviations from the running mean;
+// it is exported (and serialized) so aggregates persisted to JSON —
+// e.g. the daemon's cached summaries — round-trip with their spread.
 type Agg struct {
 	Count int
 	Sum   float64
 	Min   float64
 	Max   float64
+	M2    float64
 }
 
 // Add folds one value into the aggregate. Exported so consumers that
@@ -26,8 +31,15 @@ func (a *Agg) Add(v float64) {
 	if a.Count == 0 || v > a.Max {
 		a.Max = v
 	}
+	old := a.Count
 	a.Count++
 	a.Sum += v
+	if old > 0 {
+		// Welford's update, phrased in terms of the stored Sum: the
+		// deviation from the pre-update mean times the deviation from
+		// the post-update mean.
+		a.M2 += (v - (a.Sum-v)/float64(old)) * (v - a.Sum/float64(a.Count))
+	}
 }
 
 // Mean is the average of the recorded values (0 when empty).
@@ -38,15 +50,29 @@ func (a Agg) Mean() float64 {
 	return a.Sum / float64(a.Count)
 }
 
-// MarshalJSON renders the aggregate with its derived mean.
+// Variance is the population variance of the recorded values (0 when
+// fewer than two).
+func (a Agg) Variance() float64 {
+	if a.Count < 2 {
+		return 0
+	}
+	return a.M2 / float64(a.Count)
+}
+
+// Stddev is the population standard deviation of the recorded values.
+func (a Agg) Stddev() float64 { return math.Sqrt(a.Variance()) }
+
+// MarshalJSON renders the aggregate with its derived mean and spread.
 func (a Agg) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
-		Count int     `json:"count"`
-		Sum   float64 `json:"sum"`
-		Min   float64 `json:"min"`
-		Max   float64 `json:"max"`
-		Mean  float64 `json:"mean"`
-	}{a.Count, a.Sum, a.Min, a.Max, a.Mean()})
+		Count  int     `json:"count"`
+		Sum    float64 `json:"sum"`
+		Min    float64 `json:"min"`
+		Max    float64 `json:"max"`
+		M2     float64 `json:"m2"`
+		Mean   float64 `json:"mean"`
+		Stddev float64 `json:"stddev"`
+	}{a.Count, a.Sum, a.Min, a.Max, a.M2, a.Mean(), a.Stddev()})
 }
 
 // Summary aggregates a sweep's execution metrics: job counts, wall

@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAggWelford checks the streaming variance against the naive
+// two-pass reference on a deterministic pseudo-random stream.
+func TestAggWelford(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var a Agg
+	var vals []float64
+	for i := 0; i < 1000; i++ {
+		v := 300 + 50*rng.Float64()
+		vals = append(vals, v)
+		a.Add(v)
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	variance := 0.0
+	for _, v := range vals {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(vals))
+	if got := a.Mean(); math.Abs(got-mean) > 1e-9 {
+		t.Errorf("mean = %v, reference %v", got, mean)
+	}
+	if got := a.Variance(); math.Abs(got-variance) > 1e-6 {
+		t.Errorf("variance = %v, reference %v", got, variance)
+	}
+	if got := a.Stddev(); math.Abs(got-math.Sqrt(variance)) > 1e-8 {
+		t.Errorf("stddev = %v, reference %v", got, math.Sqrt(variance))
+	}
+}
+
+func TestAggEdgeCases(t *testing.T) {
+	var a Agg
+	if a.Variance() != 0 || a.Stddev() != 0 {
+		t.Error("empty aggregate has nonzero spread")
+	}
+	a.Add(7)
+	if a.Variance() != 0 {
+		t.Errorf("single sample variance = %v", a.Variance())
+	}
+	a.Add(7)
+	a.Add(7)
+	if a.Variance() != 0 || a.M2 != 0 {
+		t.Errorf("constant stream variance = %v M2 = %v", a.Variance(), a.M2)
+	}
+}
+
+// TestAggJSONRoundTrip: M2 must survive serialization so cached
+// summaries keep their spread.
+func TestAggJSONRoundTrip(t *testing.T) {
+	var a Agg
+	for _, v := range []float64{1, 2, 4, 8} {
+		a.Add(v)
+	}
+	b, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Agg
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != a.Count || back.Sum != a.Sum || math.Abs(back.M2-a.M2) > 1e-12 {
+		t.Errorf("round trip: got %+v want %+v", back, a)
+	}
+	if math.Abs(back.Stddev()-a.Stddev()) > 1e-12 {
+		t.Errorf("stddev after round trip: %v vs %v", back.Stddev(), a.Stddev())
+	}
+}

@@ -95,6 +95,9 @@ type Progress struct {
 	// Key and Err identify the job that just finished and its outcome.
 	Key string
 	Err error
+	// Elapsed is the finished job's wall time across all attempts, so a
+	// live consumer can feed latency metrics without re-timing.
+	Elapsed time.Duration
 	// Metrics are the finished job's measurements as extracted by
 	// Options.Metrics (nil when unset or the job failed).
 	Metrics map[string]float64
@@ -197,7 +200,7 @@ func Run[T any](ctx context.Context, jobs []Job[T], o Options[T]) (*Result[T], e
 					}
 					if o.OnProgress != nil && !jr.Skipped {
 						completed++
-						p := Progress{Completed: completed, Total: len(jobs), Key: jr.Key, Err: jr.Err}
+						p := Progress{Completed: completed, Total: len(jobs), Key: jr.Key, Err: jr.Err, Elapsed: jr.Elapsed}
 						if o.Metrics != nil && jr.Err == nil {
 							p.Metrics = o.Metrics(jr)
 						}

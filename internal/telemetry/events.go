@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EventKind names one kind of thermal-management event.
+type EventKind string
+
+// Event kinds, in rough causal order of an attack timeline.
+const (
+	// KindThresholdUpper: a unit's die temperature crossed the sedation
+	// upper threshold (rising edge); the engine picks a culprit.
+	KindThresholdUpper EventKind = "threshold_upper"
+	// KindThresholdLower: a hot unit cooled to the lower threshold;
+	// every thread sedated for it resumes.
+	KindThresholdLower EventKind = "threshold_lower"
+	// KindSedate: one thread's fetch was gated for one unit. Thread is
+	// the culprit; Rate is its weighted-average accesses/cycle there.
+	KindSedate EventKind = "sedate"
+	// KindResume: a thread's last sedation was released and fetch
+	// re-enabled.
+	KindResume EventKind = "resume"
+	// KindStopGoEngage / KindStopGoRelease bracket a global
+	// stop-and-go stall (the fixed thermal-RC cooling timeout).
+	KindStopGoEngage  EventKind = "stopgo_engage"
+	KindStopGoRelease EventKind = "stopgo_release"
+	// KindEmergency: a sensor observed the emergency temperature
+	// (rising edge — the paper's Figure 4 metric).
+	KindEmergency EventKind = "emergency"
+	// KindOSReport: the engine reported a culprit thread to the
+	// operating system (Section 3.2.2).
+	KindOSReport EventKind = "os_report"
+)
+
+// Event is one typed observation on the DTM timeline. Cycle is the
+// core cycle at emission (always a sensor boundary); Thread is -1 for
+// events that are not thread-specific; Unit is empty for whole-chip
+// events. TempK and Rate are populated where meaningful (the
+// triggering temperature, the culprit's EWMA accesses/cycle).
+type Event struct {
+	Cycle  int64     `json:"cycle"`
+	Kind   EventKind `json:"kind"`
+	Unit   string    `json:"unit,omitempty"`
+	Thread int       `json:"thread"`
+	TempK  float64   `json:"temp_k,omitempty"`
+	Rate   float64   `json:"rate,omitempty"`
+}
+
+// EventLog collects events in emission order. It is owned by the
+// simulation run loop: Emit takes no locks and appends to a slice, so
+// collection never perturbs the hot path beyond the append. A nil
+// *EventLog is a valid no-op sink, which lets the DTM layers emit
+// unconditionally.
+type EventLog struct {
+	Events []Event
+}
+
+// Emit appends one event. Safe on a nil receiver (drops the event).
+func (l *EventLog) Emit(e Event) {
+	if l == nil {
+		return
+	}
+	l.Events = append(l.Events, e)
+}
+
+// Len returns the number of collected events (0 on nil).
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.Events)
+}
+
+// WriteNDJSON writes one compact JSON object per event per line —
+// the grep/jq-friendly export, and the input format for downstream
+// anomaly-detection tooling (MATTER/HeatSense-style pipelines consume
+// exactly such thermal event streams).
+func WriteNDJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for i := range events {
+		b, err := json.Marshal(&events[i])
+		if err != nil {
+			return fmt.Errorf("telemetry: event %d: %w", i, err)
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

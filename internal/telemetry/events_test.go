@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+	"github.com/heatstroke-sim/heatstroke/internal/trace"
+)
+
+func TestEventLogNilIsSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit(Event{Kind: KindSedate})
+	if l.Len() != 0 {
+		t.Errorf("nil log len = %d", l.Len())
+	}
+	l = &EventLog{}
+	l.Emit(Event{Cycle: 10, Kind: KindSedate, Thread: 1})
+	l.Emit(Event{Cycle: 20, Kind: KindResume, Thread: 1})
+	if l.Len() != 2 || l.Events[0].Cycle != 10 {
+		t.Errorf("log = %+v", l.Events)
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	events := []Event{
+		{Cycle: 100, Kind: KindThresholdUpper, Unit: "IntReg", Thread: -1, TempK: 356.1},
+		{Cycle: 100, Kind: KindSedate, Unit: "IntReg", Thread: 1, TempK: 356.1, Rate: 5.2},
+		{Cycle: 900, Kind: KindResume, Unit: "IntReg", Thread: 1},
+	}
+	var sb strings.Builder
+	if err := WriteNDJSON(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), sb.String())
+	}
+	var back []Event
+	for _, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		back = append(back, e)
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Errorf("event %d round-trip: got %+v want %+v", i, back[i], events[i])
+		}
+	}
+	// Thread must survive even when zero-adjacent values are omitted.
+	if !strings.Contains(lines[2], `"thread":1`) {
+		t.Errorf("resume line lost thread: %q", lines[2])
+	}
+}
+
+// TestWritePerfettoShape checks the trace-event JSON parses, pairs
+// begin/end slices, and carries the counter tracks.
+func TestWritePerfettoShape(t *testing.T) {
+	events := []Event{
+		{Cycle: 4000, Kind: KindThresholdUpper, Unit: "IntReg", Thread: -1, TempK: 356.0},
+		{Cycle: 4000, Kind: KindSedate, Unit: "IntReg", Thread: 1, TempK: 356.0, Rate: 5.0},
+		{Cycle: 4000, Kind: KindOSReport, Unit: "IntReg", Thread: 1, Rate: 5.0},
+		{Cycle: 6000, Kind: KindSedate, Unit: "IntAlu", Thread: 1, TempK: 356.2, Rate: 4.0}, // already sedated: no new slice
+		{Cycle: 8000, Kind: KindEmergency, Unit: "IntReg", Thread: -1, TempK: 358.6},
+		{Cycle: 8000, Kind: KindStopGoEngage, Thread: -1, TempK: 358.6},
+		{Cycle: 9000, Kind: KindResume, Unit: "IntReg", Thread: 1},
+		{Cycle: 12000, Kind: KindStopGoRelease, Thread: -1},
+	}
+	samples := []trace.Sample{{Cycle: 4000, TotalPowerW: 60}, {Cycle: 8000, TotalPowerW: 75}}
+	var sb strings.Builder
+	err := WritePerfetto(&sb, TraceOptions{
+		FrequencyHz: 4e9,
+		ThreadNames: []string{"crafty", "variant2"},
+		Events:      events,
+		Samples:     samples,
+		Units:       []power.Unit{power.UnitIntReg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, sb.String())
+	}
+	begins, ends := 0, 0
+	counters := map[string]int{}
+	names := map[string]bool{}
+	for _, te := range doc.TraceEvents {
+		names[te.Name] = true
+		switch te.Ph {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		case "C":
+			counters[te.Name]++
+		}
+	}
+	if begins != ends {
+		t.Errorf("unbalanced slices: %d begins, %d ends", begins, ends)
+	}
+	if begins != 2 { // one sedation slice (t1), one stop-and-go slice
+		t.Errorf("begins = %d, want 2", begins)
+	}
+	if counters["temp_IntReg_K"] != 2 || counters["power_W"] != 2 {
+		t.Errorf("counters = %v", counters)
+	}
+	for _, want := range []string{"process_name", "thread_name", "sedated", "stop-and-go",
+		"threshold_upper IntReg", "emergency IntReg", "os_report IntReg"} {
+		if !names[want] {
+			t.Errorf("trace missing event %q (have %v)", want, names)
+		}
+	}
+	// 4000 cycles at 4 GHz = 1 us.
+	for _, te := range doc.TraceEvents {
+		if te.Name == "threshold_upper IntReg" && te.Ts != 1.0 {
+			t.Errorf("timestamp conversion off: ts = %v us, want 1", te.Ts)
+		}
+	}
+}
+
+// TestWritePerfettoClosesDanglingSlices: a quantum can end mid-stall
+// or mid-sedation; the export must still balance.
+func TestWritePerfettoClosesDanglingSlices(t *testing.T) {
+	events := []Event{
+		{Cycle: 1000, Kind: KindSedate, Unit: "IntReg", Thread: 0, Rate: 3},
+		{Cycle: 2000, Kind: KindStopGoEngage, Thread: -1, TempK: 358.6},
+	}
+	var sb strings.Builder
+	if err := WritePerfetto(&sb, TraceOptions{
+		FrequencyHz: 4e9, ThreadNames: []string{"solo"}, Events: events,
+		Units: []power.Unit{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	begins, ends := 0, 0
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), `"ph":"B"`) {
+			begins++
+		}
+		if strings.Contains(sc.Text(), `"ph":"E"`) {
+			ends++
+		}
+	}
+	if begins != 2 || ends != 2 {
+		t.Errorf("begins=%d ends=%d, want 2/2:\n%s", begins, ends, sb.String())
+	}
+}
+
+func TestWritePerfettoNeedsFrequency(t *testing.T) {
+	if err := WritePerfetto(&strings.Builder{}, TraceOptions{}); err == nil {
+		t.Error("zero FrequencyHz accepted")
+	}
+}

@@ -1,0 +1,377 @@
+// Package telemetry is the unified observability layer: a
+// zero-dependency metrics registry with Prometheus text-format
+// exposition (heatstroked's GET /metrics), and a structured event
+// stream for the thermal-management timeline — threshold crossings,
+// sedation start/end with the culprit thread and its EWMA score,
+// stop-and-go engage/release, emergency trips, OS culprit reports —
+// exportable as NDJSON and as Chrome/Perfetto trace-event JSON.
+//
+// The paper's argument is temporal (heating in ~1.2 ms, a fixed
+// ~10-12.5 ms cooling timeout, sedation engaging at 356 K and
+// releasing at 355 K), so the simulator's DTM layers emit typed events
+// instead of only aggregate counters; a heat-stroke attack becomes a
+// trace you can open in ui.perfetto.dev.
+//
+// Everything here stays off the simulator hot path: events are
+// appended by the single-goroutine run loop at sensor boundaries
+// (EventLog takes no locks), and the registry's atomics are touched
+// only by the serving layer, never per simulated cycle.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// metricType is the TYPE line value of a family.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// series is one sample stream inside a family: a concrete label set
+// plus its collector.
+type series struct {
+	labels    []Label
+	write     func(w io.Writer, name, labelStr string)
+	collector any
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	series map[string]*series // keyed by rendered label string
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format v0.0.4. All methods are safe for concurrent use;
+// registration is idempotent (asking for the same name and labels
+// returns the existing collector) and panics on programmer errors —
+// an invalid name or a name reused with a different type or help.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName matches the Prometheus metric and label name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// labelString renders a sorted {a="b",c="d"} suffix ("" when empty).
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = l.Name + `="` + escapeLabel(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP line per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// getFamily returns the family, creating or validating it.
+func (r *Registry) getFamily(name, help string, typ metricType, labels []Label) (*family, string) {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Name) || l.Name == "le" {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %s", l.Name, name))
+		}
+	}
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = fam
+	} else if fam.typ != typ || fam.help != help {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, typ, fam.typ))
+	}
+	return fam, labelString(labels)
+}
+
+// Counter is a monotonically increasing sample stream.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (panics on negative n).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Counter returns the counter series for name+labels, registering it
+// on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ls := r.getFamily(name, help, typeCounter, labels)
+	return getOrMake(fam, ls, labels, func() (*Counter, func(io.Writer, string, string)) {
+		c := &Counter{}
+		return c, func(w io.Writer, name, labelStr string) {
+			fmt.Fprintf(w, "%s%s %d\n", name, labelStr, c.Value())
+		}
+	})
+}
+
+// Gauge is a sample stream that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one; Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge returns the gauge series for name+labels, registering it on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ls := r.getFamily(name, help, typeGauge, labels)
+	return getOrMake(fam, ls, labels, func() (*Gauge, func(io.Writer, string, string)) {
+		g := &Gauge{}
+		return g, func(w io.Writer, name, labelStr string) {
+			fmt.Fprintf(w, "%s%s %s\n", name, labelStr, formatFloat(g.Value()))
+		}
+	})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at
+// exposition time (e.g. queue depth owned by another structure).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ls := r.getFamily(name, help, typeGauge, labels)
+	getOrMake(fam, ls, labels, func() (struct{}, func(io.Writer, string, string)) {
+		return struct{}{}, func(w io.Writer, name, labelStr string) {
+			fmt.Fprintf(w, "%s%s %s\n", name, labelStr, formatFloat(fn()))
+		}
+	})
+}
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are cumulative in the exposition; store per-bucket here
+	// and accumulate at render time.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefLatencyBuckets are the default buckets for job/simulation
+// latencies in seconds.
+var DefLatencyBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+
+// Histogram returns the histogram series for name+labels, registering
+// it with the given bucket upper bounds (ascending; nil means
+// DefLatencyBuckets) on first use.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q buckets not ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ls := r.getFamily(name, help, typeHistogram, labels)
+	return getOrMake(fam, ls, labels, func() (*Histogram, func(io.Writer, string, string)) {
+		h := &Histogram{bounds: append([]float64(nil), buckets...)}
+		h.counts = make([]atomic.Uint64, len(buckets))
+		return h, func(w io.Writer, name, labelStr string) {
+			h.writeProm(w, name, labelStr)
+		}
+	})
+}
+
+// writeProm renders the cumulative _bucket/_sum/_count triplet.
+func (h *Histogram) writeProm(w io.Writer, name, labelStr string) {
+	// Splice le="..." into the (possibly empty) label set.
+	open := func(le string) string {
+		pair := `le="` + le + `"`
+		if labelStr == "" {
+			return "{" + pair + "}"
+		}
+		return labelStr[:len(labelStr)-1] + "," + pair + "}"
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, open(formatFloat(b)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, open("+Inf"), h.Count())
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labelStr, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labelStr, h.Count())
+}
+
+// getOrMake fetches or creates the series for ls, returning its
+// collector. The generic parameter keeps each collector constructor
+// type-safe without a collector interface.
+func getOrMake[T any](fam *family, ls string, labels []Label, mk func() (T, func(io.Writer, string, string))) T {
+	if s, ok := fam.series[ls]; ok {
+		c, ok := s.collector.(T)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: series %s%s re-registered with a different collector", fam.name, ls))
+		}
+		return c
+	}
+	c, write := mk()
+	fam.series[ls] = &series{labels: labels, write: write, collector: c}
+	return c
+}
+
+// formatFloat renders a float the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders every family in text exposition format v0.0.4:
+// families sorted by name, series sorted by label signature, so the
+// output is deterministic for a fixed registry state.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, fam := range fams {
+		if fam.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", fam.name, escapeHelp(fam.help))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", fam.name, fam.typ)
+		keys := make([]string, 0, len(fam.series))
+		for k := range fam.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fam.series[k].write(&sb, fam.name, k)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Handler serves the registry over HTTP (GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}

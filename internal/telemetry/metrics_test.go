@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs by outcome.", L("outcome", "done"))
+	c.Inc()
+	c.Add(2)
+	r.Counter("jobs_total", "Jobs by outcome.", L("outcome", "failed")).Inc()
+	g := r.Gauge("queue_depth", "Jobs waiting.")
+	g.Set(5)
+	g.Dec()
+	r.GaugeFunc("up", "Always one.", func() float64 { return 1 })
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP jobs_total Jobs by outcome.",
+		"# TYPE jobs_total counter",
+		`jobs_total{outcome="done"} 3`,
+		`jobs_total{outcome="failed"} 1`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 4",
+		"up 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "help")
+	b := r.Counter("c_total", "help")
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with a different type did not panic")
+		}
+	}()
+	r.Gauge("c_total", "help")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9lead", "has space", "bad-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Job latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_sum 56.05",
+		"latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 56.05 {
+		t.Errorf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+// expositionLine matches the valid sample and comment lines of text
+// format v0.0.4 (the same check the CI smoke job applies to a live
+// /metrics scrape).
+var expositionLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.e+-]+|\+Inf|-Inf|NaN))$`)
+
+func TestExpositionIsWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", `quote " backslash \ newline`+"\n", L("k", `v"w\x`)).Inc()
+	r.Gauge("b", "").Set(-1.5e-3)
+	r.Histogram("h_seconds", "h", nil).Observe(0.2)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); !strings.Contains(got, "version=0.0.4") {
+		t.Errorf("content type = %q", got)
+	}
+	if !strings.Contains(rec.Body.String(), "hits_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c_total", "c").Inc()
+				r.Gauge("g", "g").Add(1)
+				r.Histogram("h_seconds", "h", nil).Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "c").Value(); got != 8000 {
+		t.Errorf("counter = %d", got)
+	}
+	if got := r.Gauge("g", "g").Value(); got != 8000 {
+		t.Errorf("gauge = %v", got)
+	}
+	if got := r.Histogram("h_seconds", "h", nil).Count(); got != 8000 {
+		t.Errorf("histogram count = %d", got)
+	}
+}

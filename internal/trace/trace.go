@@ -79,9 +79,14 @@ func (r *Recorder) WriteCSV(w io.Writer, units []power.Unit) error {
 	for _, u := range units {
 		cols = append(cols, "temp_"+u.String()+"_k")
 	}
+	// Size the thread columns to the widest sample, not the first: a
+	// recording that spans a thread joining mid-run would otherwise
+	// emit rows wider than the header. Narrow samples zero-fill below.
 	nthreads := 0
-	if len(r.Samples) > 0 {
-		nthreads = len(r.Samples[0].ThreadIPC)
+	for i := range r.Samples {
+		if n := len(r.Samples[i].ThreadIPC); n > nthreads {
+			nthreads = n
+		}
 	}
 	for t := 0; t < nthreads; t++ {
 		cols = append(cols, fmt.Sprintf("ipc_t%d", t), fmt.Sprintf("sedated_t%d", t))

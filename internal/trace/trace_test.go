@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"slices"
 	"strings"
 	"testing"
 
@@ -95,5 +96,44 @@ func TestSummarize(t *testing.T) {
 	}
 	if s.MeanPowerW != 20 {
 		t.Errorf("mean power = %v", s.MeanPowerW)
+	}
+}
+
+// TestWriteCSVRaggedThreads: the header must size its thread columns
+// to the widest sample, with narrower samples zero-filled — a first
+// sample with fewer threads used to shear every wider row off the
+// header.
+func TestWriteCSVRaggedThreads(t *testing.T) {
+	r := &Recorder{}
+	r.Record(Sample{Cycle: 1000, ThreadIPC: []float64{1.5}, ThreadSedated: []bool{false}})
+	r.Record(Sample{Cycle: 2000, ThreadIPC: []float64{1.2, 0.8}, ThreadSedated: []bool{false, true}})
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb, []power.Unit{power.UnitIntReg}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), sb.String())
+	}
+	header := strings.Split(lines[0], ",")
+	for i, line := range lines {
+		if got := len(strings.Split(line, ",")); got != len(header) {
+			t.Errorf("line %d has %d fields, header has %d:\n%s", i, got, len(header), sb.String())
+		}
+	}
+	for _, col := range []string{"ipc_t0", "sedated_t0", "ipc_t1", "sedated_t1"} {
+		if !slices.Contains(header, col) {
+			t.Errorf("header missing %q: %v", col, header)
+		}
+	}
+	// The narrow first sample zero-fills its missing thread.
+	row0 := strings.Split(lines[1], ",")
+	if row0[len(row0)-2] != "0.0000" || row0[len(row0)-1] != "0" {
+		t.Errorf("first row not zero-filled: %v", row0)
+	}
+	// The wide second sample keeps its real values.
+	row1 := strings.Split(lines[2], ",")
+	if row1[len(row1)-2] != "0.8000" || row1[len(row1)-1] != "1" {
+		t.Errorf("second row lost thread 1: %v", row1)
 	}
 }

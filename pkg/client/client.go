@@ -149,6 +149,24 @@ func (c *Client) Stats(ctx context.Context) (*api.Stats, error) {
 	return &st, nil
 }
 
+// Metrics fetches the daemon's Prometheus text-format exposition
+// (GET /metrics), returned verbatim.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
 // Healthy checks the liveness endpoint.
 func (c *Client) Healthy(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
