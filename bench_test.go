@@ -144,6 +144,33 @@ func BenchmarkAblationAbsoluteThreshold(b *testing.B) { runExperiment(b, "ablati
 // re-examination ablation (Section 3.2.2) on a 4-context SMT.
 func BenchmarkAblationMultiCulprit(b *testing.B) { runExperiment(b, "ablation-multiculprit") }
 
+// BenchmarkWarmupReuse measures what warmup-snapshot sharing buys: the
+// policies experiment runs every DTM policy over the same thread sets,
+// so all jobs for one benchmark share a single warm key. The reuse arm
+// warms once per key and restores everywhere else; the cold arm
+// (DisableWarmupReuse) re-simulates every warmup. Warmup is pinned at
+// a third of each job's cycles so the difference is well above noise.
+func BenchmarkWarmupReuse(b *testing.B) {
+	run := func(disable bool) func(*testing.B) {
+		return func(b *testing.B) {
+			opts := benchOptions(b)
+			opts.Warmup = 500_000
+			opts.DisableWarmupReuse = disable
+			for i := 0; i < b.N; i++ {
+				table, err := heatstroke.RunExperiment("policies", opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(table.Rows) == 0 {
+					b.Fatal("empty table")
+				}
+			}
+		}
+	}
+	b.Run("reuse", run(false))
+	b.Run("cold", run(true))
+}
+
 // ---- substrate microbenchmarks ----
 
 // BenchmarkSweepEngine measures the sweep scheduler's per-job overhead

@@ -53,8 +53,9 @@ type File struct {
 
 // defaultPattern covers the simulator-speed benchmarks the committed
 // baseline tracks: the profile pair/solo runs that dominate experiment
-// wall time, the raw pipeline rate, and one full quantum.
-const defaultPattern = "^(BenchmarkProfileSolo|BenchmarkProfilePair|BenchmarkPipelineCycles|BenchmarkQuantumSimulation)$"
+// wall time, the raw pipeline rate, one full quantum, and the
+// warmup-snapshot-reuse comparison (reuse vs cold sub-benchmarks).
+const defaultPattern = "^(BenchmarkProfileSolo|BenchmarkProfilePair|BenchmarkPipelineCycles|BenchmarkQuantumSimulation|BenchmarkWarmupReuse)$"
 
 // defaultPackages are the packages holding those benchmarks.
 var defaultPackages = []string{".", "./internal/experiment"}

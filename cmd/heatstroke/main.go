@@ -9,6 +9,8 @@
 //	heatstroke -experiment all -format csv -out artifacts/
 //	heatstroke -experiment fig3 -server http://localhost:8080
 //	heatstroke -list                            # list experiments
+//	heatstroke -events-out trace.ndjson -snapshot-out warm.snap
+//	heatstroke -events-out t2.ndjson -policy dvs -snapshot-in warm.snap
 //
 // Tables render as ASCII by default; -format json/csv emits structured
 // artifacts (JSON includes the sweep's execution summary — job counts,
@@ -88,6 +90,8 @@ func run() int {
 	perfettoOut := flag.String("perfetto-out", "", "trace mode: write a Chrome/Perfetto trace-event JSON to this file")
 	variant := flag.Int("variant", 2, "trace mode: malicious variant 1-3 (0 for none)")
 	policy := flag.String("policy", "sedation", "trace mode: DTM policy: none|stopgo|dvs|ttdfs|sedation")
+	snapshotOut := flag.String("snapshot-out", "", "trace mode: write the post-warmup machine state to this file, then run")
+	snapshotIn := flag.String("snapshot-in", "", "trace mode: restore the machine state from this file instead of warming up")
 	flag.Parse()
 
 	if *list {
@@ -96,12 +100,16 @@ func run() int {
 		}
 		return 0
 	}
-	if *eventsOut != "" || *perfettoOut != "" {
+	if *eventsOut != "" || *perfettoOut != "" || *snapshotOut != "" || *snapshotIn != "" {
 		if *name != "" {
-			log.Print("-events-out/-perfetto-out run a single scenario and cannot combine with -experiment")
+			log.Print("trace-mode flags run a single scenario and cannot combine with -experiment")
 			return 2
 		}
-		if err := runTrace(*benches, *variant, *policy, *quantum, *warmup, *scale, *eventsOut, *perfettoOut); err != nil {
+		if *snapshotOut != "" && *snapshotIn != "" {
+			log.Print("-snapshot-out and -snapshot-in are mutually exclusive")
+			return 2
+		}
+		if err := runTrace(*benches, *variant, *policy, *quantum, *warmup, *scale, *eventsOut, *perfettoOut, *snapshotOut, *snapshotIn); err != nil {
 			log.Print(err)
 			return 1
 		}
@@ -231,12 +239,17 @@ func run() int {
 	return 0
 }
 
-// runTrace is the single-scenario trace mode behind -events-out and
-// -perfetto-out: one attack-pair simulation (victim benchmark plus a
-// malicious variant) under the chosen DTM policy, exported as a typed
-// event timeline (NDJSON) and/or a Perfetto trace with one track per
-// thread over the per-unit temperature counters.
-func runTrace(benches string, variant int, policy string, quantum, warmup int64, scale float64, eventsOut, perfettoOut string) error {
+// runTrace is the single-scenario trace mode behind -events-out,
+// -perfetto-out, and the snapshot flags: one attack-pair simulation
+// (victim benchmark plus a malicious variant) under the chosen DTM
+// policy, exported as a typed event timeline (NDJSON) and/or a
+// Perfetto trace with one track per thread over the per-unit
+// temperature counters. -snapshot-out captures the post-warmup machine
+// state to a file before measuring (the run itself is unchanged);
+// -snapshot-in restores such a file in place of warming up, which is
+// provably equivalent to a cold run and works under any -policy
+// because warmup never ticks the DTM.
+func runTrace(benches string, variant int, policy string, quantum, warmup int64, scale float64, eventsOut, perfettoOut, snapshotOut, snapshotIn string) error {
 	cfg := config.Default()
 	if scale > 0 {
 		cfg.Thermal.Scale = scale
@@ -282,6 +295,26 @@ func runTrace(benches string, variant int, policy string, quantum, warmup int64,
 	})
 	if err != nil {
 		return err
+	}
+	if snapshotIn != "" {
+		ms, err := sim.ReadStateFile(snapshotIn)
+		if err != nil {
+			return err
+		}
+		if err := s.Restore(ms); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  restored %s\n", snapshotIn)
+	}
+	if snapshotOut != "" {
+		ms, err := s.WarmupSnapshot()
+		if err != nil {
+			return err
+		}
+		if err := sim.WriteStateFile(snapshotOut, ms); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  wrote %s\n", snapshotOut)
 	}
 	start := time.Now()
 	res, err := s.Run()

@@ -60,6 +60,7 @@ func run(args []string, ready func(addr string)) error {
 	fs := flag.NewFlagSet("heatstroked", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheDir := fs.String("cache-dir", "", "persist completed results to this directory")
+	warmupCacheDir := fs.String("warmup-cache-dir", "", "persist warmup snapshots to this directory (skips warmup for repeated configurations)")
 	maxConcurrent := fs.Int("max-concurrent", 2, "maximum sweeps running at once")
 	maxQueue := fs.Int("max-queue", 16, "maximum queued jobs before 429 backpressure")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline (0 = none)")
@@ -97,13 +98,14 @@ func run(args []string, ready func(addr string)) error {
 		return cfg
 	}
 	srv, err := server.New(server.Options{
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		JobTimeout:    *jobTimeout,
-		Parallelism:   *parallel,
-		CacheDir:      *cacheDir,
-		BaseConfig:    baseConfig,
-		Logger:        logger,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		JobTimeout:     *jobTimeout,
+		Parallelism:    *parallel,
+		CacheDir:       *cacheDir,
+		WarmupCacheDir: *warmupCacheDir,
+		BaseConfig:     baseConfig,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err

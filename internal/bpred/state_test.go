@@ -1,0 +1,138 @@
+package bpred
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// trainRandom drives p with a deterministic pseudo-random branch
+// stream.
+func trainRandom(p Predictor, seed int64, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		pc := uint64(rng.Intn(4096))
+		p.Update(pc, Outcome(rng.Intn(2) == 0))
+	}
+}
+
+// agree checks that two predictors answer identically on a shared
+// deterministic stream, including the table updates along the way.
+func agree(t *testing.T, a, b Predictor, seed int64, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		pc := uint64(rng.Intn(4096))
+		if pa, pb := a.Predict(pc), b.Predict(pc); pa != pb {
+			t.Fatalf("step %d pc %#x: predictions diverge (%v vs %v)", i, pc, pa, pb)
+		}
+		actual := Outcome(rng.Intn(2) == 0)
+		a.Update(pc, actual)
+		b.Update(pc, actual)
+	}
+}
+
+func TestPredictorSnapshotRestore(t *testing.T) {
+	for _, kind := range []string{"bimodal", "gshare", "tournament"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			a, err := New(kind, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trainRandom(a, 7, 5000)
+			st, err := Snapshot(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Kind != kind {
+				t.Fatalf("snapshot kind %q", st.Kind)
+			}
+
+			b, err := New(kind, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Restore(b, st); err != nil {
+				t.Fatal(err)
+			}
+			agree(t, a, b, 11, 5000)
+
+			// The snapshot is a copy: the training above must not have
+			// changed it, and restoring it again must reproduce the
+			// pre-training state, not the current one.
+			st2, err := Snapshot(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reflect.DeepEqual(st, st2) {
+				t.Fatal("training did not change the state — test is vacuous")
+			}
+		})
+	}
+}
+
+func TestPredictorRestoreErrors(t *testing.T) {
+	g := NewGshare(10)
+	st, err := Snapshot(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Restore(NewBimodal(10), st); err == nil {
+		t.Error("gshare state into bimodal should fail")
+	}
+	if err := Restore(NewGshare(8), st); err == nil {
+		t.Error("mismatched table size should fail")
+	}
+	bad := st
+	bad.Gshare = append([]uint8(nil), st.Gshare...)
+	bad.Gshare[0] = 4
+	if err := Restore(NewGshare(10), bad); err == nil {
+		t.Error("out-of-range counter should fail")
+	}
+}
+
+func TestRestoreMasksHistory(t *testing.T) {
+	g := NewGshare(10)
+	st, err := Snapshot(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.History = ^uint64(0)
+	if err := Restore(g, st); err != nil {
+		t.Fatal(err)
+	}
+	if g.history >= 1<<g.histLen {
+		t.Fatalf("history %#x not masked to %d bits", g.history, g.histLen)
+	}
+}
+
+func TestRASSnapshotRestore(t *testing.T) {
+	a := NewRAS(8)
+	for i := int32(0); i < 11; i++ { // deliberately wrap the stack
+		a.Push(100 + i)
+	}
+	a.Pop()
+	st := a.Snapshot()
+
+	b := NewRAS(8)
+	if err := b.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ { // drain past depth: ok flags must agree too
+		ra, oka := a.Pop()
+		rb, okb := b.Pop()
+		if ra != rb || oka != okb {
+			t.Fatalf("pop %d: (%d,%v) vs (%d,%v)", i, ra, oka, rb, okb)
+		}
+	}
+
+	if err := NewRAS(4).Restore(st); err == nil {
+		t.Error("mismatched capacity should fail")
+	}
+	bad := st
+	bad.Top = 99
+	if err := NewRAS(8).Restore(bad); err == nil {
+		t.Error("out-of-range top should fail")
+	}
+}

@@ -109,6 +109,11 @@ type Core struct {
 	// queue head) mid-cycle.
 	squashes uint64
 
+	// stalledCycles counts cycles elapsed while globally stalled
+	// (stop-and-go engaged), maintained in both the stepped and the
+	// fast-forwarded paths.
+	stalledCycles uint64
+
 	dispatchRR int
 
 	stats []ThreadStats
@@ -264,10 +269,17 @@ func (c *Core) gatedCycle() bool {
 	return c.throttleDen > 0 && int(c.cycle%int64(c.throttleDen)) < c.throttleNum
 }
 
+// StalledCycles returns the cumulative cycles spent globally stalled.
+func (c *Core) StalledCycles() uint64 { return c.stalledCycles }
+
 // Step advances the core by one cycle.
 func (c *Core) Step() {
 	c.cycle++
-	if c.globalStall || c.gatedCycle() {
+	if c.globalStall {
+		c.stalledCycles++
+		return
+	}
+	if c.gatedCycle() {
 		return
 	}
 	for _, t := range c.threads {

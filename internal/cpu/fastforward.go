@@ -134,6 +134,7 @@ func (c *Core) skipTo(target int64) {
 		return
 	}
 	if c.globalStall {
+		c.stalledCycles += uint64(target - c.cycle)
 		c.cycle = target
 		return
 	}

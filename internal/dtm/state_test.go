@@ -1,0 +1,136 @@
+package dtm
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+)
+
+func TestStopGoSnapshotRestore(t *testing.T) {
+	th := config.Default().Thermal
+	pipe := &fakePipe{}
+	a := NewStopAndGo(pipe, th, 1000)
+	a.Tick(100, th.EmergencyK+1, flatTemps(0)) // engage
+	st, err := Snapshot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != StopAndGo || st.StopGo == nil || !st.StopGo.Engaged {
+		t.Fatalf("snapshot = %+v", st)
+	}
+
+	// Restore into a fresh policy: it must hold the stall for the rest
+	// of the original cooling window, then release.
+	pipe2 := &fakePipe{stalled: true} // the pipeline's own state restores separately
+	b := NewStopAndGo(pipe2, th, 1000)
+	if err := Restore(b, st); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick(600, th.EmergencyK-20, flatTemps(0))
+	if !pipe2.stalled {
+		t.Fatal("restored policy released before the cooling window")
+	}
+	b.Tick(1100, th.EmergencyK-20, flatTemps(0))
+	if pipe2.stalled {
+		t.Fatal("restored policy held past the cooling window")
+	}
+	if SafetyNetEngagements(b) != SafetyNetEngagements(a) {
+		t.Fatal("engagement count lost in restore")
+	}
+}
+
+func TestDVSSnapshotRestore(t *testing.T) {
+	th := config.Default().Thermal
+	pipe := &fakePipe{vdd: 1.1}
+	a := NewDVS(pipe, pipe, th, 1000)
+	a.Tick(1, th.EmergencyK-2.4, flatTemps(0)) // throttle
+	st, err := Snapshot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != DVS || !st.Throttled {
+		t.Fatalf("snapshot = %+v", st)
+	}
+
+	// Construct at nominal Vdd (as sim.New does), then mirror the
+	// actuator state the pipeline/model snapshots would restore.
+	pipe2 := &fakePipe{vdd: 1.1}
+	b := NewDVS(pipe2, pipe2, th, 1000)
+	pipe2.vdd, pipe2.thNum, pipe2.thDen = pipe.vdd, pipe.thNum, pipe.thDen
+	if err := Restore(b, st); err != nil {
+		t.Fatal(err)
+	}
+	// Cooling must un-throttle and restore nominal Vdd — proving the
+	// restored policy remembered both the throttle and the nominal
+	// voltage it must return to.
+	a.Tick(2, th.StopGoResumeK-0.1, flatTemps(0))
+	b.Tick(2, th.StopGoResumeK-0.1, flatTemps(0))
+	if *pipe2 != *pipe {
+		t.Fatalf("actuators diverge after restore: %+v vs %+v", pipe2, pipe)
+	}
+	if pipe2.vdd != 1.1 {
+		t.Fatalf("nominal vdd not restored: %g", pipe2.vdd)
+	}
+}
+
+func TestTTDFSSnapshotRestore(t *testing.T) {
+	th := config.Default().Thermal
+	pipe := &fakePipe{}
+	a := NewTTDFS(pipe, th)
+	for i := int64(0); i < 3; i++ { // escalate a few levels
+		a.Tick(i, th.EmergencyK+0.5, flatTemps(0))
+	}
+	st, err := Snapshot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != TTDFS || st.Level == 0 || st.PeakLevel < st.Level {
+		t.Fatalf("snapshot = %+v", st)
+	}
+
+	pipe2 := &fakePipe{thNum: pipe.thNum, thDen: pipe.thDen}
+	b := NewTTDFS(pipe2, th)
+	if err := Restore(b, st); err != nil {
+		t.Fatal(err)
+	}
+	a.Tick(10, th.EmergencyK+0.5, flatTemps(0))
+	b.Tick(10, th.EmergencyK+0.5, flatTemps(0))
+	if *pipe2 != *pipe {
+		t.Fatalf("throttle settings diverge: %+v vs %+v", pipe2, pipe)
+	}
+	sa, _ := Snapshot(a)
+	sb, _ := Snapshot(b)
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatalf("states diverge after one tick: %+v vs %+v", sa, sb)
+	}
+
+	bad := st
+	bad.Level = ttdfsMaxLevel + 1
+	if err := Restore(b, bad); err == nil {
+		t.Error("out-of-range level should fail")
+	}
+	bad = st
+	bad.PeakLevel = st.Level - 1
+	if err := Restore(b, bad); err == nil {
+		t.Error("peak below level should fail")
+	}
+}
+
+func TestSnapshotRestoreKindMismatch(t *testing.T) {
+	th := config.Default().Thermal
+	pipe := &fakePipe{}
+	st, err := Snapshot(NewStopAndGo(pipe, th, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Restore(NewDVS(pipe, pipe, th, 1000), st); err == nil {
+		t.Error("stopgo state into dvs should fail")
+	}
+	if err := Restore(NewNone(), State{Kind: None}); err != nil {
+		t.Errorf("none restore: %v", err)
+	}
+	if st, err := Snapshot(NewNone()); err != nil || st.Kind != None {
+		t.Errorf("none snapshot: %+v, %v", st, err)
+	}
+}

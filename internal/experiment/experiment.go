@@ -29,7 +29,10 @@ type Options struct {
 	Benchmarks []string
 	// Quantum overrides the per-run cycle count (0 = Config's).
 	Quantum int64
-	// Warmup is the unmeasured warmup prefix (default 500k cycles).
+	// Warmup is the unmeasured warmup prefix (default
+	// DefaultWarmupCycles). Every simulation of every experiment gets
+	// it: all jobs are built by the soloJob/pairJob helpers, which are
+	// the only place sim.Options.WarmupCycles is set.
 	Warmup int64
 	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
 	// Results are bit-for-bit identical at any parallelism: jobs are
@@ -50,6 +53,22 @@ type Options struct {
 	// metrics — simulated cycles, cycles/sec, peak temperature — so
 	// live consumers see the numbers the final Summary aggregates.
 	Progress func(p sweep.Progress)
+	// DisableWarmupReuse turns off warmup-snapshot sharing and runs
+	// every job's warmup from cold, as before PR 5. Results are
+	// identical either way (enforced by sim's restore-equivalence
+	// tests); the switch exists for benchmarking and debugging.
+	DisableWarmupReuse bool
+	// WarmupCache, when set, persists warmup snapshots across
+	// experiment runs under their warm keys. Within one run the sweep
+	// engine already shares warmups; the cache extends that across
+	// runs (e.g. the daemon's on-disk store).
+	WarmupCache SnapshotStore
+	// CodeVersion tags warm keys so a persistent WarmupCache never
+	// serves snapshots produced by a different simulator build.
+	CodeVersion string
+	// OnRestore, when set, is called with each warm-state restore's
+	// duration in seconds (for telemetry histograms).
+	OnRestore func(seconds float64)
 }
 
 // ResolvedSeed returns the seed an experiment run will actually use:
@@ -79,7 +98,7 @@ func (o Options) normalized() Options {
 		o.Quantum = o.Config.Run.QuantumCycles
 	}
 	if o.Warmup <= 0 {
-		o.Warmup = 500_000
+		o.Warmup = DefaultWarmupCycles
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
@@ -137,6 +156,9 @@ func runSweep(ctx context.Context, jobs []job, o Options) (map[string]*sim.Resul
 				return s.Run()
 			},
 		}
+		if j.opts.WarmupCycles > 0 && !o.DisableWarmupReuse {
+			warmJob(o, j, &sjobs[i])
+		}
 	}
 	res, err := sweep.Run(ctx, sjobs, sweep.Options[*sim.Result]{
 		Parallelism: o.Parallelism,
@@ -166,6 +188,12 @@ func simMetrics(r sweep.JobResult[*sim.Result]) map[string]float64 {
 	}
 	return m
 }
+
+// DefaultWarmupCycles is the unmeasured warmup prefix every
+// simulation runs when Options.Warmup is unset: long enough to fill
+// the caches and branch predictors and settle the thermal network's
+// transient from the ambient start.
+const DefaultWarmupCycles = 500_000
 
 // Table is a rendered experiment artifact (see sweep.Table for the
 // ASCII/JSON/CSV encoders).
@@ -203,38 +231,54 @@ type Info struct {
 	Name        string `json:"name"`
 	Title       string `json:"title"`
 	Description string `json:"description"`
+	// WarmupCycles is the unmeasured warmup prefix each of the
+	// experiment's simulations runs by default (Options.Warmup
+	// overrides it uniformly). Zero only for experiments that run no
+	// simulations.
+	WarmupCycles int64 `json:"warmup_cycles"`
 }
 
 // registry holds the experiment metadata in presentation order.
 var registry = []Info{
-	{NameTable1, "Table 1: system parameters",
-		"Renders the simulated machine's architectural, power, and thermal configuration; runs no simulations."},
-	{NameFigure3, "Figure 3: register-file access rates",
-		"Solo runs of every SPEC program and attack variant measuring flat-average integer-register-file accesses/cycle."},
-	{NameFigure4, "Figure 4: temperature emergencies",
-		"Emergencies per OS quantum: each benchmark solo, under Variant2 attack (stop-and-go), and under selective sedation."},
-	{NameFigure5, "Figure 5: IPC under attack and defense",
-		"The headline study: benchmark IPC across eleven configurations pairing each attack variant with ideal/realistic sinks and stop-and-go vs sedation."},
-	{NameFigure6, "Figure 6: execution-time breakdown",
-		"Where victim cycles go under attack: busy, stalled by stop-and-go, and ICOUNT-starved fractions."},
-	{NameHeatSink, "Heat-sink sensitivity (§5.5)",
-		"Victim slowdown as the convection resistance (heat-sink quality) varies, under attack and defense."},
-	{NameThresholds, "Sedation-threshold sensitivity (§5.6)",
-		"Sweeps the sedation upper/lower temperature thresholds and reports emergencies and victim IPC."},
-	{NameSpecPairs, "SPEC-pair false positives (§5.7)",
-		"Benign SPEC+SPEC pairs under selective sedation: checks normal co-schedules are not sedated."},
-	{NameTiming, "Heat/cool timing (§3.1)",
-		"Measures heat-up and forced-cooling durations under Variant2 and the resulting duty cycle."},
-	{NamePolicies, "DTM policy comparison",
-		"Victim IPC under each thermal-management baseline (none, stop-and-go, DVS, TTDFS, sedation) while attacked."},
-	{NameFlatAvg, "Ablation: flat-average culprit metric (§3.2.1)",
-		"Replaces the EWMA with a flat average so a bursty attacker hides below steady normal threads."},
-	{NameAbsThresh, "Ablation: absolute EWMA threshold (§3.2.1)",
-		"Sedates on an absolute access-rate threshold ignoring temperature, causing false positives on benign bursts."},
-	{NameMulti, "Ablation: multi-culprit identification (§3.2.2)",
-		"Two simultaneous attackers: checks repeated culprit identification sedates both."},
-	{NameFetch, "Ablation: fetch policy",
-		"Round-robin fetch instead of ICOUNT, isolating how much victim loss is fetch-policy bias."},
+	{Name: NameTable1, Title: "Table 1: system parameters",
+		Description: "Renders the simulated machine's architectural, power, and thermal configuration; runs no simulations."},
+	{Name: NameFigure3, Title: "Figure 3: register-file access rates",
+		Description: "Solo runs of every SPEC program and attack variant measuring flat-average integer-register-file accesses/cycle."},
+	{Name: NameFigure4, Title: "Figure 4: temperature emergencies",
+		Description: "Emergencies per OS quantum: each benchmark solo, under Variant2 attack (stop-and-go), and under selective sedation."},
+	{Name: NameFigure5, Title: "Figure 5: IPC under attack and defense",
+		Description: "The headline study: benchmark IPC across eleven configurations pairing each attack variant with ideal/realistic sinks and stop-and-go vs sedation."},
+	{Name: NameFigure6, Title: "Figure 6: execution-time breakdown",
+		Description: "Where victim cycles go under attack: busy, stalled by stop-and-go, and ICOUNT-starved fractions."},
+	{Name: NameHeatSink, Title: "Heat-sink sensitivity (§5.5)",
+		Description: "Victim slowdown as the convection resistance (heat-sink quality) varies, under attack and defense."},
+	{Name: NameThresholds, Title: "Sedation-threshold sensitivity (§5.6)",
+		Description: "Sweeps the sedation upper/lower temperature thresholds and reports emergencies and victim IPC."},
+	{Name: NameSpecPairs, Title: "SPEC-pair false positives (§5.7)",
+		Description: "Benign SPEC+SPEC pairs under selective sedation: checks normal co-schedules are not sedated."},
+	{Name: NameTiming, Title: "Heat/cool timing (§3.1)",
+		Description: "Measures heat-up and forced-cooling durations under Variant2 and the resulting duty cycle."},
+	{Name: NamePolicies, Title: "DTM policy comparison",
+		Description: "Victim IPC under each thermal-management baseline (none, stop-and-go, DVS, TTDFS, sedation) while attacked."},
+	{Name: NameFlatAvg, Title: "Ablation: flat-average culprit metric (§3.2.1)",
+		Description: "Replaces the EWMA with a flat average so a bursty attacker hides below steady normal threads."},
+	{Name: NameAbsThresh, Title: "Ablation: absolute EWMA threshold (§3.2.1)",
+		Description: "Sedates on an absolute access-rate threshold ignoring temperature, causing false positives on benign bursts."},
+	{Name: NameMulti, Title: "Ablation: multi-culprit identification (§3.2.2)",
+		Description: "Two simultaneous attackers: checks repeated culprit identification sedates both."},
+	{Name: NameFetch, Title: "Ablation: fetch policy",
+		Description: "Round-robin fetch instead of ICOUNT, isolating how much victim loss is fetch-policy bias."},
+}
+
+func init() {
+	// Every experiment that simulates warms up, and by the same default:
+	// all jobs flow through soloJob/pairJob. Table 1 renders static
+	// configuration and runs nothing.
+	for i := range registry {
+		if registry[i].Name != NameTable1 {
+			registry[i].WarmupCycles = DefaultWarmupCycles
+		}
+	}
 }
 
 // Infos lists every experiment's metadata in presentation order.

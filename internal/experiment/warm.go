@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/sim"
+	"github.com/heatstroke-sim/heatstroke/internal/sweep"
+)
+
+// SnapshotStore persists warmup snapshots across experiment runs (the
+// in-sweep sharing needs no store — the sweep engine deduplicates warm
+// keys by itself). Implementations must be safe for concurrent use;
+// Get must return a state the caller may restore from while other
+// callers hold the same pointer (sim.Restore copies, never aliases).
+type SnapshotStore interface {
+	Get(key string) (*sim.MachineState, bool)
+	Put(key string, ms *sim.MachineState)
+}
+
+// warmKey names the warm state a job can share: everything the
+// post-warmup machine state depends on, and nothing it doesn't. The
+// DTM policy and observation options are deliberately excluded —
+// warmup never ticks the policy, so one warm state serves all of them.
+// The snapshot format version and the caller's code version guard
+// persistent stores against stale entries.
+func warmKey(o Options, j job) string {
+	h := sha256.New()
+	io.WriteString(h, "heatstroke-warm\x00")
+	io.WriteString(h, j.cfg.Digest())
+	h.Write([]byte{0})
+	io.WriteString(h, sim.ProgramsDigest(j.threads))
+	fmt.Fprintf(h, "\x00%d\x00%d\x00%s", j.opts.WarmupCycles, sim.StateVersion, o.CodeVersion)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// warmJob fills in the sweep job's warmup-sharing hooks: Warm builds
+// (or fetches from the persistent store) the policy-agnostic warmup
+// snapshot, RunWarm restores it into a fully-optioned simulator and
+// runs the measurement quantum.
+func warmJob(o Options, j job, sj *sweep.Job[*sim.Result]) {
+	key := warmKey(o, j)
+	sj.WarmKey = key
+	sj.Warm = func(ctx context.Context) (any, error) {
+		if o.WarmupCache != nil {
+			if ms, ok := o.WarmupCache.Get(key); ok {
+				return ms, nil
+			}
+		}
+		// The warming simulator runs no policy: warmup never ticks it,
+		// and leaving it out keeps the snapshot restorable under all of
+		// them.
+		s, err := sim.New(j.cfg, j.threads, sim.Options{
+			Policy:       dtm.None,
+			WarmupCycles: j.opts.WarmupCycles,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ms, err := s.WarmupSnapshot()
+		if err != nil {
+			return nil, err
+		}
+		if o.WarmupCache != nil {
+			o.WarmupCache.Put(key, ms)
+		}
+		return ms, nil
+	}
+	sj.RunWarm = func(ctx context.Context, warm any) (*sim.Result, error) {
+		ms, ok := warm.(*sim.MachineState)
+		if !ok {
+			return nil, fmt.Errorf("experiment: warm state is %T, want *sim.MachineState", warm)
+		}
+		s, err := sim.New(j.cfg, j.threads, j.opts)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := s.Restore(ms); err != nil {
+			return nil, err
+		}
+		if o.OnRestore != nil {
+			o.OnRestore(time.Since(start).Seconds())
+		}
+		return s.Run()
+	}
+}

@@ -1,0 +1,189 @@
+package experiment
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/sim"
+)
+
+// warmJobs builds ten jobs sharing one warm key: same config, threads,
+// and warmup, differing only in DTM policy and observation options —
+// exactly the axes a warm key must ignore.
+func warmJobs(t *testing.T, o Options) []job {
+	t.Helper()
+	spec, err := specThread("crafty", o.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := variantThread(2, o.Config.Thermal.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []job
+	for _, policy := range dtm.Kinds() {
+		for _, events := range []bool{false, true} {
+			j := pairJob(o, string(policy)+map[bool]string{false: "", true: "/ev"}[events],
+				spec, v2, policy, false)
+			j.opts.CollectEvents = events
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+// TestSweepWarmupReuse is the acceptance test for warmup-snapshot
+// reuse: ten jobs sharing one warm key run warmup exactly once, and
+// every result is identical to the cold-warmup path.
+func TestSweepWarmupReuse(t *testing.T) {
+	o := tinyOptions().normalized()
+	o.Parallelism = 4
+	jobs := warmJobs(t, o)
+	if len(jobs) < 8 {
+		t.Fatalf("only %d jobs", len(jobs))
+	}
+	key := warmKey(o, jobs[0])
+	for _, j := range jobs[1:] {
+		if warmKey(o, j) != key {
+			t.Fatalf("job %s has a different warm key", j.key)
+		}
+	}
+
+	restores := 0
+	var mu sync.Mutex
+	o.OnRestore = func(float64) { mu.Lock(); restores++; mu.Unlock() }
+
+	warmed, sum, err := runSweep(context.Background(), jobs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.WarmupRuns != 1 || sum.WarmupReused != len(jobs)-1 {
+		t.Fatalf("warmups = %d runs / %d reused, want 1 / %d",
+			sum.WarmupRuns, sum.WarmupReused, len(jobs)-1)
+	}
+	if restores != len(jobs) {
+		t.Fatalf("OnRestore fired %d times, want %d", restores, len(jobs))
+	}
+
+	cold := o
+	cold.DisableWarmupReuse = true
+	cold.OnRestore = func(float64) { t.Error("cold path must not restore") }
+	coldRes, coldSum, err := runSweep(context.Background(), jobs, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldSum.WarmupRuns != 0 || coldSum.WarmupReused != 0 {
+		t.Fatalf("cold path reported warmup sharing: %d/%d", coldSum.WarmupRuns, coldSum.WarmupReused)
+	}
+	for k, want := range coldRes {
+		if got := warmed[k]; !reflect.DeepEqual(want, got) {
+			t.Errorf("job %s: warm-reused result differs from cold run", k)
+		}
+	}
+}
+
+// TestWarmKeySeparatesMachines: anything that changes the post-warmup
+// state — config, programs, warmup length, code version — must change
+// the key.
+func TestWarmKeySeparates(t *testing.T) {
+	o := tinyOptions().normalized()
+	jobs := warmJobs(t, o)
+	base := warmKey(o, jobs[0])
+
+	ideal := jobs[0]
+	ideal.cfg.Thermal.IdealSink = true
+	if warmKey(o, ideal) == base {
+		t.Error("ideal-sink config shares the real-sink key")
+	}
+
+	solo := jobs[0]
+	solo.threads = solo.threads[:1]
+	if warmKey(o, solo) == base {
+		t.Error("different threads share a key")
+	}
+
+	longer := jobs[0]
+	longer.opts.WarmupCycles++
+	if warmKey(o, longer) == base {
+		t.Error("different warmup lengths share a key")
+	}
+
+	ov := o
+	ov.CodeVersion = "other"
+	if warmKey(ov, jobs[0]) == base {
+		t.Error("different code versions share a key")
+	}
+}
+
+// memStore is an in-memory SnapshotStore.
+type memStore struct {
+	mu   sync.Mutex
+	m    map[string]*sim.MachineState
+	hits int
+	puts int
+}
+
+func (s *memStore) Get(key string) (*sim.MachineState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ms, ok := s.m[key]
+	if ok {
+		s.hits++
+	}
+	return ms, ok
+}
+
+func (s *memStore) Put(key string, ms *sim.MachineState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]*sim.MachineState)
+	}
+	s.m[key] = ms
+	s.puts++
+}
+
+// TestWarmupCacheAcrossRuns: a persistent store turns the second run's
+// warmup into a cache hit, with identical results.
+func TestWarmupCacheAcrossRuns(t *testing.T) {
+	o := tinyOptions().normalized()
+	o.Parallelism = 2
+	store := &memStore{}
+	o.WarmupCache = store
+	jobs := warmJobs(t, o)[:4]
+
+	first, sum1, err := runSweep(context.Background(), jobs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.puts != 1 {
+		t.Fatalf("first run put %d snapshots, want 1", store.puts)
+	}
+	if sum1.WarmupRuns != 1 {
+		t.Fatalf("first run warmups = %d", sum1.WarmupRuns)
+	}
+
+	second, sum2, err := runSweep(context.Background(), jobs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.hits == 0 {
+		t.Fatal("second run never hit the cache")
+	}
+	if store.puts != 1 {
+		t.Fatalf("second run re-put the snapshot (%d puts)", store.puts)
+	}
+	// The cache-served warm state still counts as this sweep's one
+	// warmup execution slot; no extra warmups run.
+	if sum2.WarmupRuns != 1 {
+		t.Fatalf("second run warmups = %d", sum2.WarmupRuns)
+	}
+	for k, want := range first {
+		if !reflect.DeepEqual(want, second[k]) {
+			t.Errorf("job %s: cached-warmup result differs", k)
+		}
+	}
+}

@@ -98,8 +98,8 @@ func (a *Activity) Thread(tid int, u Unit) uint64 { return a.perThread[tid][u] }
 // Threads returns the number of contexts tracked.
 func (a *Activity) Threads() int { return len(a.perThread) }
 
-// Snapshot copies the chip-wide counters into dst.
-func (a *Activity) Snapshot(dst *[NumUnits]uint64) { *dst = a.total }
+// Totals copies the chip-wide counters into dst.
+func (a *Activity) Totals(dst *[NumUnits]uint64) { *dst = a.total }
 
 // Energies holds per-access switching energy in picojoules per unit, at
 // the nominal supply voltage. Dynamic energy scales with (Vdd/VddNom)^2

@@ -38,7 +38,7 @@ func TestActivityCounters(t *testing.T) {
 		t.Error("thread count wrong")
 	}
 	var snap [NumUnits]uint64
-	a.Snapshot(&snap)
+	a.Totals(&snap)
 	if snap[UnitIntReg] != 8 {
 		t.Error("snapshot wrong")
 	}

@@ -1,0 +1,75 @@
+package power
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestActivitySnapshotRestore(t *testing.T) {
+	a := NewActivity(2)
+	a.Add(UnitIntReg, 0, 5)
+	a.Add(UnitIntExec, 1, 7)
+	a.AddGlobal(UnitL2, 3)
+	st := a.Snapshot()
+
+	b := NewActivity(2)
+	if err := b.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if b.Total(UnitIntReg) != 5 || b.Total(UnitIntExec) != 7 || b.Total(UnitL2) != 3 {
+		t.Errorf("totals wrong after restore")
+	}
+	if b.Thread(0, UnitIntReg) != 5 || b.Thread(1, UnitIntExec) != 7 {
+		t.Errorf("per-thread counts wrong after restore")
+	}
+
+	// Deep copy: counting on the restored side must not touch the
+	// snapshot.
+	b.Add(UnitIntReg, 0, 100)
+	if st.Total[UnitIntReg] != 5 || st.PerThread[0][UnitIntReg] != 5 {
+		t.Error("restored activity aliases the snapshot")
+	}
+	if !reflect.DeepEqual(a.Snapshot(), st) {
+		t.Error("source activity changed by restore elsewhere")
+	}
+
+	if err := NewActivity(3).Restore(st); err == nil {
+		t.Error("mismatched context count should fail")
+	}
+}
+
+func TestModelSnapshotRestore(t *testing.T) {
+	a := testModel(t, 0.5)
+	act := NewActivity(1)
+	act.Add(UnitIntReg, 0, 4000)
+	a.Prime(act)
+	a.SetVdd(0.9)
+	st := a.Snapshot()
+
+	b := testModel(t, 0.5)
+	if err := b.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	if b.Vdd() != 0.9 {
+		t.Errorf("vdd %g after restore", b.Vdd())
+	}
+	// The interval baseline must carry over: both models see the same
+	// delta from the same counters.
+	act.Add(UnitIntReg, 0, 2000)
+	var pa, pb [NumUnits]float64
+	if err := a.Interval(act, 10_000, &pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Interval(act, 10_000, &pb); err != nil {
+		t.Fatal(err)
+	}
+	if pa != pb {
+		t.Errorf("interval powers diverge: %v vs %v", pa, pb)
+	}
+
+	bad := st
+	bad.Vdd = 0
+	if err := b.Restore(bad); err == nil {
+		t.Error("non-positive vdd should fail")
+	}
+}

@@ -24,8 +24,12 @@ type serverMetrics struct {
 	// sims[false]/sims[true] count individual simulations by failure.
 	sims map[bool]*telemetry.Counter
 
-	jobDur *telemetry.Histogram
-	simDur *telemetry.Histogram
+	warmHits   *telemetry.Counter
+	warmMisses *telemetry.Counter
+
+	jobDur     *telemetry.Histogram
+	simDur     *telemetry.Histogram
+	restoreDur *telemetry.Histogram
 }
 
 // newServerMetrics registers every series up front so a scrape sees
@@ -46,11 +50,18 @@ func newServerMetrics(s *Server, version string) *serverMetrics {
 			"Submissions coalesced onto an identical in-flight job."),
 		jobs: map[api.Status]*telemetry.Counter{},
 		sims: map[bool]*telemetry.Counter{},
+		warmHits: reg.Counter("heatstroked_warmup_cache_hits_total",
+			"Warmup snapshots served from the persistent warmup cache."),
+		warmMisses: reg.Counter("heatstroked_warmup_cache_misses_total",
+			"Warmup-cache lookups that ran a fresh warmup instead."),
 		jobDur: reg.Histogram("heatstroked_job_duration_seconds",
 			"Wall time of executed jobs (queued-to-terminal, excluding cache hits).",
 			telemetry.DefLatencyBuckets),
 		simDur: reg.Histogram("heatstroked_sim_duration_seconds",
 			"Wall time of individual simulations inside sweeps.",
+			telemetry.DefLatencyBuckets),
+		restoreDur: reg.Histogram("heatstroked_warmup_restore_seconds",
+			"Time to restore a simulation from a shared warmup snapshot.",
 			telemetry.DefLatencyBuckets),
 	}
 	for _, st := range []api.Status{api.StatusDone, api.StatusFailed, api.StatusCanceled} {
@@ -103,4 +114,10 @@ func (m *serverMetrics) finishJob(st api.Status, seconds float64) {
 func (m *serverMetrics) observeSim(seconds float64, failed bool) {
 	m.sims[failed].Inc()
 	m.simDur.Observe(seconds)
+}
+
+// observeRestore records one warm-snapshot restore (fed to experiment
+// runs as Options.OnRestore).
+func (m *serverMetrics) observeRestore(seconds float64) {
+	m.restoreDur.Observe(seconds)
 }

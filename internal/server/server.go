@@ -57,6 +57,13 @@ type Options struct {
 	// CacheDir, when set, persists completed results as JSON files so
 	// restarts don't re-simulate.
 	CacheDir string
+	// WarmupCacheDir, when set, persists warmup snapshots (one .snap
+	// file per warm key) so jobs sharing a machine configuration skip
+	// the warmup phase across jobs and daemon restarts. Within one
+	// sweep warmups are shared regardless; this extends the sharing
+	// across sweeps. Snapshots from a different build are never served
+	// (the warm key embeds Version and the snapshot format version).
+	WarmupCacheDir string
 	// BaseConfig supplies the machine configuration requests override
 	// (default config.Default).
 	BaseConfig func() config.Config
@@ -92,6 +99,7 @@ type Server struct {
 	mux     *http.ServeMux
 	log     *slog.Logger
 	met     *serverMetrics
+	warm    *warmStore
 
 	mu      sync.Mutex
 	jobs    map[string]*jobEntry
@@ -134,6 +142,9 @@ func New(opts Options) (*Server, error) {
 		log:     log,
 	}
 	s.met = newServerMetrics(s, opts.Version)
+	if opts.WarmupCacheDir != "" {
+		s.warm = newWarmStore(opts.WarmupCacheDir, log, s.met)
+	}
 	if err := s.loadCache(); err != nil {
 		cancel(nil)
 		return nil, err
@@ -266,7 +277,7 @@ func (s *Server) resolve(req api.JobRequest) (api.JobRequest, string, error) {
 func (s *Server) expOptions(e *jobEntry) experiment.Options {
 	cfg := s.opts.BaseConfig()
 	cfg.Thermal.Scale = e.req.Scale
-	return experiment.Options{
+	o := experiment.Options{
 		Config:      &cfg,
 		Benchmarks:  e.req.Benchmarks,
 		Quantum:     e.req.Quantum,
@@ -275,7 +286,15 @@ func (s *Server) expOptions(e *jobEntry) experiment.Options {
 		Seed:        *e.req.Seed,
 		SeedSet:     true,
 		Progress:    e.onProgress,
+		CodeVersion: s.opts.Version,
+		OnRestore:   s.met.observeRestore,
 	}
+	if s.warm != nil {
+		// Assigned conditionally: a typed nil *warmStore in the
+		// interface would pass the != nil checks downstream.
+		o.WarmupCache = s.warm
+	}
+	return o
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/heatstroke-sim/heatstroke/internal/sim"
+)
+
+// warmStore is the daemon's warmup-snapshot cache: an
+// experiment.SnapshotStore backed by one .snap file per warm key under
+// WarmupCacheDir, with an in-memory layer in front so only the first
+// job after a restart pays the disk read. Warm keys are hex digests,
+// so they are safe filenames; files are written via sim.WriteStateFile
+// (temp + rename), so readers never see a torn snapshot. Memory use is
+// bounded by the number of distinct warm keys the process touches —
+// one machine state per distinct (config, programs, warmup, version).
+type warmStore struct {
+	dir string
+	log *slog.Logger
+	met *serverMetrics
+
+	mu  sync.Mutex
+	mem map[string]*sim.MachineState
+}
+
+func newWarmStore(dir string, log *slog.Logger, met *serverMetrics) *warmStore {
+	return &warmStore{dir: dir, log: log, met: met, mem: make(map[string]*sim.MachineState)}
+}
+
+func (ws *warmStore) path(key string) string {
+	return filepath.Join(ws.dir, key+".snap")
+}
+
+// Get implements experiment.SnapshotStore. A hit from memory or disk
+// counts once; snapshots that fail to decode (torn, stale format) are
+// misses — the caller re-runs the warmup and overwrites them.
+func (ws *warmStore) Get(key string) (*sim.MachineState, bool) {
+	ws.mu.Lock()
+	ms, ok := ws.mem[key]
+	ws.mu.Unlock()
+	if ok {
+		ws.met.warmHits.Inc()
+		return ms, true
+	}
+	ms, err := sim.ReadStateFile(ws.path(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			ws.log.Info("warmup cache read failed", "key", shortID(key), "err", err)
+		}
+		ws.met.warmMisses.Inc()
+		return nil, false
+	}
+	ws.mu.Lock()
+	ws.mem[key] = ms
+	ws.mu.Unlock()
+	ws.met.warmHits.Inc()
+	return ms, true
+}
+
+// Put implements experiment.SnapshotStore. Disk failures only log —
+// the in-memory layer still serves the snapshot for this process's
+// lifetime.
+func (ws *warmStore) Put(key string, ms *sim.MachineState) {
+	ws.mu.Lock()
+	ws.mem[key] = ms
+	ws.mu.Unlock()
+	if err := os.MkdirAll(ws.dir, 0o755); err != nil {
+		ws.log.Info("warmup cache dir failed", "err", err)
+		return
+	}
+	if err := sim.WriteStateFile(ws.path(key), ms); err != nil {
+		ws.log.Info("warmup cache write failed", "key", shortID(key), "err", err)
+	}
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/pkg/api"
+)
+
+func metricsText(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestWarmupCachePersistence: a daemon with -warmup-cache-dir writes
+// one snapshot per warm key; a restarted daemon (same dir, no result
+// cache) serves its warmups from disk and reports identical results.
+func TestWarmupCachePersistence(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, func(o *Options) { o.WarmupCacheDir = dir })
+
+	// The schema is visible before any job runs.
+	m := metricsText(t, ts1)
+	for _, want := range []string{
+		"heatstroked_warmup_cache_hits_total",
+		"heatstroked_warmup_cache_misses_total",
+		"heatstroked_warmup_restore_seconds",
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("metrics missing %s:\n%s", want, m)
+		}
+	}
+
+	code, st := submit(t, ts1, tinyRequest())
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: %d", code)
+	}
+	waitStatus(t, ts1, st.ID, api.StatusDone)
+
+	snaps, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fig3 over one benchmark runs 4 sims with 4 distinct thread sets.
+	if len(snaps) != 4 {
+		t.Fatalf("wrote %d snapshots, want 4", len(snaps))
+	}
+	m = metricsText(t, ts1)
+	if !strings.Contains(m, "heatstroked_warmup_cache_misses_total 4") {
+		t.Errorf("first run should record 4 warmup-cache misses:\n%s",
+			grepLine(m, "warmup_cache"))
+	}
+	if strings.Contains(m, "heatstroked_warmup_restore_seconds_count 0") {
+		t.Error("restore histogram never observed")
+	}
+
+	// Fresh daemon, shared warmup dir, no result cache: same request
+	// re-simulates but every warmup is a disk hit.
+	_, ts2 := newTestServer(t, func(o *Options) { o.WarmupCacheDir = dir })
+	code, st2 := submit(t, ts2, tinyRequest())
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit 2: %d", code)
+	}
+	waitStatus(t, ts2, st2.ID, api.StatusDone)
+	m = metricsText(t, ts2)
+	if !strings.Contains(m, "heatstroked_warmup_cache_hits_total 4") {
+		t.Errorf("second daemon should record 4 warmup-cache hits:\n%s",
+			grepLine(m, "warmup_cache"))
+	}
+	if a, b := artifactCSV(t, ts1, st.ID), artifactCSV(t, ts2, st2.ID); a != b {
+		t.Errorf("cached-warmup results differ:\n%s\nvs\n%s", a, b)
+	}
+
+	// A torn snapshot is a miss, not an error: the daemon re-warms and
+	// overwrites it.
+	if err := os.WriteFile(snaps[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts3 := newTestServer(t, func(o *Options) { o.WarmupCacheDir = dir })
+	code, st3 := submit(t, ts3, tinyRequest())
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit 3: %d", code)
+	}
+	waitStatus(t, ts3, st3.ID, api.StatusDone)
+	if a, b := artifactCSV(t, ts1, st.ID), artifactCSV(t, ts3, st3.ID); a != b {
+		t.Errorf("results differ after torn snapshot:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func artifactCSV(t *testing.T, ts *httptest.Server, id string) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/artifact?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact %s: %d: %s", id, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+func grepLine(text, substr string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -108,6 +108,9 @@ type Simulator struct {
 	reports []score.Report
 	events  *telemetry.EventLog
 	warmed  bool
+	// started flips at the first RunCycles; WarmupSnapshot refuses to
+	// run after it (the state would no longer be policy-agnostic).
+	started bool
 }
 
 // New builds a simulator for the given machine, threads, and options.
@@ -267,6 +270,7 @@ func (s *Simulator) RunCycles(quantum int64) (*Result, error) {
 	if quantum <= 0 {
 		return nil, fmt.Errorf("sim: quantum %d must be positive", quantum)
 	}
+	s.started = true
 	s.warmup()
 	sample := int64(s.cfg.Sedation.SampleIntervalCycles)
 	sensorEvery := int64(s.cfg.Thermal.SensorIntervalCycles) / sample
@@ -286,6 +290,7 @@ func (s *Simulator) RunCycles(quantum int64) (*Result, error) {
 	}
 
 	startCycle := s.core.Cycle()
+	startStalled := s.core.StalledCycles()
 	startStats := make([]cpu.ThreadStats, len(s.threads))
 	startRF := make([]uint64, len(s.threads))
 	for tid := range s.threads {
@@ -293,13 +298,13 @@ func (s *Simulator) RunCycles(quantum int64) (*Result, error) {
 		startRF[tid] = s.core.Activity().Thread(tid, power.UnitIntReg)
 	}
 	for done := int64(0); done < quantum; {
+		// stalled feeds the trace recorder only; the gated-cycle count
+		// comes from the core's own accounting below, which stays exact
+		// even if a policy ever toggles the stall mid-chunk.
 		stalled := s.core.GlobalStalled()
 		s.core.Run(sample)
 		done += sample
 		chunks++
-		if stalled {
-			res.StopGoCycles += sample
-		}
 		s.mon.Sample()
 
 		if chunks%sensorEvery == 0 {
@@ -334,6 +339,7 @@ func (s *Simulator) RunCycles(quantum int64) (*Result, error) {
 
 	elapsed := s.core.Cycle() - startCycle
 	res.Cycles = elapsed
+	res.StopGoCycles = int64(s.core.StalledCycles() - startStalled)
 	res.TotalPowerW = energyAccum / (float64(elapsed) / s.cfg.Power.FrequencyHz)
 	for u := power.Unit(0); u < power.NumUnits; u++ {
 		res.FinalTemps[u] = s.net.UnitTemp(u)

@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	score "github.com/heatstroke-sim/heatstroke/internal/core"
+	"github.com/heatstroke-sim/heatstroke/internal/cpu"
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry"
+	"github.com/heatstroke-sim/heatstroke/internal/thermal"
+)
+
+// StateVersion is the snapshot format version. It changes whenever any
+// composed state struct gains, loses, or reinterprets a field; old
+// snapshots are rejected, never migrated (re-running warmup is always
+// cheaper than a migration bug).
+const StateVersion = 1
+
+// stateMagic prefixes on-disk snapshots so a wrong file fails fast with
+// a clear error instead of a gob panic deep in decode.
+const stateMagic = "HEATSTROKE-SNAP\n"
+
+// MachineState is one whole-machine snapshot: every piece of mutable
+// simulation state, composed from the per-package state structs, plus
+// the identity of the machine that produced it. A MachineState is fully
+// self-contained (deep-copied on both snapshot and restore), so one
+// snapshot can seed any number of concurrently-running simulators.
+//
+// Policy records the producing simulator's DTM policy. The empty string
+// is the warmup sentinel: the snapshot carries no policy actuation
+// state (none existed — warmup never ticks the policy) and may be
+// restored into a simulator running any policy.
+type MachineState struct {
+	Version      int
+	ConfigDigest string
+	ProgsDigest  string
+	Policy       dtm.Kind
+	Warmed       bool
+
+	Core    cpu.CoreState
+	Model   power.ModelState
+	Thermal thermal.NetworkState
+	Monitor score.MonitorState
+	// Engine is non-nil only for Policy == dtm.SelectiveSedation.
+	Engine *score.EngineState
+	// DTM is nil for warmup snapshots (Policy == "").
+	DTM *dtm.State
+
+	Reports []score.Report
+	Events  []telemetry.Event
+}
+
+// ProgramsDigest hashes the threads' identity — names, entry points,
+// and full instruction streams — so a snapshot can prove it was built
+// from the same programs it is being restored into.
+func ProgramsDigest(threads []Thread) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(int64(len(threads)))
+	for _, t := range threads {
+		io.WriteString(h, t.Name)
+		h.Write([]byte{0})
+		if t.Prog == nil {
+			writeInt(-1)
+			continue
+		}
+		io.WriteString(h, t.Prog.Name)
+		h.Write([]byte{0})
+		writeInt(int64(t.Prog.Entry))
+		writeInt(int64(len(t.Prog.Insts)))
+		for _, in := range t.Prog.Insts {
+			writeInt(int64(in.Op))
+			h.Write([]byte{in.Dst, in.Src1, in.Src2})
+			writeInt(in.Imm)
+			writeInt(int64(in.Target))
+			if in.UseImm {
+				h.Write([]byte{1})
+			} else {
+				h.Write([]byte{0})
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Snapshot captures the simulator's complete mutable state. The
+// returned state shares no memory with the simulator; both sides may
+// continue (or restore) independently.
+func (s *Simulator) Snapshot() (*MachineState, error) {
+	ms := &MachineState{
+		Version:      StateVersion,
+		ConfigDigest: s.cfg.Digest(),
+		ProgsDigest:  ProgramsDigest(s.threads),
+		Policy:       s.opts.Policy,
+		Warmed:       s.warmed,
+		Core:         s.core.Snapshot(),
+		Model:        s.model.Snapshot(),
+		Thermal:      s.net.Snapshot(),
+		Monitor:      s.mon.Snapshot(),
+	}
+	ds, err := dtm.Snapshot(s.policy)
+	if err != nil {
+		return nil, err
+	}
+	ms.DTM = &ds
+	if eng := s.policy.Engine(); eng != nil {
+		es := eng.Snapshot()
+		ms.Engine = &es
+	}
+	if len(s.reports) > 0 {
+		ms.Reports = append([]score.Report(nil), s.reports...)
+	}
+	if s.events != nil && len(s.events.Events) > 0 {
+		ms.Events = append([]telemetry.Event(nil), s.events.Events...)
+	}
+	return ms, nil
+}
+
+// WarmupSnapshot runs the warmup phase (if not yet run) and captures
+// the machine state it established, tagged policy-agnostic: warmup
+// never ticks the DTM policy, so the state is identical under every
+// policy and the snapshot restores into a simulator running any of
+// them. It must be called before any measurement (RunCycles).
+func (s *Simulator) WarmupSnapshot() (*MachineState, error) {
+	if s.started {
+		return nil, fmt.Errorf("sim: warmup snapshot requested after measurement started")
+	}
+	s.warmup()
+	ms, err := s.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	ms.Policy = ""
+	ms.DTM = nil
+	ms.Engine = nil
+	return ms, nil
+}
+
+// Restore loads ms into s, which must have been built from the same
+// configuration and threads (enforced by digest) and — unless ms is a
+// policy-agnostic warmup snapshot — the same DTM policy. After Restore,
+// continuing s is deep-equal-indistinguishable from continuing the
+// simulator that produced ms. The state is copied, never aliased.
+func (s *Simulator) Restore(ms *MachineState) error {
+	if ms.Version != StateVersion {
+		return fmt.Errorf("sim: snapshot format v%d, this build reads v%d", ms.Version, StateVersion)
+	}
+	if d := s.cfg.Digest(); ms.ConfigDigest != d {
+		return fmt.Errorf("sim: snapshot built from config %.12s.., simulator runs %.12s..", ms.ConfigDigest, d)
+	}
+	if d := ProgramsDigest(s.threads); ms.ProgsDigest != d {
+		return fmt.Errorf("sim: snapshot built from programs %.12s.., simulator runs %.12s..", ms.ProgsDigest, d)
+	}
+	if ms.Policy != "" && ms.Policy != s.opts.Policy {
+		return fmt.Errorf("sim: snapshot carries %q policy state, simulator runs %q", ms.Policy, s.opts.Policy)
+	}
+	if err := s.core.Restore(ms.Core); err != nil {
+		return err
+	}
+	if err := s.model.Restore(ms.Model); err != nil {
+		return err
+	}
+	if err := s.net.Restore(ms.Thermal); err != nil {
+		return err
+	}
+	if err := s.mon.Restore(ms.Monitor); err != nil {
+		return err
+	}
+	if ms.Policy != "" {
+		if ms.DTM == nil {
+			return fmt.Errorf("sim: %q snapshot missing policy state", ms.Policy)
+		}
+		if err := dtm.Restore(s.policy, *ms.DTM); err != nil {
+			return err
+		}
+		if eng := s.policy.Engine(); eng != nil {
+			if ms.Engine == nil {
+				return fmt.Errorf("sim: sedation snapshot missing engine state")
+			}
+			if err := eng.Restore(*ms.Engine); err != nil {
+				return err
+			}
+		}
+	}
+	s.reports = append(s.reports[:0], ms.Reports...)
+	if s.events != nil {
+		s.events.Events = append(s.events.Events[:0], ms.Events...)
+	}
+	s.warmed = ms.Warmed
+	return nil
+}
+
+// WriteState gob-encodes ms to w behind a magic header.
+func WriteState(w io.Writer, ms *MachineState) error {
+	if _, err := io.WriteString(w, stateMagic); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(ms)
+}
+
+// ReadState decodes a snapshot written by WriteState.
+func ReadState(r io.Reader) (*MachineState, error) {
+	magic := make([]byte, len(stateMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("sim: reading snapshot header: %w", err)
+	}
+	if string(magic) != stateMagic {
+		return nil, fmt.Errorf("sim: not a snapshot file (bad magic)")
+	}
+	ms := &MachineState{}
+	if err := gob.NewDecoder(r).Decode(ms); err != nil {
+		return nil, fmt.Errorf("sim: decoding snapshot: %w", err)
+	}
+	if ms.Version != StateVersion {
+		return nil, fmt.Errorf("sim: snapshot format v%d, this build reads v%d", ms.Version, StateVersion)
+	}
+	return ms, nil
+}
+
+// WriteStateFile writes ms to path atomically (temp file + rename).
+func WriteStateFile(path string, ms *MachineState) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	if err := WriteState(bw, ms); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadStateFile reads a snapshot file written by WriteStateFile.
+func ReadStateFile(path string) (*MachineState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadState(bufio.NewReader(f))
+}

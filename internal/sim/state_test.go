@@ -1,0 +1,356 @@
+package sim
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+)
+
+// stateOptions is the option set the snapshot tests run under: every
+// optional observation channel on, so divergence anywhere shows up in
+// the deep-equal.
+func stateOptions(policy dtm.Kind) Options {
+	return Options{
+		Policy:        policy,
+		WarmupCycles:  60_000,
+		TraceTemps:    true,
+		CollectEvents: true,
+	}
+}
+
+// TestRestoreEquivalence locks in the tentpole invariant: snapshot
+// mid-run, restore into a fresh simulator, continue — and the
+// continuation must be deep-equal to the original simulator continuing
+// straight through. Checked for every DTM policy with the fast-forward
+// both enabled and disabled (the same discipline as
+// TestFastForwardEquivalence).
+func TestRestoreEquivalence(t *testing.T) {
+	const quantum = 120_000
+	for _, policy := range dtm.Kinds() {
+		for _, ff := range []bool{true, false} {
+			policy, ff := policy, ff
+			name := string(policy) + "/ff=on"
+			if !ff {
+				name = string(policy) + "/ff=off"
+			}
+			t.Run(name, func(t *testing.T) {
+				cfg := quickCfg()
+				threads := []Thread{specThread(t, "crafty"), variantThread(t, 2)}
+				a, err := New(cfg, threads, stateOptions(policy))
+				if err != nil {
+					t.Fatal(err)
+				}
+				a.Core().SetFastForward(ff)
+				if _, err := a.RunCycles(quantum); err != nil {
+					t.Fatal(err)
+				}
+				ms, err := a.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				straight, err := a.RunCycles(quantum)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				b, err := New(cfg, threads, stateOptions(policy))
+				if err != nil {
+					t.Fatal(err)
+				}
+				b.Core().SetFastForward(ff)
+				if err := b.Restore(ms); err != nil {
+					t.Fatal(err)
+				}
+				restored, err := b.RunCycles(quantum)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(straight, restored) {
+					t.Errorf("continuations diverge:\nstraight: %+v\nrestored: %+v", straight, restored)
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotIsDeepCopy proves a snapshot does not alias the live
+// simulator: continuing the source must leave the snapshot untouched,
+// so one snapshot can seed many clones.
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	cfg := quickCfg()
+	threads := []Thread{specThread(t, "crafty"), variantThread(t, 2)}
+	s, err := New(cfg, threads, stateOptions(dtm.SelectiveSedation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunCycles(100_000); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunCycles(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ms, before) {
+		t.Fatal("continuing the source simulator mutated an earlier snapshot")
+	}
+}
+
+// TestRestoreRoundTripsState proves restore reconstructs the exact
+// state: snapshotting the restored simulator yields the original
+// MachineState again.
+func TestRestoreRoundTripsState(t *testing.T) {
+	cfg := quickCfg()
+	threads := []Thread{specThread(t, "crafty"), variantThread(t, 2)}
+	a, err := New(cfg, threads, stateOptions(dtm.SelectiveSedation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RunCycles(140_000); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, threads, stateOptions(dtm.SelectiveSedation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(ms); err != nil {
+		t.Fatal(err)
+	}
+	ms2, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ms, ms2) {
+		t.Fatal("snapshot of restored simulator differs from the original snapshot")
+	}
+}
+
+// TestWarmupSnapshotEquivalence proves warmup-snapshot reuse is exact
+// for every policy: restoring a policy-agnostic warmup snapshot (built
+// under dtm.None) into a fresh simulator must reproduce, deep-equally,
+// the result of that simulator running its own warmup.
+func TestWarmupSnapshotEquivalence(t *testing.T) {
+	const quantum = 150_000
+	cfg := quickCfg()
+	threads := []Thread{specThread(t, "crafty"), variantThread(t, 2)}
+
+	warm, err := New(cfg, threads, Options{Policy: dtm.None, WarmupCycles: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := warm.WarmupSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Policy != "" || ms.DTM != nil || ms.Engine != nil {
+		t.Fatalf("warmup snapshot carries policy state: policy=%q dtm=%v engine=%v",
+			ms.Policy, ms.DTM, ms.Engine)
+	}
+
+	for _, policy := range dtm.Kinds() {
+		policy := policy
+		t.Run(string(policy), func(t *testing.T) {
+			cold, err := New(cfg, threads, stateOptions(policy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := cold.RunCycles(quantum)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			reused, err := New(cfg, threads, stateOptions(policy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reused.Restore(ms); err != nil {
+				t.Fatal(err)
+			}
+			got, err := reused.RunCycles(quantum)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("warmup reuse diverges from cold warmup:\ncold:   %+v\nreused: %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestWarmupSnapshotAfterStart rejects snapshotting once measurement
+// has begun (the state would no longer be policy-agnostic).
+func TestWarmupSnapshotAfterStart(t *testing.T) {
+	s, err := New(quickCfg(), []Thread{variantThread(t, 1)}, Options{Policy: dtm.None})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunCycles(20_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WarmupSnapshot(); err == nil {
+		t.Fatal("WarmupSnapshot after RunCycles should fail")
+	}
+}
+
+// TestRestoreRejectsMismatch covers the identity checks: wrong config,
+// wrong programs, wrong policy, wrong version.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	cfg := quickCfg()
+	threads := []Thread{specThread(t, "crafty"), variantThread(t, 2)}
+	a, err := New(cfg, threads, stateOptions(dtm.StopAndGo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	otherCfg := quickCfg()
+	otherCfg.Run.QuantumCycles++
+	if b, err := New(otherCfg, threads, stateOptions(dtm.StopAndGo)); err != nil {
+		t.Fatal(err)
+	} else if err := b.Restore(ms); err == nil {
+		t.Error("restore into a different config should fail")
+	}
+
+	otherThreads := []Thread{specThread(t, "gcc"), variantThread(t, 2)}
+	if b, err := New(cfg, otherThreads, stateOptions(dtm.StopAndGo)); err != nil {
+		t.Fatal(err)
+	} else if err := b.Restore(ms); err == nil {
+		t.Error("restore into different programs should fail")
+	}
+
+	if b, err := New(cfg, threads, stateOptions(dtm.DVS)); err != nil {
+		t.Fatal(err)
+	} else if err := b.Restore(ms); err == nil {
+		t.Error("restore of stopgo state into dvs should fail")
+	}
+
+	bad := *ms
+	bad.Version = StateVersion + 1
+	if b, err := New(cfg, threads, stateOptions(dtm.StopAndGo)); err != nil {
+		t.Fatal(err)
+	} else if err := b.Restore(&bad); err == nil {
+		t.Error("restore of a future format version should fail")
+	}
+}
+
+// TestStateFileRoundTrip proves on-disk snapshots reproduce: write a
+// warmup snapshot to disk, read it back, restore, and the continuation
+// must match restoring the in-memory state.
+func TestStateFileRoundTrip(t *testing.T) {
+	const quantum = 100_000
+	cfg := quickCfg()
+	threads := []Thread{specThread(t, "crafty"), variantThread(t, 2)}
+	warm, err := New(cfg, threads, Options{Policy: dtm.None, WarmupCycles: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := warm.WarmupSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "warm.snap")
+	if err := WriteStateFile(path, ms); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadStateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(state *MachineState) *Result {
+		s, err := New(cfg, threads, stateOptions(dtm.SelectiveSedation))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Restore(state); err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.RunCycles(quantum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if want, got := run(ms), run(decoded); !reflect.DeepEqual(want, got) {
+		t.Errorf("decoded snapshot continuation diverges:\nmemory: %+v\ndisk:   %+v", want, got)
+	}
+
+	if _, err := ReadState(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage input should be rejected")
+	}
+}
+
+// FuzzSnapshotContinuation snapshots at a fuzz-chosen sensor boundary
+// mid-attack (with a gob round-trip thrown in) and checks continuation
+// equality under a fuzz-chosen policy.
+func FuzzSnapshotContinuation(f *testing.F) {
+	f.Add(uint8(3), uint8(1))
+	f.Add(uint8(0), uint8(4))
+	f.Add(uint8(7), uint8(2))
+	f.Fuzz(func(t *testing.T, splitSel, policySel uint8) {
+		cfg := quickCfg()
+		sensor := int64(cfg.Thermal.SensorIntervalCycles)
+		// Snapshot after 1..8 sensor intervals, continue to a fixed total.
+		split := (1 + int64(splitSel)%8) * sensor
+		total := 10 * sensor
+		policy := dtm.Kinds()[int(policySel)%len(dtm.Kinds())]
+		threads := []Thread{specThread(t, "crafty"), variantThread(t, 2)}
+
+		a, err := New(cfg, threads, stateOptions(policy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.RunCycles(split); err != nil {
+			t.Fatal(err)
+		}
+		ms, err := a.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		straight, err := a.RunCycles(total - split)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var buf bytes.Buffer
+		if err := WriteState(&buf, ms); err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := ReadState(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		b, err := New(cfg, threads, stateOptions(policy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Restore(decoded); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := b.RunCycles(total - split)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(straight, restored) {
+			t.Errorf("policy %s split %d: continuation diverges after gob round-trip", policy, split)
+		}
+	})
+}

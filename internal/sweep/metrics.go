@@ -91,6 +91,11 @@ type Summary struct {
 	WallTime   time.Duration `json:"wall_ns"`
 	JobTime    time.Duration `json:"job_ns"`
 	MaxJobTime time.Duration `json:"max_job_ns"`
+	// WarmupRuns counts warmups actually executed; WarmupReused counts
+	// jobs that started from another job's warm state instead. Both are
+	// zero when no job carries a warm key.
+	WarmupRuns   int `json:"warmup_runs,omitempty"`
+	WarmupReused int `json:"warmup_reused,omitempty"`
 	// Metrics holds the custom per-job measurements, aggregated in
 	// input order.
 	Metrics map[string]Agg `json:"metrics,omitempty"`
@@ -120,6 +125,9 @@ func (s *Summary) String() string {
 	}
 	fmt.Fprintf(&sb, ") in %.1fs wall / %.1fs job-time at parallelism %d",
 		s.WallTime.Seconds(), s.JobTime.Seconds(), s.Parallelism)
+	if s.WarmupRuns > 0 || s.WarmupReused > 0 {
+		fmt.Fprintf(&sb, ", %d warmups (%d reused)", s.WarmupRuns, s.WarmupReused)
+	}
 	if cycles, ok := s.Metrics[MetricSimCycles]; ok && cycles.Sum > 0 {
 		fmt.Fprintf(&sb, ", %.1f Mcycles/s", s.Throughput(MetricSimCycles)/1e6)
 	}

@@ -41,6 +41,21 @@ const (
 type Job[T any] struct {
 	Key string
 	Run func(ctx context.Context) (T, error)
+
+	// WarmKey, when non-empty, opts the job into warmup-state sharing:
+	// jobs with equal WarmKeys share one Warm result. The key must
+	// capture everything the warm state depends on (configuration,
+	// programs, warmup length, code version) — the engine trusts it.
+	WarmKey string
+	// Warm produces the shared warm state for WarmKey. It runs at most
+	// once per distinct key per sweep (on the first job to need it);
+	// a failure is sticky and fails every job sharing the key.
+	Warm func(ctx context.Context) (any, error)
+	// RunWarm runs the job starting from the shared warm state. It must
+	// treat warm as read-only — many jobs receive the same value,
+	// possibly concurrently. When WarmKey is set, RunWarm is called
+	// instead of Run; both Warm and RunWarm must then be non-nil.
+	RunWarm func(ctx context.Context, warm any) (T, error)
 }
 
 // JobResult is the outcome of one job.
@@ -56,6 +71,12 @@ type JobResult[T any] struct {
 	Elapsed time.Duration
 	// Attempts counts executions (1 + retries actually used).
 	Attempts int
+	// WarmKey echoes the job's warmup-sharing key.
+	WarmKey string
+	// WarmReused is true when the job started from a warm state
+	// produced by another job in the sweep instead of running its own
+	// warmup (decided on the job's first attempt).
+	WarmReused bool
 }
 
 // Options tune a sweep.
@@ -101,6 +122,10 @@ type Progress struct {
 	// Metrics are the finished job's measurements as extracted by
 	// Options.Metrics (nil when unset or the job failed).
 	Metrics map[string]float64
+	// WarmKey and WarmReused mirror the finished job's warmup-sharing
+	// outcome, so a live consumer can count cache effectiveness.
+	WarmKey    string
+	WarmReused bool
 }
 
 // Result is the outcome of a sweep: one JobResult per input job, in
@@ -180,6 +205,7 @@ func Run[T any](ctx context.Context, jobs []Job[T], o Options[T]) (*Result[T], e
 		}
 	}()
 
+	warm := newWarmer()
 	var doneMu sync.Mutex
 	completed := 0
 	var wg sync.WaitGroup
@@ -188,7 +214,7 @@ func Run[T any](ctx context.Context, jobs []Job[T], o Options[T]) (*Result[T], e
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				jr := runOne(runCtx, jobs[i], i, o.Retries)
+				jr := runOne(runCtx, jobs[i], i, o.Retries, warm)
 				res.Jobs[i] = jr
 				if jr.Err != nil && o.Policy == FailFast {
 					cancel()
@@ -200,7 +226,8 @@ func Run[T any](ctx context.Context, jobs []Job[T], o Options[T]) (*Result[T], e
 					}
 					if o.OnProgress != nil && !jr.Skipped {
 						completed++
-						p := Progress{Completed: completed, Total: len(jobs), Key: jr.Key, Err: jr.Err, Elapsed: jr.Elapsed}
+						p := Progress{Completed: completed, Total: len(jobs), Key: jr.Key, Err: jr.Err, Elapsed: jr.Elapsed,
+							WarmKey: jr.WarmKey, WarmReused: jr.WarmReused}
 						if o.Metrics != nil && jr.Err == nil {
 							p.Metrics = o.Metrics(jr)
 						}
@@ -226,6 +253,7 @@ func Run[T any](ctx context.Context, jobs []Job[T], o Options[T]) (*Result[T], e
 	}
 
 	res.Summary = summarize(res, par, time.Since(start), o.Metrics)
+	res.Summary.WarmupRuns, res.Summary.WarmupReused = warm.counts()
 
 	switch o.Policy {
 	case Collect:
@@ -244,9 +272,14 @@ func Run[T any](ctx context.Context, jobs []Job[T], o Options[T]) (*Result[T], e
 	}
 }
 
-// runOne executes a single job, honouring retries and cancellation.
-func runOne[T any](ctx context.Context, j Job[T], idx, retries int) JobResult[T] {
-	jr := JobResult[T]{Key: j.Key, Index: idx}
+// runOne executes a single job, honouring retries, cancellation, and
+// warmup sharing.
+func runOne[T any](ctx context.Context, j Job[T], idx, retries int, w *warmer) JobResult[T] {
+	jr := JobResult[T]{Key: j.Key, Index: idx, WarmKey: j.WarmKey}
+	if j.WarmKey != "" && (j.Warm == nil || j.RunWarm == nil) {
+		jr.Err = fmt.Errorf("warm key %q set without Warm and RunWarm", j.WarmKey)
+		return jr
+	}
 	start := time.Now()
 	for attempt := 0; attempt <= retries; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -257,7 +290,23 @@ func runOne[T any](ctx context.Context, j Job[T], idx, retries int) JobResult[T]
 			break
 		}
 		jr.Attempts++
-		v, err := j.Run(ctx)
+		var v T
+		var err error
+		if j.WarmKey != "" {
+			var warm any
+			var reused bool
+			warm, reused, err = w.get(ctx, j.WarmKey, j.Warm, jr.Attempts == 1)
+			if jr.Attempts == 1 {
+				// Retries reuse the state this very job produced; only
+				// the first attempt says whether the warmup was shared.
+				jr.WarmReused = reused
+			}
+			if err == nil {
+				v, err = j.RunWarm(ctx, warm)
+			}
+		} else {
+			v, err = j.Run(ctx)
+		}
 		jr.Value, jr.Err = v, err
 		if err == nil {
 			break

@@ -1,0 +1,70 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+)
+
+// warmer deduplicates warm-state production within one sweep: the
+// first job to ask for a key runs the Warm function; every later job
+// sharing the key blocks until that run finishes and then reuses its
+// value. Errors are sticky — if a warmup fails, every sharer of the
+// key fails with the same error rather than re-running a warmup that
+// is deterministic and would fail again.
+type warmer struct {
+	mu      sync.Mutex
+	entries map[string]*warmEntry
+	// runs counts warm functions actually executed; reused counts jobs
+	// that waited for (or found) a finished entry instead.
+	runs   int
+	reused int
+}
+
+type warmEntry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newWarmer() *warmer {
+	return &warmer{entries: make(map[string]*warmEntry)}
+}
+
+// get returns the warm state for key, running warm exactly once per
+// key across the sweep. reused reports whether this caller shared an
+// entry it did not produce. count marks a job's first attempt — only
+// those update the runs/reused totals, so retries neither double-count
+// a reuse nor report a job reusing its own earlier warmup. Waiting is
+// context-aware: a cancelled waiter returns the context error.
+func (w *warmer) get(ctx context.Context, key string, warm func(context.Context) (any, error), count bool) (val any, reused bool, err error) {
+	w.mu.Lock()
+	if e, ok := w.entries[key]; ok {
+		w.mu.Unlock()
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, false, context.Cause(ctx)
+		}
+		if count {
+			w.mu.Lock()
+			w.reused++
+			w.mu.Unlock()
+		}
+		return e.val, true, e.err
+	}
+	e := &warmEntry{done: make(chan struct{})}
+	w.entries[key] = e
+	w.runs++
+	w.mu.Unlock()
+
+	e.val, e.err = warm(ctx)
+	close(e.done)
+	return e.val, false, e.err
+}
+
+// counts returns the executed / reused warmup totals so far.
+func (w *warmer) counts() (runs, reused int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.runs, w.reused
+}

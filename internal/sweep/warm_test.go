@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWarmupSharedAcrossJobs(t *testing.T) {
+	var warmRuns atomic.Int64
+	jobs := make([]Job[int], 12)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key:     fmt.Sprintf("job%d", i),
+			WarmKey: "shared",
+			Warm: func(ctx context.Context) (any, error) {
+				warmRuns.Add(1)
+				return 40, nil
+			},
+			RunWarm: func(ctx context.Context, warm any) (int, error) {
+				return warm.(int) + i, nil
+			},
+		}
+	}
+	res, err := Run(context.Background(), jobs, Options[int]{Parallelism: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRuns.Load() != 1 {
+		t.Fatalf("warm ran %d times, want 1", warmRuns.Load())
+	}
+	if res.Summary.WarmupRuns != 1 || res.Summary.WarmupReused != len(jobs)-1 {
+		t.Fatalf("summary warmups = %d/%d, want 1/%d",
+			res.Summary.WarmupRuns, res.Summary.WarmupReused, len(jobs)-1)
+	}
+	reused := 0
+	for i, j := range res.Jobs {
+		if j.Value != 40+i {
+			t.Fatalf("job %d value %d", i, j.Value)
+		}
+		if j.WarmKey != "shared" {
+			t.Fatalf("job %d warm key %q", i, j.WarmKey)
+		}
+		if j.WarmReused {
+			reused++
+		}
+	}
+	if reused != len(jobs)-1 {
+		t.Fatalf("%d jobs reused, want %d", reused, len(jobs)-1)
+	}
+}
+
+func TestWarmupDistinctKeys(t *testing.T) {
+	var warmRuns atomic.Int64
+	jobs := make([]Job[int], 6)
+	for i := range jobs {
+		key := fmt.Sprintf("warm%d", i%2)
+		jobs[i] = Job[int]{
+			Key:     fmt.Sprintf("job%d", i),
+			WarmKey: key,
+			Warm: func(ctx context.Context) (any, error) {
+				warmRuns.Add(1)
+				return key, nil
+			},
+			RunWarm: func(ctx context.Context, warm any) (int, error) { return 0, nil },
+		}
+	}
+	res, err := Run(context.Background(), jobs, Options[int]{Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRuns.Load() != 2 || res.Summary.WarmupRuns != 2 || res.Summary.WarmupReused != 4 {
+		t.Fatalf("warmups = %d (summary %d/%d), want 2 runs 4 reuses",
+			warmRuns.Load(), res.Summary.WarmupRuns, res.Summary.WarmupReused)
+	}
+}
+
+func TestWarmupErrorIsSticky(t *testing.T) {
+	boom := errors.New("boom")
+	var warmRuns atomic.Int64
+	jobs := make([]Job[int], 4)
+	for i := range jobs {
+		jobs[i] = Job[int]{
+			Key:     fmt.Sprintf("job%d", i),
+			WarmKey: "shared",
+			Warm: func(ctx context.Context) (any, error) {
+				warmRuns.Add(1)
+				return nil, boom
+			},
+			RunWarm: func(ctx context.Context, warm any) (int, error) {
+				t.Error("RunWarm must not run after a failed warmup")
+				return 0, nil
+			},
+		}
+	}
+	res, err := Run(context.Background(), jobs, Options[int]{Parallelism: 1, Policy: Collect})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if warmRuns.Load() != 1 {
+		t.Fatalf("failed warmup re-ran: %d", warmRuns.Load())
+	}
+	for _, j := range res.Jobs {
+		if !errors.Is(j.Err, boom) {
+			t.Fatalf("job %s err = %v", j.Key, j.Err)
+		}
+	}
+}
+
+func TestWarmKeyWithoutFuncsFails(t *testing.T) {
+	jobs := []Job[int]{{Key: "a", WarmKey: "k"}}
+	res, _ := Run(context.Background(), jobs, Options[int]{})
+	if res.Jobs[0].Err == nil {
+		t.Fatal("warm key without Warm/RunWarm should fail the job")
+	}
+}
+
+// TestWarmupRetryDoesNotCountAsReuse: a job whose RunWarm fails and is
+// retried reuses the state it itself produced — that must not report
+// as a shared reuse.
+func TestWarmupRetryDoesNotCountAsReuse(t *testing.T) {
+	attempts := 0
+	jobs := []Job[int]{{
+		Key:     "a",
+		WarmKey: "k",
+		Warm:    func(ctx context.Context) (any, error) { return 1, nil },
+		RunWarm: func(ctx context.Context, warm any) (int, error) {
+			attempts++
+			if attempts == 1 {
+				return 0, errors.New("flaky")
+			}
+			return warm.(int), nil
+		},
+	}}
+	res, err := Run(context.Background(), jobs, Options[int]{Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].WarmReused {
+		t.Fatal("retry marked as warm reuse")
+	}
+	if res.Summary.WarmupRuns != 1 {
+		t.Fatalf("warmup runs %d", res.Summary.WarmupRuns)
+	}
+}

@@ -1,0 +1,48 @@
+package thermal
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+func TestNetworkSnapshotRestore(t *testing.T) {
+	th := defaultThermal()
+	a := netWith(t, th)
+	a.InitSteady(uniformPower(2))
+	hot := uniformPower(1)
+	hot[power.UnitIntReg] = 30
+	for i := 0; i < 50; i++ {
+		a.Step(hot, 5e-6)
+	}
+	st := a.Snapshot()
+
+	b := netWith(t, th)
+	if err := b.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	// Identical further integration must track exactly.
+	for i := 0; i < 50; i++ {
+		a.Step(hot, 5e-6)
+		b.Step(hot, 5e-6)
+	}
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("trajectories diverge after restore")
+	}
+	ua, ta := a.MaxUnit()
+	ub, tb := b.MaxUnit()
+	if ua != ub || ta != tb {
+		t.Fatalf("max unit diverges: %s %.4f vs %s %.4f", ua, ta, ub, tb)
+	}
+
+	// The snapshot is a copy of the node vector, not a view.
+	if st.Temps[0] == a.BlockTemp(0) && reflect.DeepEqual(st, a.Snapshot()) {
+		t.Fatal("continued network still equals the snapshot — test is vacuous")
+	}
+
+	bad := NetworkState{Temps: make([]float64, len(st.Temps)+1)}
+	if err := b.Restore(bad); err == nil {
+		t.Error("mismatched node count should fail")
+	}
+}
