@@ -53,9 +53,10 @@ type File struct {
 
 // defaultPattern covers the simulator-speed benchmarks the committed
 // baseline tracks: the profile pair/solo runs that dominate experiment
-// wall time, the raw pipeline rate, one full quantum, and the
-// warmup-snapshot-reuse comparison (reuse vs cold sub-benchmarks).
-const defaultPattern = "^(BenchmarkProfileSolo|BenchmarkProfilePair|BenchmarkPipelineCycles|BenchmarkQuantumSimulation|BenchmarkWarmupReuse)$"
+// wall time, the raw pipeline rate, one full quantum, the
+// warmup-snapshot-reuse comparison (reuse vs cold sub-benchmarks), and
+// the fork-tree sweep comparison (fork vs cold sub-benchmarks).
+const defaultPattern = "^(BenchmarkProfileSolo|BenchmarkProfilePair|BenchmarkPipelineCycles|BenchmarkQuantumSimulation|BenchmarkWarmupReuse|BenchmarkForkSweep)$"
 
 // defaultPackages are the packages holding those benchmarks.
 var defaultPackages = []string{".", "./internal/experiment"}

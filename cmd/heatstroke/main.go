@@ -6,6 +6,7 @@
 //	heatstroke -experiment all                  # the whole evaluation
 //	heatstroke -experiment fig4 -bench crafty,mcf -quantum 8000000
 //	heatstroke -experiment fig5 -format json    # machine-readable artifact
+//	heatstroke -experiment thresholds-dense -fork  # fork-tree sweep mode
 //	heatstroke -experiment all -format csv -out artifacts/
 //	heatstroke -experiment fig3 -server http://localhost:8080
 //	heatstroke -list                            # list experiments
@@ -80,6 +81,7 @@ func run() int {
 	scale := flag.Float64("scale", 0, "thermal scale factor (default 16; 1 = paper time base)")
 	seed := flag.Int64("seed", 0, "workload generation seed (default: config)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (default: GOMAXPROCS)")
+	fork := flag.Bool("fork", false, "fork-tree mode: simulate shared warmup prefixes once and fork variants from in-memory snapshots (byte-identical tables)")
 	format := flag.String("format", "table", "artifact format: table, json, or csv")
 	out := flag.String("out", "", "write artifacts to this file (one experiment) or directory (default: stdout)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
@@ -217,6 +219,7 @@ func run() int {
 		SeedSet:     seedSet,
 		Parallelism: *parallel,
 		Benchmarks:  benchList,
+		ForkTree:    *fork,
 	}
 
 	for _, n := range names {

@@ -28,3 +28,32 @@ func (c *Config) Digest() string {
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
 }
+
+// WarmDigest returns the digest of the configuration with every
+// warmup-invariant field normalized away. Warmup runs the pipeline
+// under no DTM policy and never reads a temperature threshold: the
+// post-warmup machine state (core, caches, predictors, activity
+// counters, sedation-monitor averages, thermal network) depends only
+// on the architectural, power, thermal, and sampling parameters. The
+// sedation *decision* knobs — thresholds, the re-examination window,
+// the ablation switches — and the measurement quantum length are
+// consumed strictly after warmup, so two Configs with equal WarmDigest
+// produce deep-equal warmup snapshots and may share one. The monitor's
+// own parameters (SampleIntervalCycles, EWMAShift) DO shape warm state
+// (the primed averages) and stay in the digest.
+//
+// This is the key a fork-tree sweep shares warm prefixes under: a
+// threshold grid re-simulates its warmup once instead of once per grid
+// point. Soundness is enforced by TestWarmDigestInvariance, which
+// checks snapshot deep-equality across every excluded field.
+func (c *Config) WarmDigest() string {
+	n := *c
+	n.Sedation.UpperK = 0
+	n.Sedation.LowerK = 0
+	n.Sedation.ReexamineFactor = 0
+	n.Sedation.ExpectedCoolingCycles = 0
+	n.Sedation.UseFlatAverage = false
+	n.Sedation.AbsoluteEWMAThreshold = 0
+	n.Run.QuantumCycles = 0
+	return n.Digest()
+}

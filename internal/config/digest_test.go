@@ -50,6 +50,49 @@ func TestDigestSensitivity(t *testing.T) {
 	}
 }
 
+func TestWarmDigestIgnoresEngineFields(t *testing.T) {
+	base := Default()
+	bd := base.WarmDigest()
+	// Fields consumed only after warmup: varying them must not change
+	// the warm key, so a threshold grid shares one warmup.
+	invariant := map[string]func(*Config){
+		"upper":        func(c *Config) { c.Sedation.UpperK = 357.0 },
+		"lower":        func(c *Config) { c.Sedation.LowerK = 354.5 },
+		"reexamine":    func(c *Config) { c.Sedation.ReexamineFactor = 3 },
+		"cooling":      func(c *Config) { c.Sedation.ExpectedCoolingCycles = 250_000 },
+		"flat average": func(c *Config) { c.Sedation.UseFlatAverage = true },
+		"abs ewma":     func(c *Config) { c.Sedation.AbsoluteEWMAThreshold = 8 },
+		"quantum":      func(c *Config) { c.Run.QuantumCycles = 123_456 },
+	}
+	for name, mutate := range invariant {
+		c := Default()
+		mutate(&c)
+		if c.WarmDigest() != bd {
+			t.Errorf("%s mutation changed the warm digest but is warmup-invariant", name)
+		}
+		if c.Digest() == base.Digest() {
+			t.Errorf("%s mutation did not change the full digest", name)
+		}
+	}
+	// Everything that does shape warm state must still be keyed.
+	sensitive := map[string]func(*Config){
+		"seed":            func(c *Config) { c.Run.Seed++ },
+		"scale":           func(c *Config) { c.Thermal.Scale *= 2 },
+		"sample interval": func(c *Config) { c.Sedation.SampleIntervalCycles *= 2 },
+		"ewma shift":      func(c *Config) { c.Sedation.EWMAShift++ },
+		"convection":      func(c *Config) { c.Thermal.ConvectionRes = 0.5 },
+		"ideal sink":      func(c *Config) { c.Thermal.IdealSink = true },
+		"l2 size":         func(c *Config) { c.Memory.L2.SizeBytes *= 2 },
+	}
+	for name, mutate := range sensitive {
+		c := Default()
+		mutate(&c)
+		if c.WarmDigest() == bd {
+			t.Errorf("%s mutation did not change the warm digest", name)
+		}
+	}
+}
+
 func TestDigestPaperVsDefault(t *testing.T) {
 	d, p := Default(), Paper()
 	if d.Digest() == p.Digest() {

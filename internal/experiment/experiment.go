@@ -58,6 +58,22 @@ type Options struct {
 	// identical either way (enforced by sim's restore-equivalence
 	// tests); the switch exists for benchmarking and debugging.
 	DisableWarmupReuse bool
+	// ForkTree routes the experiment through the fork-tree scheduler
+	// (sweep.RunTree): jobs whose simulations share a warmup prefix —
+	// same machine, programs, and warmup length, regardless of DTM
+	// policy, sedation thresholds, or measurement quantum — become
+	// leaves under one prefix node that simulates the shared prefix
+	// once; each leaf forks from the in-memory snapshot. Tables are
+	// byte-identical to the flat (and cold) paths; only the Summary's
+	// fork counters and timing differ. Ignored when DisableWarmupReuse
+	// is set (there is nothing to share).
+	ForkTree bool
+	// DisableFastForward turns off the simulator's stall fast-forward
+	// in every job, including warmup prefixes (results are byte
+	// identical either way; see sim.Options.DisableFastForward). The
+	// differential suites use it to prove fork-tree equivalence holds
+	// on both code paths.
+	DisableFastForward bool
 	// WarmupCache, when set, persists warmup snapshots across
 	// experiment runs under their warm keys. Within one run the sweep
 	// engine already shares warmups; the cache extends that across
@@ -143,33 +159,38 @@ type job struct {
 // Summary accounts for every job), and each job's wall time, simulated
 // cycles/sec, and peak temperature are aggregated.
 func runSweep(ctx context.Context, jobs []job, o Options) (map[string]*sim.Result, *sweep.Summary, error) {
+	if o.ForkTree && !o.DisableWarmupReuse {
+		return runForkSweep(ctx, jobs, o)
+	}
 	sjobs := make([]sweep.Job[*sim.Result], len(jobs))
 	for i, j := range jobs {
 		j := j
 		sjobs[i] = sweep.Job[*sim.Result]{
 			Key: j.key,
 			Run: func(ctx context.Context) (*sim.Result, error) {
-				s, err := sim.New(j.cfg, j.threads, j.opts)
-				if err != nil {
-					return nil, err
-				}
-				return s.Run()
+				return runCold(j)
 			},
 		}
 		if j.opts.WarmupCycles > 0 && !o.DisableWarmupReuse {
 			warmJob(o, j, &sjobs[i])
 		}
 	}
-	res, err := sweep.Run(ctx, sjobs, sweep.Options[*sim.Result]{
-		Parallelism: o.Parallelism,
-		Policy:      sweep.FailFast,
-		Metrics:     simMetrics,
-		OnProgress:  o.Progress,
-	})
+	res, err := sweep.Run(ctx, sjobs, sweepOptions(o))
 	if err != nil {
 		return nil, &res.Summary, fmt.Errorf("experiment: %w", err)
 	}
 	return res.ByKey(), &res.Summary, nil
+}
+
+// sweepOptions builds the engine options every experiment sweep uses,
+// flat or fork-tree.
+func sweepOptions(o Options) sweep.Options[*sim.Result] {
+	return sweep.Options[*sim.Result]{
+		Parallelism: o.Parallelism,
+		Policy:      sweep.FailFast,
+		Metrics:     simMetrics,
+		OnProgress:  o.Progress,
+	}
 }
 
 // simMetrics extracts the per-job measurements the sweep Summary
@@ -208,13 +229,16 @@ const (
 	NameFigure6    = "fig6"
 	NameHeatSink   = "heatsink"
 	NameThresholds = "thresholds"
-	NameSpecPairs  = "specpairs"
-	NameTiming     = "timing"
-	NamePolicies   = "policies"
-	NameFlatAvg    = "ablation-flatavg"
-	NameAbsThresh  = "ablation-absthresh"
-	NameMulti      = "ablation-multiculprit"
-	NameFetch      = "ablation-fetchpolicy"
+	// NameThresholdsDense is the dense threshold-sensitivity grid made
+	// affordable by warmup-prefix sharing (see ThresholdsDense).
+	NameThresholdsDense = "thresholds-dense"
+	NameSpecPairs       = "specpairs"
+	NameTiming          = "timing"
+	NamePolicies        = "policies"
+	NameFlatAvg         = "ablation-flatavg"
+	NameAbsThresh       = "ablation-absthresh"
+	NameMulti           = "ablation-multiculprit"
+	NameFetch           = "ablation-fetchpolicy"
 )
 
 // Names lists every experiment in presentation order.
@@ -254,6 +278,8 @@ var registry = []Info{
 		Description: "Victim slowdown as the convection resistance (heat-sink quality) varies, under attack and defense."},
 	{Name: NameThresholds, Title: "Sedation-threshold sensitivity (§5.6)",
 		Description: "Sweeps the sedation upper/lower temperature thresholds and reports emergencies and victim IPC."},
+	{Name: NameThresholdsDense, Title: "Sedation-threshold dense scan (§5.6)",
+		Description: "Dense 355.0-358.0 K threshold grid (14 pairs per benchmark) sharing one warmup prefix per benchmark via the fork tree."},
 	{Name: NameSpecPairs, Title: "SPEC-pair false positives (§5.7)",
 		Description: "Benign SPEC+SPEC pairs under selective sedation: checks normal co-schedules are not sedated."},
 	{Name: NameTiming, Title: "Heat/cool timing (§3.1)",
@@ -322,6 +348,8 @@ func RunContext(ctx context.Context, name string, o Options) (*Table, error) {
 		return HeatSink(ctx, o)
 	case NameThresholds:
 		return Thresholds(ctx, o)
+	case NameThresholdsDense:
+		return ThresholdsDense(ctx, o)
 	case NameSpecPairs:
 		return SpecPairs(ctx, o)
 	case NameTiming:

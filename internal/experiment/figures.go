@@ -234,7 +234,7 @@ func soloJob(o Options, key string, t sim.Thread, policy dtm.Kind, ideal bool) j
 		key:     key,
 		cfg:     cfg,
 		threads: []sim.Thread{t},
-		opts:    sim.Options{Policy: policy, WarmupCycles: o.Warmup},
+		opts:    sim.Options{Policy: policy, WarmupCycles: o.Warmup, DisableFastForward: o.DisableFastForward},
 	}
 }
 

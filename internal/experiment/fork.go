@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/heatstroke-sim/heatstroke/internal/sim"
+	"github.com/heatstroke-sim/heatstroke/internal/sweep"
+)
+
+// runForkSweep executes an experiment's jobs as a fork-tree sweep:
+// jobs sharing a warm key become leaves under one prefix node whose
+// Prefix simulates the shared warmup once and hands the in-memory
+// snapshot to every leaf (copy-on-fork: sim.Restore copies, never
+// aliases, so concurrent leaves and the parent state never interfere).
+// Jobs with no warmup become leaf roots. Grouping follows first
+// appearance in input order, so the tree's DFS leaf order — and with
+// it result indexing — is the input order of the flat sweep.
+//
+// The rendered tables are byte-identical to runSweep's flat and cold
+// paths (enforced by the differential equivalence suite); only the
+// Summary's fork counters and timing fields differ.
+func runForkSweep(ctx context.Context, jobs []job, o Options) (map[string]*sim.Result, *sweep.Summary, error) {
+	var roots []*sweep.ForkNode[*sim.Result]
+	groups := make(map[string]*sweep.ForkNode[*sim.Result])
+	for _, j := range jobs {
+		j := j
+		leaf := sweep.LeafNode(j.key, func(ctx context.Context, parent any) (*sim.Result, error) {
+			if parent == nil {
+				return runCold(j)
+			}
+			return runFromWarm(o, j, parent)
+		})
+		if j.opts.WarmupCycles <= 0 {
+			roots = append(roots, leaf)
+			continue
+		}
+		key := warmKey(o, j)
+		p, ok := groups[key]
+		if !ok {
+			p = sweep.PrefixNode[*sim.Result](
+				fmt.Sprintf("warm:%s:%s", j.key, key[:12]),
+				func(ctx context.Context, _ any) (any, error) {
+					return buildWarm(o, j, key)
+				},
+			)
+			groups[key] = p
+			roots = append(roots, p)
+		}
+		p.Children = append(p.Children, leaf)
+	}
+	res, err := sweep.RunTree(ctx, roots, sweepOptions(o))
+	if err != nil {
+		if res == nil {
+			return nil, nil, fmt.Errorf("experiment: %w", err)
+		}
+		return nil, &res.Summary, fmt.Errorf("experiment: %w", err)
+	}
+	return res.ByKey(), &res.Summary, nil
+}

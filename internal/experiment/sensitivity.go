@@ -145,6 +145,70 @@ func Thresholds(ctx context.Context, o Options) (*Table, error) {
 	return table, nil
 }
 
+// ThresholdsDense extends Section 5.6 with a dense sensitivity scan
+// over the sedation thresholds: upper thresholds from 355.0 K to
+// 358.0 K in 0.5 K steps (the ceiling stays below the 358.5 K
+// emergency threshold config validation enforces), each with the lower
+// threshold 0.5 K and 1.0 K below — 14 pairs per benchmark plus a solo
+// baseline. At 15 simulations per benchmark the scan is only
+// affordable because every threshold variant of a benchmark shares one
+// warmup prefix: the thresholds are engine-only inputs, excluded from
+// config.WarmDigest, so the fork tree (or the flat warm cache) runs
+// the prefix once per benchmark instead of once per grid point.
+func ThresholdsDense(ctx context.Context, o Options) (*Table, error) {
+	o = o.normalized()
+	benches := o.subset()
+	type pair struct{ upper, lower float64 }
+	var pairs []pair
+	for i := 0; i <= 6; i++ {
+		u := 355.0 + 0.5*float64(i)
+		pairs = append(pairs, pair{u, u - 0.5}, pair{u, u - 1.0})
+	}
+	var jobs []job
+	for _, b := range benches {
+		spec, err := specThread(b, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		v2, err := variantThread(2, o.Config.Thermal.Scale)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, soloJob(o, b+"/solo", spec, dtm.StopAndGo, false))
+		for _, p := range pairs {
+			j := pairJob(o, fmt.Sprintf("%s/%.1f-%.1f", b, p.upper, p.lower), spec, v2, dtm.SelectiveSedation, false)
+			j.cfg.Sedation.UpperK = p.upper
+			j.cfg.Sedation.LowerK = p.lower
+			jobs = append(jobs, j)
+		}
+	}
+	results, sum, err := runSweep(ctx, jobs, o)
+	if err != nil {
+		return nil, err
+	}
+	table := &Table{
+		Title:   "Section 5.6 (dense): Threshold sensitivity scan (victim under Variant2 with selective sedation)",
+		Columns: []string{"benchmark", "upper K", "lower K", "solo IPC", "victim IPC", "emergencies", "sedations"},
+	}
+	for _, b := range benches {
+		solo := results[b+"/solo"]
+		for _, p := range pairs {
+			r := results[fmt.Sprintf("%s/%.1f-%.1f", b, p.upper, p.lower)]
+			table.Rows = append(table.Rows, []string{
+				b, f1(p.upper), f1(p.lower),
+				f2(solo.Threads[0].IPC),
+				f2(r.Threads[0].IPC),
+				fmt.Sprintf("%d", r.Emergencies),
+				fmt.Sprintf("%d", r.Sedation.Sedations),
+			})
+		}
+	}
+	table.Notes = append(table.Notes,
+		"dense grid over upper 355.0-358.0 K (step 0.5) x lower offsets {0.5, 1.0} K; paper claim: effectiveness is not critically sensitive to the thresholds chosen")
+	table.Summary = sum
+	return table, nil
+}
+
 // SpecPairs reproduces Section 5.7: with no malicious thread present,
 // selective sedation does not hurt pairs of normal programs. Every
 // adjacent pair of benchmarks runs under stop-and-go and under

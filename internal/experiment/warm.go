@@ -26,67 +26,91 @@ type SnapshotStore interface {
 // warmKey names the warm state a job can share: everything the
 // post-warmup machine state depends on, and nothing it doesn't. The
 // DTM policy and observation options are deliberately excluded —
-// warmup never ticks the policy, so one warm state serves all of them.
-// The snapshot format version and the caller's code version guard
+// warmup never ticks the policy, so one warm state serves all of them
+// — and the config is hashed through WarmDigest, which additionally
+// zeroes the engine-only sedation thresholds and the measurement
+// quantum, so threshold-sweep variants share one prefix too. The
+// snapshot format version and the caller's code version guard
 // persistent stores against stale entries.
 func warmKey(o Options, j job) string {
 	h := sha256.New()
 	io.WriteString(h, "heatstroke-warm\x00")
-	io.WriteString(h, j.cfg.Digest())
+	io.WriteString(h, j.cfg.WarmDigest())
 	h.Write([]byte{0})
 	io.WriteString(h, sim.ProgramsDigest(j.threads))
-	fmt.Fprintf(h, "\x00%d\x00%d\x00%s", j.opts.WarmupCycles, sim.StateVersion, o.CodeVersion)
+	fmt.Fprintf(h, "\x00%d\x00%d\x00%s\x00%t", j.opts.WarmupCycles, sim.StateVersion, o.CodeVersion, j.opts.DisableFastForward)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// warmJob fills in the sweep job's warmup-sharing hooks: Warm builds
-// (or fetches from the persistent store) the policy-agnostic warmup
-// snapshot, RunWarm restores it into a fully-optioned simulator and
-// runs the measurement quantum.
+// runCold runs a job from scratch: construct, warm up, measure.
+func runCold(j job) (*sim.Result, error) {
+	s, err := sim.New(j.cfg, j.threads, j.opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// buildWarm produces (or fetches from the persistent store) the
+// policy-agnostic warmup snapshot for key. The warming simulator runs
+// no policy: warmup never ticks it, and leaving it out keeps the
+// snapshot restorable under all of them.
+func buildWarm(o Options, j job, key string) (*sim.MachineState, error) {
+	if o.WarmupCache != nil {
+		if ms, ok := o.WarmupCache.Get(key); ok {
+			return ms, nil
+		}
+	}
+	s, err := sim.New(j.cfg, j.threads, sim.Options{
+		Policy:             dtm.None,
+		WarmupCycles:       j.opts.WarmupCycles,
+		DisableFastForward: j.opts.DisableFastForward,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ms, err := s.WarmupSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	if o.WarmupCache != nil {
+		o.WarmupCache.Put(key, ms)
+	}
+	return ms, nil
+}
+
+// runFromWarm restores the shared warm state into a fully-optioned
+// simulator and runs the measurement quantum. warm is read-only: many
+// jobs restore from the same pointer, possibly concurrently, and
+// sim.Restore copies rather than aliases.
+func runFromWarm(o Options, j job, warm any) (*sim.Result, error) {
+	ms, ok := warm.(*sim.MachineState)
+	if !ok {
+		return nil, fmt.Errorf("experiment: warm state is %T, want *sim.MachineState", warm)
+	}
+	s, err := sim.New(j.cfg, j.threads, j.opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := s.Restore(ms); err != nil {
+		return nil, err
+	}
+	if o.OnRestore != nil {
+		o.OnRestore(time.Since(start).Seconds())
+	}
+	return s.Run()
+}
+
+// warmJob fills in the sweep job's warmup-sharing hooks for the flat
+// path: Warm builds the shared snapshot, RunWarm measures from it.
 func warmJob(o Options, j job, sj *sweep.Job[*sim.Result]) {
 	key := warmKey(o, j)
 	sj.WarmKey = key
 	sj.Warm = func(ctx context.Context) (any, error) {
-		if o.WarmupCache != nil {
-			if ms, ok := o.WarmupCache.Get(key); ok {
-				return ms, nil
-			}
-		}
-		// The warming simulator runs no policy: warmup never ticks it,
-		// and leaving it out keeps the snapshot restorable under all of
-		// them.
-		s, err := sim.New(j.cfg, j.threads, sim.Options{
-			Policy:       dtm.None,
-			WarmupCycles: j.opts.WarmupCycles,
-		})
-		if err != nil {
-			return nil, err
-		}
-		ms, err := s.WarmupSnapshot()
-		if err != nil {
-			return nil, err
-		}
-		if o.WarmupCache != nil {
-			o.WarmupCache.Put(key, ms)
-		}
-		return ms, nil
+		return buildWarm(o, j, key)
 	}
 	sj.RunWarm = func(ctx context.Context, warm any) (*sim.Result, error) {
-		ms, ok := warm.(*sim.MachineState)
-		if !ok {
-			return nil, fmt.Errorf("experiment: warm state is %T, want *sim.MachineState", warm)
-		}
-		s, err := sim.New(j.cfg, j.threads, j.opts)
-		if err != nil {
-			return nil, err
-		}
-		start := time.Now()
-		if err := s.Restore(ms); err != nil {
-			return nil, err
-		}
-		if o.OnRestore != nil {
-			o.OnRestore(time.Since(start).Seconds())
-		}
-		return s.Run()
+		return runFromWarm(o, j, warm)
 	}
 }

@@ -1,6 +1,9 @@
 package power
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // ActivityState is the serializable state of the activity counters.
 type ActivityState struct {
@@ -15,6 +18,13 @@ type ActivityState struct {
 type ModelState struct {
 	Vdd  float64
 	Last [NumUnits]uint64
+}
+
+// Clone returns a deep copy of the activity state.
+func (st ActivityState) Clone() ActivityState {
+	out := st
+	out.PerThread = slices.Clone(st.PerThread)
+	return out
 }
 
 // Snapshot returns a deep copy of the counters.

@@ -586,7 +586,7 @@ func TestListingAndHealth(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(infos) != 14 {
+	if len(infos) != 15 {
 		t.Errorf("%d experiments", len(infos))
 	}
 	for _, in := range infos {

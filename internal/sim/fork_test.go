@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+)
+
+// forkRef runs a fresh simulator straight through total cycles — the
+// cold reference every forked run must reproduce exactly.
+func forkRef(t *testing.T, policy dtm.Kind, ff bool, total int64) *Result {
+	t.Helper()
+	s := forkSim(t, policy, ff)
+	r, err := s.RunCycles(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func forkSim(t *testing.T, policy dtm.Kind, ff bool) *Simulator {
+	t.Helper()
+	cfg := quickCfg()
+	threads := []Thread{specThread(t, "crafty"), variantThread(t, 2)}
+	o := stateOptions(policy)
+	o.DisableFastForward = !ff
+	s, err := New(cfg, threads, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// FuzzForkBoundary is the mid-run fork hook's acceptance fuzz: pause an
+// open quantum at a fuzz-chosen sensor boundary, snapshot, fork a child
+// from the in-memory state, and require the child's Result — and the
+// unforked original's — to be deep-equal to a cold straight-through
+// run. Fuzzed over the split point, the DTM policy, and the
+// fast-forward switch.
+func FuzzForkBoundary(f *testing.F) {
+	f.Add(uint8(3), uint8(1), true)
+	f.Add(uint8(0), uint8(4), false)
+	f.Add(uint8(7), uint8(2), true)
+	f.Add(uint8(5), uint8(0), false)
+	f.Fuzz(func(t *testing.T, splitSel, policySel uint8, ff bool) {
+		cfg := quickCfg()
+		sensor := int64(cfg.Thermal.SensorIntervalCycles)
+		// Fork after 1..8 sensor intervals of a 10-interval quantum.
+		split := (1 + int64(splitSel)%8) * sensor
+		total := 10 * sensor
+		policy := dtm.Kinds()[int(policySel)%len(dtm.Kinds())]
+
+		want := forkRef(t, policy, ff, total)
+
+		orig := forkSim(t, policy, ff)
+		if err := orig.BeginRun(total); err != nil {
+			t.Fatal(err)
+		}
+		if done, err := orig.StepRun(split); err != nil || done {
+			t.Fatalf("StepRun(%d) = done %v, err %v", split, done, err)
+		}
+		if done, q := orig.RunProgress(); done != split || q != total {
+			t.Fatalf("RunProgress = %d/%d, want %d/%d", done, q, split, total)
+		}
+		ms, err := orig.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms.Quantum == nil {
+			t.Fatal("mid-quantum snapshot has no Quantum state")
+		}
+
+		child := forkSim(t, policy, ff)
+		if err := child.Restore(ms); err != nil {
+			t.Fatal(err)
+		}
+		if done, q := child.RunProgress(); done != split || q != total {
+			t.Fatalf("child RunProgress = %d/%d, want %d/%d", done, q, split, total)
+		}
+		finish := func(s *Simulator) *Result {
+			if done, err := s.StepRun(total); err != nil || !done {
+				t.Fatalf("StepRun to end = done %v, err %v", done, err)
+			}
+			r, err := s.FinishRun()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		childRes := finish(child)
+		origRes := finish(orig)
+		if !reflect.DeepEqual(childRes, want) {
+			t.Errorf("policy %s ff=%v split %d: forked child diverges from cold run", policy, ff, split)
+		}
+		if !reflect.DeepEqual(origRes, want) {
+			t.Errorf("policy %s ff=%v split %d: unforked original diverges from cold run", policy, ff, split)
+		}
+	})
+}
+
+// TestForkChildMutationDoesNotAlias is the aliasing regression test:
+// running (mutating) one forked child must leave the parent snapshot
+// byte-identical and a sibling child's run unaffected.
+func TestForkChildMutationDoesNotAlias(t *testing.T) {
+	const policy = dtm.SelectiveSedation
+	cfg := quickCfg()
+	sensor := int64(cfg.Thermal.SensorIntervalCycles)
+	split, total := 4*sensor, 10*sensor
+
+	want := forkRef(t, policy, true, total)
+
+	parent := forkSim(t, policy, true)
+	if err := parent.BeginRun(total); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parent.StepRun(split); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := parent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ms.Clone()
+
+	// Child A restores and runs to completion — every mutation it makes
+	// must land in its own copies, never in ms.
+	childA := forkSim(t, policy, true)
+	if err := childA.Restore(ms); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := childA.StepRun(total); err != nil {
+		t.Fatal(err)
+	}
+	resA, err := childA.FinishRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ms, before) {
+		t.Fatal("running a forked child mutated the parent snapshot")
+	}
+
+	// A sibling forked from the same (supposedly untouched) state must
+	// reproduce the cold run too.
+	childB := forkSim(t, policy, true)
+	if err := childB.Restore(ms); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := childB.StepRun(total); err != nil {
+		t.Fatal(err)
+	}
+	resB, err := childB.FinishRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]*Result{"A": resA, "B": resB} {
+		if !reflect.DeepEqual(r, want) {
+			t.Errorf("child %s diverges from the cold run", name)
+		}
+	}
+
+	// The parent itself must also be unaffected by its children.
+	if _, err := parent.StepRun(total); err != nil {
+		t.Fatal(err)
+	}
+	resP, err := parent.FinishRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resP, want) {
+		t.Error("parent diverges from the cold run after children ran")
+	}
+}
+
+// TestMachineStateCloneIsDeep pokes representative slice-backed fields
+// of a clone and checks the original never moves — the in-memory
+// no-gob clone path must be as isolating as a gob round-trip.
+func TestMachineStateCloneIsDeep(t *testing.T) {
+	parent := forkSim(t, dtm.SelectiveSedation, true)
+	if err := parent.BeginRun(10 * int64(parent.cfg.Thermal.SensorIntervalCycles)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parent.StepRun(3 * int64(parent.cfg.Thermal.SensorIntervalCycles)); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := parent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ms.Clone()
+	if !reflect.DeepEqual(c, ms) {
+		t.Fatal("clone is not equal to its source")
+	}
+	before := ms.Clone()
+
+	// Mutate nested state across every subsystem of the clone.
+	c.Thermal.Temps[0] += 100
+	c.Monitor.EWMA[0][0] += 7
+	c.Core.Threads[0].PC += 4
+	c.Core.Stats[0].Committed += 9
+	c.Core.Act.PerThread[0][0] += 3
+	c.Core.Hier.L1D.Tags[0] ^= 0xff
+	if p := c.Core.Threads[0].Pred; p != nil && len(p.Bimodal) > 0 {
+		p.Bimodal[0] ^= 1
+	}
+	if c.Engine != nil {
+		c.Engine.AbsSedatedUntil[0] += 5
+	}
+	if c.Quantum == nil {
+		t.Fatal("mid-quantum snapshot has no Quantum state")
+	}
+	c.Quantum.StartStats[0].Committed += 11
+	c.Quantum.LastCommitted[0] += 2
+	if len(c.Quantum.RFTrace) > 0 {
+		c.Quantum.RFTrace[0] += 1.5
+	}
+
+	if !reflect.DeepEqual(ms, before) {
+		t.Fatal("mutating a clone's nested state reached the original")
+	}
+}
+
+// TestMidQuantumSnapshotGobRoundTrip: a mid-quantum snapshot survives
+// the disk encoding — a decoded copy resumes to the same Result.
+func TestMidQuantumSnapshotGobRoundTrip(t *testing.T) {
+	const policy = dtm.DVS
+	cfg := quickCfg()
+	sensor := int64(cfg.Thermal.SensorIntervalCycles)
+	split, total := 5*sensor, 10*sensor
+
+	want := forkRef(t, policy, true, total)
+
+	parent := forkSim(t, policy, true)
+	if err := parent.BeginRun(total); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parent.StepRun(split); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := parent.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteState(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	child := forkSim(t, policy, true)
+	if err := child.Restore(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := child.StepRun(total); err != nil {
+		t.Fatal(err)
+	}
+	got, err := child.FinishRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("gob-round-tripped mid-quantum snapshot diverges from the cold run")
+	}
+}
+
+// TestBeginStepFinishMisuse locks in the quantum API's error paths.
+func TestBeginStepFinishMisuse(t *testing.T) {
+	s := forkSim(t, dtm.None, true)
+	if _, err := s.StepRun(1000); err == nil {
+		t.Error("StepRun before BeginRun should fail")
+	}
+	if _, err := s.FinishRun(); err == nil {
+		t.Error("FinishRun before BeginRun should fail")
+	}
+	if err := s.BeginRun(0); err == nil {
+		t.Error("BeginRun(0) should fail")
+	}
+	if err := s.BeginRun(int64(s.cfg.Thermal.SensorIntervalCycles)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginRun(1000); err == nil {
+		t.Error("nested BeginRun should fail")
+	}
+	if done, q := s.RunProgress(); done != 0 || q != int64(s.cfg.Thermal.SensorIntervalCycles) {
+		t.Errorf("RunProgress = %d/%d", done, q)
+	}
+	if done, err := s.StepRun(1 << 40); err != nil || !done {
+		t.Fatalf("StepRun clamp = done %v, err %v", done, err)
+	}
+	if _, err := s.FinishRun(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FinishRun(); err == nil {
+		t.Error("double FinishRun should fail")
+	}
+}

@@ -48,6 +48,12 @@ type Options struct {
 	// are emitted only at sensor boundaries, so collection does not
 	// perturb the hot path (and results stay byte-identical).
 	CollectEvents bool
+	// DisableFastForward runs every cycle through the full pipeline
+	// step instead of fast-forwarding provably idle stall spans. The
+	// two modes are byte-identical by construction (enforced by the
+	// fast-forward equivalence tests); the switch exists so differential
+	// suites can prove properties on both execution paths.
+	DisableFastForward bool
 }
 
 // ThreadResult is one thread's measurements over the quantum.
@@ -111,6 +117,31 @@ type Simulator struct {
 	// started flips at the first RunCycles; WarmupSnapshot refuses to
 	// run after it (the state would no longer be policy-agnostic).
 	started bool
+	// qr is the measurement quantum in progress between BeginRun and
+	// FinishRun (nil otherwise). Snapshot captures it, so a simulation
+	// can fork mid-quantum at any sensor boundary.
+	qr *quantumRun
+}
+
+// quantumRun is the live state of one measurement quantum: the loop
+// counters and partial accumulators RunCycles used to keep in locals,
+// lifted into a struct so a quantum can pause at a chunk boundary,
+// be snapshotted, and resume — in this simulator or a forked one.
+type quantumRun struct {
+	quantum int64
+	done    int64
+	chunks  int64
+
+	res            *Result
+	aboveEmergency bool
+	energyAccum    float64
+	eventsStart    int
+
+	startCycle    int64
+	startStalled  uint64
+	startStats    []cpu.ThreadStats
+	startRF       []uint64
+	lastCommitted []uint64
 }
 
 // New builds a simulator for the given machine, threads, and options.
@@ -139,6 +170,9 @@ func New(cfg config.Config, threads []Thread, opts Options) (*Simulator, error) 
 	c, err := cpu.New(&cfg, progs)
 	if err != nil {
 		return nil, err
+	}
+	if opts.DisableFastForward {
+		c.SetFastForward(false)
 	}
 
 	fp := floorplan.Default()
@@ -267,80 +301,138 @@ func (s *Simulator) warmup() {
 
 // RunCycles simulates the given number of cycles.
 func (s *Simulator) RunCycles(quantum int64) (*Result, error) {
+	if err := s.BeginRun(quantum); err != nil {
+		return nil, err
+	}
+	if _, err := s.StepRun(quantum); err != nil {
+		return nil, err
+	}
+	return s.FinishRun()
+}
+
+// BeginRun opens a measurement quantum: it runs the warmup (if
+// pending) and anchors every per-quantum baseline. Advance the quantum
+// with StepRun and close it with FinishRun; RunCycles is exactly that
+// composition. Only one quantum may be in progress at a time.
+func (s *Simulator) BeginRun(quantum int64) error {
 	if quantum <= 0 {
-		return nil, fmt.Errorf("sim: quantum %d must be positive", quantum)
+		return fmt.Errorf("sim: quantum %d must be positive", quantum)
+	}
+	if s.qr != nil {
+		return fmt.Errorf("sim: a quantum is already in progress (%d of %d cycles done)", s.qr.done, s.qr.quantum)
 	}
 	s.started = true
 	s.warmup()
+
+	qr := &quantumRun{
+		quantum:       quantum,
+		res:           &Result{PeakTemp: -1},
+		eventsStart:   s.events.Len(),
+		startCycle:    s.core.Cycle(),
+		startStalled:  s.core.StalledCycles(),
+		startStats:    make([]cpu.ThreadStats, len(s.threads)),
+		startRF:       make([]uint64, len(s.threads)),
+		lastCommitted: make([]uint64, len(s.threads)),
+	}
+	for tid := range s.threads {
+		qr.startStats[tid] = s.core.Stats(tid)
+		qr.startRF[tid] = s.core.Activity().Thread(tid, power.UnitIntReg)
+	}
+	if s.opts.Recorder != nil {
+		for tid := range s.threads {
+			qr.lastCommitted[tid] = s.core.Stats(tid).Committed
+		}
+	}
+	s.qr = qr
+	return nil
+}
+
+// StepRun advances the open quantum until at least upTo of its cycles
+// are done (clamped to the quantum length), stopping at a sample-chunk
+// boundary, and reports whether the quantum is complete. Every sensor
+// boundary inside the advanced span runs exactly as it would have in a
+// single RunCycles call, so pausing — and forking via Snapshot — at
+// any chunk boundary is invisible to the results.
+func (s *Simulator) StepRun(upTo int64) (bool, error) {
+	qr := s.qr
+	if qr == nil {
+		return false, fmt.Errorf("sim: StepRun without BeginRun")
+	}
+	if upTo > qr.quantum {
+		upTo = qr.quantum
+	}
 	sample := int64(s.cfg.Sedation.SampleIntervalCycles)
 	sensorEvery := int64(s.cfg.Thermal.SensorIntervalCycles) / sample
 	secondsPerSensor := float64(s.cfg.Thermal.SensorIntervalCycles) / s.cfg.Power.FrequencyHz
-
-	res := &Result{PeakTemp: -1}
-	eventsStart := s.events.Len()
+	res := qr.res
 	var powers [power.NumUnits]float64
-	var aboveEmergency bool
-	var energyAccum float64
-	var chunks int64
-	lastCommitted := make([]uint64, len(s.threads))
-	if s.opts.Recorder != nil {
-		for tid := range s.threads {
-			lastCommitted[tid] = s.core.Stats(tid).Committed
-		}
-	}
-
-	startCycle := s.core.Cycle()
-	startStalled := s.core.StalledCycles()
-	startStats := make([]cpu.ThreadStats, len(s.threads))
-	startRF := make([]uint64, len(s.threads))
-	for tid := range s.threads {
-		startStats[tid] = s.core.Stats(tid)
-		startRF[tid] = s.core.Activity().Thread(tid, power.UnitIntReg)
-	}
-	for done := int64(0); done < quantum; {
+	for qr.done < upTo {
 		// stalled feeds the trace recorder only; the gated-cycle count
 		// comes from the core's own accounting below, which stays exact
 		// even if a policy ever toggles the stall mid-chunk.
 		stalled := s.core.GlobalStalled()
 		s.core.Run(sample)
-		done += sample
-		chunks++
+		qr.done += sample
+		qr.chunks++
 		s.mon.Sample()
 
-		if chunks%sensorEvery == 0 {
+		if qr.chunks%sensorEvery == 0 {
 			if err := s.model.Interval(s.core.Activity(), int64(s.cfg.Thermal.SensorIntervalCycles), &powers); err != nil {
-				return nil, err
+				return false, err
 			}
-			energyAccum += thermal.TotalPower(powers) * secondsPerSensor
+			qr.energyAccum += thermal.TotalPower(powers) * secondsPerSensor
 			s.net.Step(powers, secondsPerSensor)
 			maxU, maxT := s.net.MaxUnit()
 			if maxT > res.PeakTemp {
 				res.PeakTemp, res.PeakUnit = maxT, maxU
 			}
 			if maxT >= s.cfg.Thermal.EmergencyK {
-				if !aboveEmergency {
+				if !qr.aboveEmergency {
 					res.Emergencies++
-					aboveEmergency = true
+					qr.aboveEmergency = true
 					s.events.Emit(telemetry.Event{Cycle: s.core.Cycle(), Kind: telemetry.KindEmergency,
 						Unit: maxU.String(), Thread: -1, TempK: maxT})
 				}
 			} else {
-				aboveEmergency = false
+				qr.aboveEmergency = false
 			}
 			s.policy.Tick(s.core.Cycle(), maxT, s.net.UnitTemp)
 			if s.opts.TraceTemps {
 				res.RFTrace = append(res.RFTrace, s.net.UnitTemp(power.UnitIntReg))
 			}
 			if s.opts.Recorder != nil {
-				s.record(&powers, stalled, lastCommitted)
+				s.record(&powers, stalled, qr.lastCommitted)
 			}
 		}
 	}
+	return qr.done >= qr.quantum, nil
+}
 
-	elapsed := s.core.Cycle() - startCycle
+// RunProgress reports the open quantum's position (cycles done, total);
+// both are zero when no quantum is in progress.
+func (s *Simulator) RunProgress() (done, quantum int64) {
+	if s.qr == nil {
+		return 0, 0
+	}
+	return s.qr.done, s.qr.quantum
+}
+
+// FinishRun closes the open quantum and returns its measurements. It
+// finalizes at the quantum's current position, so a caller that
+// stepped only part of the quantum gets a correspondingly shorter
+// Result (RunCycles always steps to completion first).
+func (s *Simulator) FinishRun() (*Result, error) {
+	qr := s.qr
+	if qr == nil {
+		return nil, fmt.Errorf("sim: FinishRun without BeginRun")
+	}
+	s.qr = nil
+	res := qr.res
+
+	elapsed := s.core.Cycle() - qr.startCycle
 	res.Cycles = elapsed
-	res.StopGoCycles = int64(s.core.StalledCycles() - startStalled)
-	res.TotalPowerW = energyAccum / (float64(elapsed) / s.cfg.Power.FrequencyHz)
+	res.StopGoCycles = int64(s.core.StalledCycles() - qr.startStalled)
+	res.TotalPowerW = qr.energyAccum / (float64(elapsed) / s.cfg.Power.FrequencyHz)
 	for u := power.Unit(0); u < power.NumUnits; u++ {
 		res.FinalTemps[u] = s.net.UnitTemp(u)
 	}
@@ -349,11 +441,11 @@ func (s *Simulator) RunCycles(quantum int64) (*Result, error) {
 	}
 	res.Reports = append(res.Reports, s.reports...)
 	if s.events != nil {
-		res.Events = append(res.Events, s.events.Events[eventsStart:]...)
+		res.Events = append(res.Events, s.events.Events[qr.eventsStart:]...)
 	}
 
 	for tid, t := range s.threads {
-		st := s.core.Stats(tid).Sub(startStats[tid])
+		st := s.core.Stats(tid).Sub(qr.startStats[tid])
 		sed := int64(st.SedatedCycles)
 		cooling := res.StopGoCycles
 		normal := elapsed - cooling - sed
@@ -365,7 +457,7 @@ func (s *Simulator) RunCycles(quantum int64) (*Result, error) {
 			Committed:  st.Committed,
 			Fetched:    st.Fetched,
 			IPC:        st.IPC(elapsed),
-			IntRegRate: float64(s.core.Activity().Thread(tid, power.UnitIntReg)-startRF[tid]) / float64(elapsed),
+			IntRegRate: float64(s.core.Activity().Thread(tid, power.UnitIntReg)-qr.startRF[tid]) / float64(elapsed),
 			Breakdown: stats.Breakdown{
 				NormalCycles:   normal,
 				CoolingCycles:  cooling,

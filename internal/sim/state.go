@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"slices"
 
 	score "github.com/heatstroke-sim/heatstroke/internal/core"
 	"github.com/heatstroke-sim/heatstroke/internal/cpu"
@@ -23,7 +24,10 @@ import (
 // composed state struct gains, loses, or reinterprets a field; old
 // snapshots are rejected, never migrated (re-running warmup is always
 // cheaper than a migration bug).
-const StateVersion = 1
+//
+// v2: MachineState gained WarmConfigDigest (the relaxed warm-sharing
+// identity) and Quantum (mid-quantum fork state).
+const StateVersion = 2
 
 // stateMagic prefixes on-disk snapshots so a wrong file fails fast with
 // a clear error instead of a gob panic deep in decode.
@@ -42,9 +46,16 @@ const stateMagic = "HEATSTROKE-SNAP\n"
 type MachineState struct {
 	Version      int
 	ConfigDigest string
-	ProgsDigest  string
-	Policy       dtm.Kind
-	Warmed       bool
+	// WarmConfigDigest is the producing config's WarmDigest: the
+	// configuration with every field warmup never reads normalized away
+	// (see config.Config.WarmDigest). Warmup snapshots are restorable
+	// into any simulator matching it — the relaxation that lets a
+	// threshold grid fork from one shared warm prefix. Policy snapshots
+	// still require the full ConfigDigest to match.
+	WarmConfigDigest string
+	ProgsDigest      string
+	Policy           dtm.Kind
+	Warmed           bool
 
 	Core    cpu.CoreState
 	Model   power.ModelState
@@ -57,6 +68,74 @@ type MachineState struct {
 
 	Reports []score.Report
 	Events  []telemetry.Event
+
+	// Quantum is non-nil when the snapshot was taken mid-quantum
+	// (between BeginRun and FinishRun): the loop position and partial
+	// accumulators needed to resume the measurement exactly where it
+	// paused. Restoring it re-opens the quantum in the target simulator.
+	Quantum *QuantumState
+}
+
+// QuantumState is the serializable state of a measurement quantum in
+// progress: everything quantumRun holds, so a mid-quantum fork's child
+// finishes with a Result deep-equal to the unforked original's.
+type QuantumState struct {
+	Quantum int64
+	Done    int64
+	Chunks  int64
+
+	AboveEmergency bool
+	EnergyAccum    float64
+	EventsStart    int
+
+	StartCycle    int64
+	StartStalled  uint64
+	StartStats    []cpu.ThreadStats
+	StartRF       []uint64
+	LastCommitted []uint64
+
+	// Partial Result accumulators.
+	PeakTemp    float64
+	PeakUnit    power.Unit
+	Emergencies int
+	RFTrace     []float64
+}
+
+// Clone returns a deep copy of the quantum state.
+func (q QuantumState) Clone() QuantumState {
+	out := q
+	out.StartStats = slices.Clone(q.StartStats)
+	out.StartRF = slices.Clone(q.StartRF)
+	out.LastCommitted = slices.Clone(q.LastCommitted)
+	out.RFTrace = slices.Clone(q.RFTrace)
+	return out
+}
+
+// Clone returns a deep copy of the machine state without a gob
+// round-trip: the fork-tree hot path for handing one snapshot to many
+// children. The clone shares no memory with ms — mutating either side
+// never leaks into the other (enforced by the aliasing regression
+// tests).
+func (ms *MachineState) Clone() *MachineState {
+	out := *ms
+	out.Core = ms.Core.Clone()
+	out.Thermal = ms.Thermal.Clone()
+	out.Monitor = ms.Monitor.Clone()
+	if ms.Engine != nil {
+		es := ms.Engine.Clone()
+		out.Engine = &es
+	}
+	if ms.DTM != nil {
+		ds := ms.DTM.Clone()
+		out.DTM = &ds
+	}
+	out.Reports = slices.Clone(ms.Reports)
+	out.Events = slices.Clone(ms.Events)
+	if ms.Quantum != nil {
+		qs := ms.Quantum.Clone()
+		out.Quantum = &qs
+	}
+	return &out
 }
 
 // ProgramsDigest hashes the threads' identity — names, entry points,
@@ -101,15 +180,16 @@ func ProgramsDigest(threads []Thread) string {
 // continue (or restore) independently.
 func (s *Simulator) Snapshot() (*MachineState, error) {
 	ms := &MachineState{
-		Version:      StateVersion,
-		ConfigDigest: s.cfg.Digest(),
-		ProgsDigest:  ProgramsDigest(s.threads),
-		Policy:       s.opts.Policy,
-		Warmed:       s.warmed,
-		Core:         s.core.Snapshot(),
-		Model:        s.model.Snapshot(),
-		Thermal:      s.net.Snapshot(),
-		Monitor:      s.mon.Snapshot(),
+		Version:          StateVersion,
+		ConfigDigest:     s.cfg.Digest(),
+		WarmConfigDigest: s.cfg.WarmDigest(),
+		ProgsDigest:      ProgramsDigest(s.threads),
+		Policy:           s.opts.Policy,
+		Warmed:           s.warmed,
+		Core:             s.core.Snapshot(),
+		Model:            s.model.Snapshot(),
+		Thermal:          s.net.Snapshot(),
+		Monitor:          s.mon.Snapshot(),
 	}
 	ds, err := dtm.Snapshot(s.policy)
 	if err != nil {
@@ -125,6 +205,26 @@ func (s *Simulator) Snapshot() (*MachineState, error) {
 	}
 	if s.events != nil && len(s.events.Events) > 0 {
 		ms.Events = append([]telemetry.Event(nil), s.events.Events...)
+	}
+	if qr := s.qr; qr != nil {
+		qs := QuantumState{
+			Quantum:        qr.quantum,
+			Done:           qr.done,
+			Chunks:         qr.chunks,
+			AboveEmergency: qr.aboveEmergency,
+			EnergyAccum:    qr.energyAccum,
+			EventsStart:    qr.eventsStart,
+			StartCycle:     qr.startCycle,
+			StartStalled:   qr.startStalled,
+			StartStats:     slices.Clone(qr.startStats),
+			StartRF:        slices.Clone(qr.startRF),
+			LastCommitted:  slices.Clone(qr.lastCommitted),
+			PeakTemp:       qr.res.PeakTemp,
+			PeakUnit:       qr.res.PeakUnit,
+			Emergencies:    qr.res.Emergencies,
+			RFTrace:        slices.Clone(qr.res.RFTrace),
+		}
+		ms.Quantum = &qs
 	}
 	return ms, nil
 }
@@ -158,7 +258,15 @@ func (s *Simulator) Restore(ms *MachineState) error {
 	if ms.Version != StateVersion {
 		return fmt.Errorf("sim: snapshot format v%d, this build reads v%d", ms.Version, StateVersion)
 	}
-	if d := s.cfg.Digest(); ms.ConfigDigest != d {
+	if ms.Policy == "" {
+		// Warmup snapshots are identical under every value of the
+		// warmup-invariant fields (thresholds, ablation switches, the
+		// quantum length), so they restore across configs agreeing on
+		// the relaxed warm digest: the fork-tree sweep's shared prefix.
+		if d := s.cfg.WarmDigest(); ms.WarmConfigDigest != d {
+			return fmt.Errorf("sim: warmup snapshot built from warm-config %.12s.., simulator runs %.12s..", ms.WarmConfigDigest, d)
+		}
+	} else if d := s.cfg.Digest(); ms.ConfigDigest != d {
 		return fmt.Errorf("sim: snapshot built from config %.12s.., simulator runs %.12s..", ms.ConfigDigest, d)
 	}
 	if d := ProgramsDigest(s.threads); ms.ProgsDigest != d {
@@ -200,6 +308,38 @@ func (s *Simulator) Restore(ms *MachineState) error {
 		s.events.Events = append(s.events.Events[:0], ms.Events...)
 	}
 	s.warmed = ms.Warmed
+	if q := ms.Quantum; q != nil {
+		n := len(s.threads)
+		if len(q.StartStats) != n || len(q.StartRF) != n || len(q.LastCommitted) != n {
+			return fmt.Errorf("sim: quantum state has %d/%d/%d contexts, want %d",
+				len(q.StartStats), len(q.StartRF), len(q.LastCommitted), n)
+		}
+		if q.Quantum <= 0 || q.Done < 0 || q.Chunks < 0 {
+			return fmt.Errorf("sim: quantum state position %d/%d (chunks %d) invalid", q.Done, q.Quantum, q.Chunks)
+		}
+		s.qr = &quantumRun{
+			quantum: q.Quantum,
+			done:    q.Done,
+			chunks:  q.Chunks,
+			res: &Result{
+				PeakTemp:    q.PeakTemp,
+				PeakUnit:    q.PeakUnit,
+				Emergencies: q.Emergencies,
+				RFTrace:     slices.Clone(q.RFTrace),
+			},
+			aboveEmergency: q.AboveEmergency,
+			energyAccum:    q.EnergyAccum,
+			eventsStart:    q.EventsStart,
+			startCycle:     q.StartCycle,
+			startStalled:   q.StartStalled,
+			startStats:     slices.Clone(q.StartStats),
+			startRF:        slices.Clone(q.StartRF),
+			lastCommitted:  slices.Clone(q.LastCommitted),
+		}
+		s.started = true
+	} else {
+		s.qr = nil
+	}
 	return nil
 }
 

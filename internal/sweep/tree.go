@@ -1,0 +1,219 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// ForkNode is one node of a fork tree: a sweep whose jobs share
+// simulation prefixes. An internal node's Prefix produces a shared
+// state from its parent's (run once, on demand, by the first leaf that
+// needs it); a leaf's Leaf runs one measurement from its parent's
+// state. Exactly one of Prefix and Leaf must be set, and only Prefix
+// nodes may have children.
+//
+// Ownership rules (copy-on-fork safety): a node's state is produced
+// once and then handed, concurrently, to every descendant — Prefix and
+// Leaf must treat the parent value as read-only and copy whatever they
+// mutate. The engine releases a node's state as soon as its last
+// descendant leaf finishes, so a tree's memory high-water mark is
+// bounded by the active frontier, not the whole tree.
+type ForkNode[T any] struct {
+	Key string
+	// Prefix produces this node's shared state from the parent's
+	// (parent is nil for a root). Runs at most once per sweep; a
+	// failure is sticky and fails every descendant leaf.
+	Prefix func(ctx context.Context, parent any) (any, error)
+	// Leaf runs this node's measurement from the parent's shared state
+	// (nil for a root leaf — a job with no shared prefix).
+	Leaf func(ctx context.Context, parent any) (T, error)
+	// Children are the subtrees forked from this node's state.
+	Children []*ForkNode[T]
+}
+
+// PrefixNode builds an internal fork node.
+func PrefixNode[T any](key string, prefix func(ctx context.Context, parent any) (any, error), children ...*ForkNode[T]) *ForkNode[T] {
+	return &ForkNode[T]{Key: key, Prefix: prefix, Children: children}
+}
+
+// LeafNode builds a leaf fork node.
+func LeafNode[T any](key string, leaf func(ctx context.Context, parent any) (T, error)) *ForkNode[T] {
+	return &ForkNode[T]{Key: key, Leaf: leaf}
+}
+
+// nodeEntry is the engine's bookkeeping for one internal node: a
+// singleflight slot for its state plus a refcount of unfinished
+// descendant leaves.
+type nodeEntry[T any] struct {
+	parent  *ForkNode[T]
+	done    chan struct{}
+	claimed bool
+	val     any
+	err     error
+	// pending counts descendant leaves that have not finished; when it
+	// reaches zero the state is dropped so long sweeps don't pin every
+	// prefix in memory.
+	pending int
+}
+
+// treeState coordinates prefix production across the tree's leaves.
+type treeState[T any] struct {
+	mu     sync.Mutex
+	info   map[*ForkNode[T]]*nodeEntry[T]
+	runs   int
+	reused int
+}
+
+// resolve returns n's shared state, running its Prefix (and,
+// recursively, its ancestors') exactly once across the sweep. shared
+// reports whether this caller found the state claimed by another leaf.
+// Waiting is context-aware; prefix errors are sticky.
+func (ts *treeState[T]) resolve(ctx context.Context, n *ForkNode[T]) (val any, shared bool, err error) {
+	if n == nil {
+		return nil, false, nil
+	}
+	ts.mu.Lock()
+	e := ts.info[n]
+	if e.claimed {
+		ts.mu.Unlock()
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, true, context.Cause(ctx)
+		}
+		return e.val, true, e.err
+	}
+	e.claimed = true
+	ts.mu.Unlock()
+
+	parentVal, _, perr := ts.resolve(ctx, e.parent)
+	if perr != nil {
+		e.err = perr
+	} else {
+		e.val, e.err = n.Prefix(ctx, parentVal)
+		ts.mu.Lock()
+		ts.runs++
+		ts.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, false, e.err
+}
+
+// release marks one descendant leaf of parent (and all its ancestors)
+// finished, dropping any node state whose whole subtree is done.
+func (ts *treeState[T]) release(parent *ForkNode[T]) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for n := parent; n != nil; {
+		e := ts.info[n]
+		e.pending--
+		if e.pending == 0 {
+			e.val = nil
+		}
+		n = e.parent
+	}
+}
+
+// leafRun adapts a leaf node into a flat sweep job: resolve the shared
+// prefix chain, then run the leaf's measurement from it.
+func (ts *treeState[T]) leafRun(n, parent *ForkNode[T]) func(context.Context) (T, error) {
+	first := true // attempts run serially in one worker; no lock needed
+	return func(ctx context.Context) (T, error) {
+		pv, shared, err := ts.resolve(ctx, parent)
+		if first {
+			first = false
+			if parent != nil && shared {
+				ts.mu.Lock()
+				ts.reused++
+				ts.mu.Unlock()
+			}
+		}
+		if err != nil {
+			var zero T
+			return zero, fmt.Errorf("fork prefix %q: %w", parent.Key, err)
+		}
+		return n.Leaf(ctx, pv)
+	}
+}
+
+func (ts *treeState[T]) counts() (runs, reused int) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.runs, ts.reused
+}
+
+// RunTree executes a fork-tree sweep: the tree's leaves become jobs of
+// an ordinary Run (bounded workers, cancellation, retries, metrics,
+// progress — all Options apply unchanged), in depth-first order, and
+// shared prefixes are produced on demand, exactly once each, by the
+// first leaf to need them. Results are deterministic for deterministic
+// nodes regardless of Parallelism: job outcomes are stored at their
+// DFS index, and which leaf happened to produce a prefix is invisible
+// in the results (only the Summary's ForkPrefixes/ForkReused counters
+// and timing reflect scheduling).
+//
+// A malformed tree (a node with both or neither of Prefix/Leaf set, a
+// leaf with children, an internal node without children, or a node
+// reachable twice) fails up front with a nil Result, before anything
+// runs.
+func RunTree[T any](ctx context.Context, roots []*ForkNode[T], o Options[T]) (*Result[T], error) {
+	ts := &treeState[T]{info: make(map[*ForkNode[T]]*nodeEntry[T])}
+	var jobs []Job[T]
+	var parents []*ForkNode[T]
+
+	var walk func(n, parent *ForkNode[T]) error
+	walk = func(n, parent *ForkNode[T]) error {
+		if n == nil {
+			return fmt.Errorf("sweep: nil fork node")
+		}
+		if _, dup := ts.info[n]; dup {
+			return fmt.Errorf("sweep: fork node %q reachable twice", n.Key)
+		}
+		ts.info[n] = &nodeEntry[T]{parent: parent, done: make(chan struct{})}
+		switch {
+		case n.Prefix != nil && n.Leaf != nil:
+			return fmt.Errorf("sweep: fork node %q sets both Prefix and Leaf", n.Key)
+		case n.Leaf != nil:
+			if len(n.Children) > 0 {
+				return fmt.Errorf("sweep: leaf node %q has children", n.Key)
+			}
+			jobs = append(jobs, Job[T]{Key: n.Key, Run: ts.leafRun(n, parent)})
+			parents = append(parents, parent)
+			for a := parent; a != nil; a = ts.info[a].parent {
+				ts.info[a].pending++
+			}
+		case n.Prefix != nil:
+			if len(n.Children) == 0 {
+				return fmt.Errorf("sweep: prefix node %q has no children", n.Key)
+			}
+			for _, c := range n.Children {
+				if err := walk(c, n); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("sweep: fork node %q sets neither Prefix nor Leaf", n.Key)
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := walk(r, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	topts := o
+	inner := o.OnDone
+	topts.OnDone = func(r JobResult[T]) {
+		if p := parents[r.Index]; p != nil {
+			ts.release(p)
+		}
+		if inner != nil {
+			inner(r)
+		}
+	}
+	res, err := Run(ctx, jobs, topts)
+	res.Summary.ForkPrefixes, res.Summary.ForkReused = ts.counts()
+	return res, err
+}

@@ -1,0 +1,358 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// counterPrefix returns a Prefix that counts its executions and
+// produces base+parent (treating a nil parent as 0).
+func counterPrefix(calls *atomic.Int64, base int) func(context.Context, any) (any, error) {
+	return func(_ context.Context, parent any) (any, error) {
+		calls.Add(1)
+		v := base
+		if parent != nil {
+			v += parent.(int)
+		}
+		return v, nil
+	}
+}
+
+// addLeaf returns a Leaf producing add+parent (nil parent as 0).
+func addLeaf(add int) func(context.Context, any) (int, error) {
+	return func(_ context.Context, parent any) (int, error) {
+		v := add
+		if parent != nil {
+			v += parent.(int)
+		}
+		return v, nil
+	}
+}
+
+func TestRunTreeSharesPrefixes(t *testing.T) {
+	var a, b atomic.Int64
+	roots := []*ForkNode[int]{
+		PrefixNode("warm-a", counterPrefix(&a, 100),
+			LeafNode("a0", addLeaf(0)),
+			LeafNode("a1", addLeaf(1)),
+			LeafNode("a2", addLeaf(2)),
+		),
+		PrefixNode("warm-b", counterPrefix(&b, 200),
+			LeafNode("b0", addLeaf(0)),
+			LeafNode("b1", addLeaf(1)),
+		),
+		LeafNode[int]("solo", addLeaf(999)),
+	}
+	res, err := RunTree(context.Background(), roots, Options[int]{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"a0": 100, "a1": 101, "a2": 102, "b0": 200, "b1": 201, "solo": 999}
+	got := res.ByKey()
+	if len(got) != len(want) {
+		t.Fatalf("results = %v", got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %d, want %d", k, got[k], v)
+		}
+	}
+	if a.Load() != 1 || b.Load() != 1 {
+		t.Errorf("prefix executions a=%d b=%d, want 1 each", a.Load(), b.Load())
+	}
+	s := res.Summary
+	if s.ForkPrefixes != 2 {
+		t.Errorf("ForkPrefixes = %d, want 2", s.ForkPrefixes)
+	}
+	// 6 leaves, 2 of which produced a prefix, 1 of which has none.
+	if s.ForkReused != 3 {
+		t.Errorf("ForkReused = %d, want 3", s.ForkReused)
+	}
+	if !strings.Contains(s.String(), "2 fork prefixes (3 forks reused)") {
+		t.Errorf("summary string %q missing fork counters", s.String())
+	}
+}
+
+func TestRunTreeLeafOrderIsDFS(t *testing.T) {
+	var c atomic.Int64
+	roots := []*ForkNode[int]{
+		PrefixNode("p", counterPrefix(&c, 0),
+			LeafNode("x", addLeaf(1)),
+			PrefixNode("q", counterPrefix(&c, 10),
+				LeafNode("y", addLeaf(2)),
+			),
+			LeafNode("z", addLeaf(3)),
+		),
+		LeafNode[int]("w", addLeaf(4)),
+	}
+	res, err := RunTree(context.Background(), roots, Options[int]{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, j := range res.Jobs {
+		keys = append(keys, j.Key)
+	}
+	want := []string{"x", "y", "z", "w"}
+	if fmt.Sprint(keys) != fmt.Sprint(want) {
+		t.Errorf("leaf order = %v, want %v", keys, want)
+	}
+	if res.Jobs[1].Value != 12 { // y = root 0 + mid 10 + leaf 2
+		t.Errorf("nested leaf = %d, want 12", res.Jobs[1].Value)
+	}
+}
+
+func TestRunTreeMultiLevelRunsAncestorsOnce(t *testing.T) {
+	var root, mid1, mid2 atomic.Int64
+	roots := []*ForkNode[int]{
+		PrefixNode("root", counterPrefix(&root, 1000),
+			PrefixNode("mid1", counterPrefix(&mid1, 100),
+				LeafNode("l0", addLeaf(0)),
+				LeafNode("l1", addLeaf(1)),
+			),
+			PrefixNode("mid2", counterPrefix(&mid2, 200),
+				LeafNode("l2", addLeaf(2)),
+				LeafNode("l3", addLeaf(3)),
+			),
+		),
+	}
+	for _, par := range []int{1, 4} {
+		root.Store(0)
+		mid1.Store(0)
+		mid2.Store(0)
+		res, err := RunTree(context.Background(), roots, Options[int]{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.ByKey()
+		want := map[string]int{"l0": 1100, "l1": 1101, "l2": 1202, "l3": 1203}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("par %d: %s = %d, want %d", par, k, got[k], v)
+			}
+		}
+		if root.Load() != 1 || mid1.Load() != 1 || mid2.Load() != 1 {
+			t.Errorf("par %d: prefix runs root=%d mid1=%d mid2=%d, want 1 each",
+				par, root.Load(), mid1.Load(), mid2.Load())
+		}
+		if res.Summary.ForkPrefixes != 3 || res.Summary.ForkReused != 2 {
+			t.Errorf("par %d: fork counters = %d/%d, want 3/2",
+				par, res.Summary.ForkPrefixes, res.Summary.ForkReused)
+		}
+		// RunTree must not mutate the tree: a second run with the same
+		// nodes re-validates and re-executes from scratch.
+	}
+}
+
+func TestRunTreePrefixErrorIsSticky(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	roots := []*ForkNode[int]{
+		PrefixNode[int]("bad", func(context.Context, any) (any, error) {
+			calls.Add(1)
+			return nil, boom
+		},
+			LeafNode("b0", addLeaf(0)),
+			LeafNode("b1", addLeaf(1)),
+			LeafNode("b2", addLeaf(2)),
+		),
+		PrefixNode("good", counterPrefix(new(atomic.Int64), 7),
+			LeafNode("g0", addLeaf(0)),
+		),
+	}
+	res, err := RunTree(context.Background(), roots, Options[int]{Parallelism: 2, Policy: Collect, Retries: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("failing prefix ran %d times, want 1 (sticky across leaves and retries)", calls.Load())
+	}
+	for _, j := range res.Jobs[:3] {
+		if !errors.Is(j.Err, boom) {
+			t.Errorf("leaf %s err = %v, want boom", j.Key, j.Err)
+		}
+		if !strings.Contains(j.Err.Error(), `fork prefix "bad"`) {
+			t.Errorf("leaf %s err %q not attributed to prefix", j.Key, j.Err)
+		}
+	}
+	if g := res.Jobs[3]; g.Err != nil || g.Value != 7 {
+		t.Errorf("good subtree = %+v, want value 7", g)
+	}
+}
+
+func TestRunTreeNestedPrefixErrorPropagates(t *testing.T) {
+	boom := errors.New("root boom")
+	roots := []*ForkNode[int]{
+		PrefixNode[int]("root", func(context.Context, any) (any, error) { return nil, boom },
+			PrefixNode[int]("mid", func(_ context.Context, parent any) (any, error) {
+				t.Error("child prefix ran despite parent failure")
+				return parent, nil
+			},
+				LeafNode("leaf", addLeaf(0)),
+			),
+		),
+	}
+	res, err := RunTree(context.Background(), roots, Options[int]{Policy: Collect})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if !errors.Is(res.Jobs[0].Err, boom) {
+		t.Errorf("leaf err = %v", res.Jobs[0].Err)
+	}
+	if res.Summary.ForkPrefixes != 1 {
+		t.Errorf("ForkPrefixes = %d, want 1 (root ran and failed; mid never ran)", res.Summary.ForkPrefixes)
+	}
+}
+
+func TestRunTreeValidation(t *testing.T) {
+	shared := LeafNode[int]("shared", addLeaf(0))
+	cases := []struct {
+		name string
+		tree []*ForkNode[int]
+		want string
+	}{
+		{"nil node", []*ForkNode[int]{nil}, "nil fork node"},
+		{"neither", []*ForkNode[int]{{Key: "empty"}}, "neither Prefix nor Leaf"},
+		{"both", []*ForkNode[int]{{
+			Key:    "both",
+			Prefix: func(context.Context, any) (any, error) { return nil, nil },
+			Leaf:   addLeaf(0),
+		}}, "both Prefix and Leaf"},
+		{"leaf with children", []*ForkNode[int]{{
+			Key:      "leafkids",
+			Leaf:     addLeaf(0),
+			Children: []*ForkNode[int]{LeafNode[int]("c", addLeaf(0))},
+		}}, "has children"},
+		{"childless prefix", []*ForkNode[int]{
+			PrefixNode[int]("lonely", func(context.Context, any) (any, error) { return nil, nil }),
+		}, "no children"},
+		{"shared node", []*ForkNode[int]{
+			PrefixNode("p", counterPrefix(new(atomic.Int64), 0), shared, shared),
+		}, "reachable twice"},
+	}
+	for _, tc := range cases {
+		res, err := RunTree(context.Background(), tc.tree, Options[int]{})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want contains %q", tc.name, err, tc.want)
+		}
+		if res != nil {
+			t.Errorf("%s: result = %+v, want nil", tc.name, res)
+		}
+	}
+}
+
+func TestRunTreeCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var after atomic.Int64
+	roots := []*ForkNode[int]{
+		PrefixNode[int]("p", func(ctx context.Context, _ any) (any, error) {
+			close(started)
+			<-ctx.Done() // a prefix stuck until the sweep is cancelled
+			return nil, ctx.Err()
+		},
+			LeafNode[int]("l0", func(context.Context, any) (int, error) {
+				after.Add(1)
+				return 0, nil
+			}),
+			LeafNode[int]("l1", func(context.Context, any) (int, error) {
+				after.Add(1)
+				return 0, nil
+			}),
+		),
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	res, err := RunTree(ctx, roots, Options[int]{Parallelism: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if after.Load() != 0 {
+		t.Errorf("%d leaves ran despite prefix cancellation", after.Load())
+	}
+	for _, j := range res.Jobs {
+		if j.Err == nil {
+			t.Errorf("leaf %s has nil error after cancellation", j.Key)
+		}
+	}
+}
+
+func TestRunTreeReleasesStates(t *testing.T) {
+	// Leaves observe their prefix value through a pointer; once every
+	// leaf under a node has finished, the engine must drop its own
+	// reference so the tree's memory scales with the frontier. We can't
+	// observe the GC directly, so assert the bookkeeping: pending hits
+	// zero and val is nil for every entry after the run.
+	var c atomic.Int64
+	roots := []*ForkNode[int]{
+		PrefixNode("root", counterPrefix(&c, 1),
+			PrefixNode("mid", counterPrefix(&c, 2),
+				LeafNode("l0", addLeaf(0)),
+				LeafNode("l1", addLeaf(1)),
+			),
+			LeafNode("l2", addLeaf(2)),
+		),
+	}
+	ts := &treeState[int]{info: make(map[*ForkNode[int]]*nodeEntry[int])}
+	// Re-run the internal pieces RunTree composes, so the test sees the
+	// entries: build jobs via the same walk by calling RunTree on a
+	// parallel structure is not possible without exporting internals, so
+	// drive resolve/release by hand in DFS leaf order.
+	root, mid := roots[0], roots[0].Children[0]
+	ts.info[root] = &nodeEntry[int]{parent: nil, done: make(chan struct{}), pending: 3}
+	ts.info[mid] = &nodeEntry[int]{parent: root, done: make(chan struct{}), pending: 2}
+	ctx := context.Background()
+	if _, _, err := ts.resolve(ctx, mid); err != nil {
+		t.Fatal(err)
+	}
+	if ts.info[mid].val != 3 { // 1 + 2
+		t.Fatalf("mid val = %v", ts.info[mid].val)
+	}
+	ts.release(mid)
+	ts.release(mid)
+	if ts.info[mid].val != nil || ts.info[mid].pending != 0 {
+		t.Errorf("mid not released: val=%v pending=%d", ts.info[mid].val, ts.info[mid].pending)
+	}
+	if ts.info[root].val != 1 || ts.info[root].pending != 1 {
+		t.Errorf("root released early: val=%v pending=%d", ts.info[root].val, ts.info[root].pending)
+	}
+	ts.release(root)
+	if ts.info[root].val != nil || ts.info[root].pending != 0 {
+		t.Errorf("root not released: val=%v pending=%d", ts.info[root].val, ts.info[root].pending)
+	}
+}
+
+func TestRunTreeConcurrentStress(t *testing.T) {
+	// Wide two-level tree under high parallelism: exercised by the race
+	// detector in CI. Values must still be deterministic.
+	var roots []*ForkNode[int]
+	for g := 0; g < 8; g++ {
+		g := g
+		var leaves []*ForkNode[int]
+		for l := 0; l < 8; l++ {
+			leaves = append(leaves, LeafNode(fmt.Sprintf("g%dl%d", g, l), addLeaf(l)))
+		}
+		roots = append(roots, PrefixNode(fmt.Sprintf("g%d", g), counterPrefix(new(atomic.Int64), g*100), leaves...))
+	}
+	res, err := RunTree(context.Background(), roots, Options[int]{Parallelism: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 8; g++ {
+		for l := 0; l < 8; l++ {
+			key := fmt.Sprintf("g%dl%d", g, l)
+			if v := res.ByKey()[key]; v != g*100+l {
+				t.Errorf("%s = %d, want %d", key, v, g*100+l)
+			}
+		}
+	}
+	if res.Summary.ForkPrefixes != 8 || res.Summary.ForkReused != 56 {
+		t.Errorf("fork counters = %d/%d, want 8/56", res.Summary.ForkPrefixes, res.Summary.ForkReused)
+	}
+}

@@ -1,6 +1,9 @@
 package thermal
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // NetworkState is the serializable state of the thermal network: the
 // node temperatures (die blocks, spreader sections, sink). Everything
@@ -8,6 +11,11 @@ import "fmt"
 // from the floorplan and package parameters at construction.
 type NetworkState struct {
 	Temps []float64
+}
+
+// Clone returns a deep copy of the network state.
+func (st NetworkState) Clone() NetworkState {
+	return NetworkState{Temps: slices.Clone(st.Temps)}
 }
 
 // Snapshot returns a deep copy of the node temperatures.
