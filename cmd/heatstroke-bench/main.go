@@ -54,12 +54,15 @@ type File struct {
 // defaultPattern covers the simulator-speed benchmarks the committed
 // baseline tracks: the profile pair/solo runs that dominate experiment
 // wall time, the raw pipeline rate, one full quantum, the
-// warmup-snapshot-reuse comparison (reuse vs cold sub-benchmarks), and
-// the fork-tree sweep comparison (fork vs cold sub-benchmarks).
-const defaultPattern = "^(BenchmarkProfileSolo|BenchmarkProfilePair|BenchmarkPipelineCycles|BenchmarkQuantumSimulation|BenchmarkWarmupReuse|BenchmarkForkSweep)$"
+// warmup-snapshot-reuse comparison (reuse vs cold sub-benchmarks),
+// the fork-tree sweep comparison (fork vs cold sub-benchmarks), and
+// the fleet-throughput comparison (1 vs 4 workers behind the
+// coordinator; the absolute jobs/sec is machine-bound, but a
+// regression in either arm still surfaces as ns/op growth).
+const defaultPattern = "^(BenchmarkProfileSolo|BenchmarkProfilePair|BenchmarkPipelineCycles|BenchmarkQuantumSimulation|BenchmarkWarmupReuse|BenchmarkForkSweep|BenchmarkFleetThroughput)$"
 
 // defaultPackages are the packages holding those benchmarks.
-var defaultPackages = []string{".", "./internal/experiment"}
+var defaultPackages = []string{".", "./internal/experiment", "./internal/fleet"}
 
 func main() {
 	log.SetFlags(0)

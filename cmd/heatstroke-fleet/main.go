@@ -1,0 +1,156 @@
+// Command heatstroke-fleet is the fleet coordinator: one HTTP front
+// end over N heatstroked workers. Jobs are consistent-hashed onto
+// workers by their content address, warmup snapshots are shipped to
+// whichever worker a key lands on, failed dispatches retry on the
+// next replica, and stragglers are hedged onto a second replica (the
+// first byte-identical result wins and the loser is cancelled).
+//
+// Usage:
+//
+//	heatstroke-fleet -worker http://h1:8080 -worker http://h2:8080
+//	heatstroke-fleet -addr :7070 -hedge-after 15s -fleet-token secret
+//
+// The coordinator serves the same job API as a single daemon (so
+// heatstroke -server and pkg/client work against it unchanged) plus
+// worker membership and fleet-wide metrics:
+//
+//	POST   /v1/jobs               submit; sharded, retried, hedged
+//	GET    /v1/jobs/{id}          status (survives worker death)
+//	GET    /v1/jobs/{id}/artifact rendered table from the winning replica
+//	GET    /v1/jobs/{id}/events   SSE progress proxied across retries
+//	GET    /v1/workers            membership + per-worker health/stats
+//	POST   /v1/workers            join {"url": "http://worker:8080"}
+//	DELETE /v1/workers?url=...    leave
+//	GET    /v1/stats              FleetStats (fleet counters + workers)
+//	GET    /metrics               merged exposition, worker="..." labels
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/fleet"
+)
+
+// stringList collects repeated -worker flags.
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("heatstroke-fleet: ")
+	if err := run(os.Args[1:], nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the coordinator lifecycle, factored out of main so tests can
+// drive it in-process. ready, when non-nil, receives the bound
+// address once the listener is up.
+func run(args []string, ready func(addr string)) error {
+	fs := flag.NewFlagSet("heatstroke-fleet", flag.ExitOnError)
+	addr := fs.String("addr", ":7070", "listen address")
+	var workers stringList
+	fs.Var(&workers, "worker", "worker base URL (repeatable); more can join at runtime via POST /v1/workers")
+	hedgeAfter := fs.Duration("hedge-after", 30*time.Second, "duplicate a still-running job onto a second replica after this long (0 = never hedge)")
+	pollInterval := fs.Duration("poll-interval", 2*time.Second, "worker health/stats poll cadence")
+	fleetToken := fs.String("fleet-token", "", "bearer token sent to workers (must match their -fleet-token)")
+	snapshotDir := fs.String("snapshot-dir", "", "local directory of {key}.snap warmup snapshots to ship from when no worker holds a key")
+	noWarmShip := fs.Bool("no-warm-ship", false, "disable pre-dispatch warmup-snapshot shipping")
+	scale := fs.Float64("scale", 0, "base thermal scale factor (default: config's; must match the workers')")
+	quantum := fs.Int64("quantum", 0, "base cycles per OS quantum (default: config's; must match the workers')")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "shutdown drain deadline")
+	logJSON := fs.Bool("log-json", false, "emit structured JSON logs instead of text")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	handlerOpts := &slog.HandlerOptions{Level: level}
+	var logger *slog.Logger
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, handlerOpts))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, handlerOpts))
+	}
+
+	baseConfig := func() config.Config {
+		cfg := config.Default()
+		if *scale > 0 {
+			cfg.Thermal.Scale = *scale
+		}
+		if *quantum > 0 {
+			cfg.Run.QuantumCycles = *quantum
+		}
+		return cfg
+	}
+	hedge := *hedgeAfter
+	if hedge == 0 {
+		hedge = -1 // flag semantics: 0 disables; Options semantics: negative disables
+	}
+	coord, err := fleet.New(fleet.Options{
+		Workers:             workers,
+		HedgeAfter:          hedge,
+		PollInterval:        *pollInterval,
+		FleetToken:          *fleetToken,
+		SnapshotDir:         *snapshotDir,
+		DisableWarmShipping: *noWarmShip,
+		BaseConfig:          baseConfig,
+		Logger:              logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: coord.Handler()}
+	log.Printf("coordinating %d workers, listening on %s", len(workers), ln.Addr())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	log.Printf("signal received, draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := coord.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

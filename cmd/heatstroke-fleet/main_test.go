@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/server"
+	"github.com/heatstroke-sim/heatstroke/pkg/api"
+	"github.com/heatstroke-sim/heatstroke/pkg/client"
+)
+
+// TestRunCoordinatesAndDrains exercises the coordinator lifecycle
+// in-process: two real workers, one proxied job to completion, then
+// SIGTERM must drain run to a nil return.
+func TestRunCoordinatesAndDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sweep")
+	}
+	tiny := func() config.Config {
+		cfg := config.Default()
+		cfg.Run.QuantumCycles = 60_000
+		return cfg
+	}
+	var workers []string
+	for i := 0; i < 2; i++ {
+		srv, err := server.New(server.Options{
+			MaxConcurrent: 1, Parallelism: 1, Version: "fleet-cmd-test", BaseConfig: tiny,
+		})
+		if err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		})
+		workers = append(workers, ts.URL)
+	}
+
+	addrCh := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-worker", workers[0],
+			"-worker", workers[1],
+			"-hedge-after", "0",
+			"-poll-interval", "100ms",
+			"-quantum", "60000",
+			"-drain-timeout", "1m",
+		}, func(addr string) { addrCh <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-runErr:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator did not start listening")
+	}
+
+	c := client.New("http://" + addr)
+	c.PollInterval = 50 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	seed := int64(7)
+	st, err := c.Submit(ctx, api.JobRequest{
+		Experiment: "fig3",
+		Benchmarks: []string{"crafty"},
+		Quantum:    60_000,
+		Warmup:     1_000,
+		Seed:       &seed,
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := c.Wait(ctx, st.ID, nil)
+	if err != nil || final.Status != api.StatusDone {
+		t.Fatalf("wait: %v %+v", err, final)
+	}
+	if _, err := c.Artifact(ctx, st.ID, "csv"); err != nil {
+		t.Fatalf("artifact: %v", err)
+	}
+	fst, err := c.Stats(ctx)
+	if err != nil || fst.Submitted != 1 {
+		t.Fatalf("stats: %v %+v", err, fst)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("run did not return after SIGTERM")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/server"
+)
+
+// TestRunAgainstDaemon replays a tiny workload against an in-process
+// daemon and requires a clean zero-failure report.
+func TestRunAgainstDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real sweeps")
+	}
+	tiny := func() config.Config {
+		cfg := config.Default()
+		cfg.Run.QuantumCycles = 60_000
+		return cfg
+	}
+	srv, err := server.New(server.Options{
+		MaxConcurrent: 2, Parallelism: 1, BaseConfig: tiny,
+	})
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+
+	if err := run([]string{
+		"-target", ts.URL,
+		"-jobs", "4",
+		"-keys", "2",
+		"-zipf-s", "1.5",
+		"-concurrency", "2",
+		"-quantum", "60000",
+		"-warmup", "1000",
+		"-json",
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -61,6 +61,8 @@ func run(args []string, ready func(addr string)) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheDir := fs.String("cache-dir", "", "persist completed results to this directory")
 	warmupCacheDir := fs.String("warmup-cache-dir", "", "persist warmup snapshots to this directory (skips warmup for repeated configurations)")
+	advertise := fs.String("advertise", "", "address fleet peers should reach this daemon at (reported in /v1/stats)")
+	fleetToken := fs.String("fleet-token", "", "bearer token gating the /v1/warm snapshot-transfer endpoints (empty = open)")
 	maxConcurrent := fs.Int("max-concurrent", 2, "maximum sweeps running at once")
 	maxQueue := fs.Int("max-queue", 16, "maximum queued jobs before 429 backpressure")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job deadline (0 = none)")
@@ -106,6 +108,8 @@ func run(args []string, ready func(addr string)) error {
 		ForkTree:       *fork,
 		CacheDir:       *cacheDir,
 		WarmupCacheDir: *warmupCacheDir,
+		Advertise:      *advertise,
+		FleetToken:     *fleetToken,
 		BaseConfig:     baseConfig,
 		Logger:         logger,
 	})

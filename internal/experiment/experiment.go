@@ -85,6 +85,14 @@ type Options struct {
 	// OnRestore, when set, is called with each warm-state restore's
 	// duration in seconds (for telemetry histograms).
 	OnRestore func(seconds float64)
+
+	// enumerate, when set, intercepts runSweep before any simulation:
+	// it receives the experiment's fully built job list (and the
+	// normalized options that would run it) and runSweep returns
+	// errEnumerated instead of executing. This is how WarmKeys lists
+	// an experiment's warm keys without simulating — job construction
+	// is cheap (program generation and digests), the sweep is not.
+	enumerate func(o Options, jobs []job)
 }
 
 // ResolvedSeed returns the seed an experiment run will actually use:
@@ -159,6 +167,10 @@ type job struct {
 // Summary accounts for every job), and each job's wall time, simulated
 // cycles/sec, and peak temperature are aggregated.
 func runSweep(ctx context.Context, jobs []job, o Options) (map[string]*sim.Result, *sweep.Summary, error) {
+	if o.enumerate != nil {
+		o.enumerate(o, jobs)
+		return nil, nil, errEnumerated
+	}
 	if o.ForkTree && !o.DisableWarmupReuse {
 		return runForkSweep(ctx, jobs, o)
 	}

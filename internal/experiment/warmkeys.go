@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+)
+
+// errEnumerated is runSweep's return when Options.enumerate intercepts
+// the job list: the experiment aborts before simulating, and WarmKeys
+// recognizes the sentinel as success.
+var errEnumerated = errors.New("experiment: job list enumerated, sweep skipped")
+
+// WarmKeys lists the warmup-snapshot keys the named experiment would
+// share warm state under, without running any simulation. The keys are
+// exactly those the run itself derives (same warmKey function on the
+// same built job list), deduplicated in first-appearance order — so a
+// fleet coordinator can decide, before dispatching a job to a worker,
+// which snapshots to ship there (see internal/fleet). Options follow
+// the same normalization as a real run; CodeVersion must match the
+// executing side for the keys to alias its cache.
+//
+// Cost: job construction only — workload/program generation and config
+// digests, no cycles simulated. Experiments that run no simulations
+// (table1) return no keys.
+func WarmKeys(ctx context.Context, name string, o Options) ([]string, error) {
+	var keys []string
+	seen := make(map[string]bool)
+	o.enumerate = func(eo Options, jobs []job) {
+		for _, j := range jobs {
+			if j.opts.WarmupCycles <= 0 {
+				continue
+			}
+			k := warmKey(eo, j)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	if _, err := RunContext(ctx, name, o); err != nil && !errors.Is(err, errEnumerated) {
+		return nil, err
+	}
+	return keys, nil
+}

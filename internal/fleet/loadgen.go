@@ -1,0 +1,265 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/heatstroke-sim/heatstroke/pkg/api"
+	"github.com/heatstroke-sim/heatstroke/pkg/client"
+)
+
+// LoadOptions configure one load-generation run against a daemon or a
+// fleet coordinator (the job surface is identical, so the generator
+// does not care which).
+type LoadOptions struct {
+	// URL is the target's base URL (ignored when Client is set).
+	URL string
+	// Client overrides the generated client (tests inject one wired to
+	// an in-process handler).
+	Client *client.Client
+	// Jobs is the total number of submissions (default 20).
+	Jobs int
+	// Rate paces submissions per second; <= 0 runs closed-loop: a new
+	// submission the moment a concurrency slot frees.
+	Rate float64
+	// Concurrency bounds in-flight jobs (default 8).
+	Concurrency int
+	// Keys is the distinct-request population size (default 10): the
+	// generator draws request indices from [0, Keys) and index k maps
+	// to seed SeedBase+k, so equal draws are identical jobs — which is
+	// what exercises the content-addressed cache tier.
+	Keys int
+	// ZipfS > 1 draws indices Zipf(s, v)-distributed — a few hot
+	// requests and a long cold tail, the shape real result caches see
+	// (0 means the 1.2 default). Negative disables the skew entirely:
+	// draw i is index i mod Keys, a cache-cold scan when Keys >= Jobs.
+	ZipfS float64
+	// ZipfV is the Zipf v parameter (>= 1; default 1).
+	ZipfV float64
+	// Seed seeds the draw sequence (deterministic workloads).
+	Seed int64
+	// SeedBase offsets the per-request seeds; advancing it between runs
+	// makes every request a fresh cache key (benchmarks re-running the
+	// same workload must not hit the previous run's cache).
+	SeedBase int64
+	// Experiment, Benchmarks, Quantum, Warmup, Scale shape each
+	// submitted request (defaults: fig3, ["crafty"], target defaults).
+	Experiment string
+	Benchmarks []string
+	Quantum    int64
+	Warmup     int64
+	Scale      float64
+}
+
+// LoadReport is what one load run measured.
+type LoadReport struct {
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	// Cached / Coalesced count submit responses answered from the
+	// target's completed cache or joined to an in-flight duplicate.
+	Cached    int `json:"cached"`
+	Coalesced int `json:"coalesced"`
+
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	JobsPerSec float64       `json:"jobs_per_sec"`
+	// P50/P90/P99 are submit-to-terminal latencies.
+	P50 time.Duration `json:"p50_ns"`
+	P90 time.Duration `json:"p90_ns"`
+	P99 time.Duration `json:"p99_ns"`
+
+	// CacheHitRate is (Cached+Coalesced)/Submitted. WarmHits/WarmMisses
+	// are the target-side warmup-cache counter deltas over the run,
+	// summed fleet-wide from the /metrics exposition (per-worker series
+	// included); WarmHitRate is hits/(hits+misses). Zero-valued when
+	// the target exposes no metrics.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	WarmHits     float64 `json:"warm_hits"`
+	WarmMisses   float64 `json:"warm_misses"`
+	WarmHitRate  float64 `json:"warm_hit_rate"`
+}
+
+// String renders the report as the one-screen summary the loadgen CLI
+// prints.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"submitted %d  completed %d  failed %d\n"+
+			"throughput %.2f jobs/sec over %v\n"+
+			"latency p50 %v  p90 %v  p99 %v\n"+
+			"cache hits %d + coalesced %d (rate %.1f%%)  warm hits %.0f / misses %.0f (rate %.1f%%)",
+		r.Submitted, r.Completed, r.Failed,
+		r.JobsPerSec, r.Elapsed.Round(time.Millisecond),
+		r.P50.Round(time.Millisecond), r.P90.Round(time.Millisecond), r.P99.Round(time.Millisecond),
+		r.Cached, r.Coalesced, 100*r.CacheHitRate,
+		r.WarmHits, r.WarmMisses, 100*r.WarmHitRate)
+}
+
+// warmCounters reads the target's fleet-wide warmup-cache counters.
+func warmCounters(ctx context.Context, cl *client.Client) (hits, misses float64) {
+	body, err := cl.Metrics(ctx)
+	if err != nil {
+		return 0, 0
+	}
+	return promSum(body, "heatstroked_warmup_cache_hits_total"),
+		promSum(body, "heatstroked_warmup_cache_misses_total")
+}
+
+// RunLoad replays a synthetic request stream against the target and
+// measures what the serving tier actually delivered: sustained
+// jobs/sec, latency percentiles, and cache/warm hit rates. The stream
+// is deterministic in (Seed, SeedBase): a Zipf-skewed draw over a
+// fixed request population, submissions paced at Rate (or closed-loop)
+// under a concurrency cap.
+func RunLoad(ctx context.Context, o LoadOptions) (*LoadReport, error) {
+	if o.Jobs <= 0 {
+		o.Jobs = 20
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.Keys <= 0 {
+		o.Keys = 10
+	}
+	if o.ZipfS == 0 {
+		o.ZipfS = 1.2
+	}
+	if o.ZipfV < 1 {
+		o.ZipfV = 1
+	}
+	if o.Experiment == "" {
+		o.Experiment = "fig3"
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = []string{"crafty"}
+	}
+	cl := o.Client
+	if cl == nil {
+		if o.URL == "" {
+			return nil, fmt.Errorf("loadgen: no target: URL and Client both empty")
+		}
+		cl = client.New(o.URL)
+		cl.PollInterval = 100 * time.Millisecond
+	}
+
+	warmHits0, warmMiss0 := warmCounters(ctx, cl)
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	var zipf *rand.Zipf
+	if o.ZipfS > 1 {
+		zipf = rand.NewZipf(rng, o.ZipfS, o.ZipfV, uint64(o.Keys-1))
+	}
+	var tickC <-chan time.Time
+	if o.Rate > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / o.Rate))
+		defer t.Stop()
+		tickC = t.C
+	}
+
+	var (
+		mu     sync.Mutex
+		rep    LoadReport
+		durs   []time.Duration
+		wg     sync.WaitGroup
+		sem    = make(chan struct{}, o.Concurrency)
+		cancel = false
+	)
+	start := time.Now()
+	for i := 0; i < o.Jobs && !cancel; i++ {
+		var idx uint64
+		if zipf != nil {
+			idx = zipf.Uint64()
+		} else {
+			idx = uint64(i % o.Keys)
+		}
+		if tickC != nil {
+			select {
+			case <-tickC:
+			case <-ctx.Done():
+				cancel = true
+				continue
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			cancel = true
+			continue
+		}
+		wg.Add(1)
+		go func(idx uint64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			seed := o.SeedBase + int64(idx)
+			req := api.JobRequest{
+				Experiment: o.Experiment,
+				Benchmarks: append([]string(nil), o.Benchmarks...),
+				Quantum:    o.Quantum,
+				Warmup:     o.Warmup,
+				Scale:      o.Scale,
+				Seed:       &seed,
+			}
+			t0 := time.Now()
+			st, err := cl.Submit(ctx, req)
+			if err == nil && !st.Status.Terminal() {
+				st, err = cl.Wait(ctx, st.ID, nil)
+			}
+			d := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			rep.Submitted++
+			switch {
+			case err != nil, st.Status != api.StatusDone:
+				rep.Failed++
+			default:
+				rep.Completed++
+				durs = append(durs, d)
+			}
+			if err == nil {
+				if st.Cached {
+					rep.Cached++
+				}
+				if st.Coalesced {
+					rep.Coalesced++
+				}
+			}
+		}(idx)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	if rep.Elapsed > 0 {
+		rep.JobsPerSec = float64(rep.Completed) / rep.Elapsed.Seconds()
+	}
+	if len(durs) > 0 {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		// Nearest-rank percentiles: round the rank up so small samples
+		// report their tail (p99 of 6 samples is the max, not the
+		// second-largest a truncating index would pick).
+		pct := func(p float64) time.Duration {
+			i := int(math.Ceil(p*float64(len(durs)))) - 1
+			if i < 0 {
+				i = 0
+			}
+			return durs[i]
+		}
+		rep.P50, rep.P90, rep.P99 = pct(0.50), pct(0.90), pct(0.99)
+	}
+	if rep.Submitted > 0 {
+		rep.CacheHitRate = float64(rep.Cached+rep.Coalesced) / float64(rep.Submitted)
+	}
+	warmHits1, warmMiss1 := warmCounters(ctx, cl)
+	rep.WarmHits = warmHits1 - warmHits0
+	rep.WarmMisses = warmMiss1 - warmMiss0
+	if tot := rep.WarmHits + rep.WarmMisses; tot > 0 {
+		rep.WarmHitRate = rep.WarmHits / tot
+	}
+	if cancel {
+		return &rep, ctx.Err()
+	}
+	return &rep, nil
+}

@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/heatstroke-sim/heatstroke/internal/server"
+)
+
+// TestLoadgenAgainstFleet drives a small Zipf-skewed load through a
+// coordinator and checks the report's accounting: every submission
+// reaches done, repeats hit the cache tier, and the rates add up.
+func TestLoadgenAgainstFleet(t *testing.T) {
+	w := startWorker(t, func(o *server.Options) { o.WarmupCacheDir = t.TempDir() })
+	_, fcl := startFleet(t, []*testWorker{w}, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	rep, err := RunLoad(ctx, LoadOptions{
+		Client:      fcl,
+		Jobs:        8,
+		Keys:        3,
+		ZipfS:       1.5,
+		Concurrency: 4,
+		Quantum:     60_000,
+		Warmup:      1_000,
+		Benchmarks:  []string{"crafty"},
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Submitted != 8 || rep.Completed != 8 || rep.Failed != 0 {
+		t.Fatalf("report = %+v, want 8 submitted and completed", rep)
+	}
+	// 8 draws over 3 keys must repeat; repeats are cache hits or
+	// coalesced joins at the coordinator.
+	if rep.Cached+rep.Coalesced == 0 {
+		t.Fatalf("no cache activity across repeated requests: %+v", rep)
+	}
+	if rep.JobsPerSec <= 0 || rep.Elapsed <= 0 {
+		t.Fatalf("throughput not measured: %+v", rep)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("latency percentiles inconsistent: p50=%v p99=%v", rep.P50, rep.P99)
+	}
+	if rep.CacheHitRate <= 0 || rep.CacheHitRate > 1 {
+		t.Fatalf("cache hit rate out of range: %v", rep.CacheHitRate)
+	}
+	// The worker has a warmup cache: the first job misses, later
+	// distinct jobs sharing the warm key hit. Either way the counters
+	// must have moved.
+	if rep.WarmHits+rep.WarmMisses == 0 {
+		t.Fatalf("warm counters did not move: %+v", rep)
+	}
+	if s := rep.String(); s == "" {
+		t.Fatal("empty report rendering")
+	}
+}
+
+// TestLoadgenSequentialScan: negative ZipfS degrades to a
+// distinct-key scan — with Keys >= Jobs every submission is
+// cache-cold.
+func TestLoadgenSequentialScan(t *testing.T) {
+	w := startWorker(t, nil)
+	_, fcl := startFleet(t, []*testWorker{w}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	rep, err := RunLoad(ctx, LoadOptions{
+		Client:      fcl,
+		Jobs:        3,
+		Keys:        3,
+		ZipfS:       -1,
+		Concurrency: 2,
+		Quantum:     60_000,
+		Warmup:      1_000,
+		SeedBase:    1000,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Completed != 3 || rep.Cached != 0 {
+		t.Fatalf("cold scan report = %+v, want 3 completed with 0 cached", rep)
+	}
+}

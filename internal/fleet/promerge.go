@@ -1,0 +1,225 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// promFamily is one metric family of a text exposition: its comment
+// header and its samples, in input order.
+type promFamily struct {
+	name    string
+	help    string // full "# HELP ..." line
+	typ     string // full "# TYPE ..." line
+	samples []string
+}
+
+// parseProm splits a Prometheus text exposition into families,
+// injecting `worker="<label>"` into every sample when label is
+// non-empty. It relies on the exposition shape our telemetry registry
+// (and any conformant writer) produces: each family's HELP/TYPE
+// comments precede its samples, and a family's lines are contiguous —
+// so samples attach to the most recent HELP/TYPE family, which also
+// keeps histogram _bucket/_sum/_count lines with their family.
+func parseProm(body []byte, label string) []*promFamily {
+	var fams []*promFamily
+	byName := make(map[string]*promFamily)
+	var cur *promFamily
+	family := func(name string) *promFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &promFamily{name: name}
+		byName[name] = f
+		fams = append(fams, f)
+		return f
+	}
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r")
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			name, _, _ := strings.Cut(strings.TrimPrefix(line, "# HELP "), " ")
+			cur = family(name)
+			if cur.help == "" {
+				cur.help = line
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			name, _, _ := strings.Cut(strings.TrimPrefix(line, "# TYPE "), " ")
+			cur = family(name)
+			if cur.typ == "" {
+				cur.typ = line
+			}
+		case strings.HasPrefix(line, "#"):
+			continue
+		default:
+			if cur == nil {
+				// Sample with no preceding comments: its own family.
+				name := line
+				if i := strings.IndexAny(line, "{ "); i >= 0 {
+					name = line[:i]
+				}
+				cur = family(name)
+			}
+			cur.samples = append(cur.samples, injectLabel(line, label))
+		}
+	}
+	return fams
+}
+
+// injectLabel rewrites one sample line to carry worker="<label>" as
+// its first label. Histogram bucket lines and pre-labelled samples
+// keep their existing labels after it.
+func injectLabel(line, label string) string {
+	if label == "" {
+		return line
+	}
+	lv := `worker="` + escapeLabelValue(label) + `"`
+	if i := strings.Index(line, "{"); i >= 0 {
+		return line[:i+1] + lv + "," + line[i+1:]
+	}
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		return line[:i] + "{" + lv + "}" + line[i:]
+	}
+	return line
+}
+
+func escapeLabelValue(v string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(v)
+}
+
+// mergeProm writes one exposition combining the coordinator's own
+// registry output with each worker's scrape, every worker sample
+// labelled worker="<name>". Families are grouped across sources (the
+// text format requires a family's lines to be contiguous) and each
+// family's HELP/TYPE header is emitted exactly once, from whichever
+// source stated it first.
+func mergeProm(w io.Writer, own []byte, workers []workerScrape) error {
+	merged := parseProm(own, "")
+	byName := make(map[string]*promFamily, len(merged))
+	for _, f := range merged {
+		byName[f.name] = f
+	}
+	for _, ws := range workers {
+		for _, f := range parseProm(ws.body, ws.name) {
+			if have, ok := byName[f.name]; ok {
+				have.samples = append(have.samples, f.samples...)
+				if have.help == "" {
+					have.help = f.help
+				}
+				if have.typ == "" {
+					have.typ = f.typ
+				}
+			} else {
+				byName[f.name] = f
+				merged = append(merged, f)
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range merged {
+		if f.help != "" {
+			fmt.Fprintln(bw, f.help)
+		}
+		if f.typ != "" {
+			fmt.Fprintln(bw, f.typ)
+		}
+		for _, s := range f.samples {
+			fmt.Fprintln(bw, s)
+		}
+	}
+	return bw.Flush()
+}
+
+type workerScrape struct {
+	name string
+	body []byte
+}
+
+// handleMetrics serves the fleet-wide exposition: the coordinator's
+// own series followed by every healthy worker's /metrics with
+// worker="<name>" injected. Scrapes fan out concurrently and a worker
+// that fails to answer is simply absent from that scrape (its health
+// gauge already says why).
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	ws := make([]*worker, 0, len(c.workers))
+	for _, wk := range c.workers {
+		ws = append(ws, wk)
+	}
+	c.mu.Unlock()
+
+	type scrapeResult struct {
+		i    int
+		body []byte
+		err  error
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+	defer cancel()
+	results := make(chan scrapeResult, len(ws))
+	for i, wk := range ws {
+		go func(i int, wk *worker) {
+			body, err := wk.cl.Metrics(ctx)
+			results <- scrapeResult{i: i, body: body, err: err}
+		}(i, wk)
+	}
+	scrapes := make([]workerScrape, 0, len(ws))
+	for range ws {
+		res := <-results
+		if res.err != nil {
+			continue
+		}
+		scrapes = append(scrapes, workerScrape{name: ws[res.i].label(), body: res.body})
+	}
+	// Deterministic output order regardless of scrape completion order.
+	for i := 1; i < len(scrapes); i++ {
+		for j := i; j > 0 && scrapes[j].name < scrapes[j-1].name; j-- {
+			scrapes[j], scrapes[j-1] = scrapes[j-1], scrapes[j]
+		}
+	}
+
+	var own bytes.Buffer
+	_ = c.met.reg.WriteProm(&own)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = mergeProm(w, own.Bytes(), scrapes)
+}
+
+// promSum sums every sample of one metric family (across all label
+// sets) in a text exposition — how the load generator reads fleet-wide
+// warm-cache hit counts out of the merged scrape.
+func promSum(body []byte, metric string) float64 {
+	var sum float64
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if name != metric {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[i+1:], 64); err == nil {
+			sum += v
+		}
+	}
+	return sum
+}

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const expoA = `# HELP jobs_total Jobs by outcome.
+# TYPE jobs_total counter
+jobs_total{outcome="done"} 3
+jobs_total{outcome="failed"} 1
+# HELP queue_depth Jobs waiting.
+# TYPE queue_depth gauge
+queue_depth 2
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 4
+lat_seconds_bucket{le="+Inf"} 5
+lat_seconds_sum 0.7
+lat_seconds_count 5
+`
+
+const expoB = `# HELP jobs_total Jobs by outcome.
+# TYPE jobs_total counter
+jobs_total{outcome="done"} 9
+# HELP queue_depth Jobs waiting.
+# TYPE queue_depth gauge
+queue_depth 0
+`
+
+func TestMergePromLabelsAndGrouping(t *testing.T) {
+	own := []byte("# HELP fleet_up Coordinator liveness.\n# TYPE fleet_up gauge\nfleet_up 1\n")
+	var out bytes.Buffer
+	err := mergeProm(&out, own, []workerScrape{
+		{name: "w-a", body: []byte(expoA)},
+		{name: "w-b", body: []byte(expoB)},
+	})
+	if err != nil {
+		t.Fatalf("mergeProm: %v", err)
+	}
+	text := out.String()
+
+	for _, want := range []string{
+		"fleet_up 1", // coordinator series pass through unlabelled
+		`jobs_total{worker="w-a",outcome="done"} 3`,
+		`jobs_total{worker="w-a",outcome="failed"} 1`,
+		`jobs_total{worker="w-b",outcome="done"} 9`,
+		`queue_depth{worker="w-a"} 2`, // label added to bare samples
+		`queue_depth{worker="w-b"} 0`,
+		`lat_seconds_bucket{worker="w-a",le="+Inf"} 5`, // histogram lines stay in family
+		`lat_seconds_sum{worker="w-a"} 0.7`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("merged output missing %q\n%s", want, text)
+		}
+	}
+	// Each family header once, samples contiguous per family.
+	if n := strings.Count(text, "# HELP jobs_total"); n != 1 {
+		t.Errorf("HELP jobs_total appears %d times, want 1", n)
+	}
+	doneA := strings.Index(text, `jobs_total{worker="w-a",outcome="done"}`)
+	doneB := strings.Index(text, `jobs_total{worker="w-b",outcome="done"}`)
+	depthA := strings.Index(text, `queue_depth{worker="w-a"}`)
+	if !(doneA < doneB && doneB < depthA) {
+		t.Errorf("family samples not contiguous: jobs_total A@%d B@%d, queue_depth A@%d", doneA, doneB, depthA)
+	}
+}
+
+func TestInjectLabelEscaping(t *testing.T) {
+	got := injectLabel(`m 1`, `a"b\c`)
+	want := `m{worker="a\"b\\c"} 1`
+	if got != want {
+		t.Errorf("injectLabel = %s, want %s", got, want)
+	}
+	if got := injectLabel("m 1", ""); got != "m 1" {
+		t.Errorf("empty label must be a no-op, got %s", got)
+	}
+}
+
+func TestPromSum(t *testing.T) {
+	if got := promSum([]byte(expoA), "jobs_total"); got != 4 {
+		t.Errorf("promSum(jobs_total) = %v, want 4 (3+1 across label sets)", got)
+	}
+	var out bytes.Buffer
+	_ = mergeProm(&out, nil, []workerScrape{
+		{name: "w-a", body: []byte(expoA)},
+		{name: "w-b", body: []byte(expoB)},
+	})
+	if got := promSum(out.Bytes(), "jobs_total"); got != 13 {
+		t.Errorf("promSum over merged = %v, want 13 (fleet-wide)", got)
+	}
+	if got := promSum([]byte(expoA), "no_such_metric"); got != 0 {
+		t.Errorf("promSum(absent) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("job-%04d", i)
+	}
+	return keys
+}
+
+func workerNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://worker-%d:8080", i)
+	}
+	return names
+}
+
+// TestRingBalance is the ISSUE's balance property: across 1k keys,
+// every member's share stays within 15% of the ideal 1/N.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(1000)
+	for _, n := range []int{2, 3, 4, 8} {
+		r := NewRing(0)
+		for _, w := range workerNames(n) {
+			r.Add(w)
+		}
+		counts := make(map[string]int)
+		for _, k := range keys {
+			owner, ok := r.Owner(k)
+			if !ok {
+				t.Fatal("no owner on a populated ring")
+			}
+			counts[owner]++
+		}
+		ideal := float64(len(keys)) / float64(n)
+		for w, c := range counts {
+			dev := (float64(c) - ideal) / ideal
+			if dev < -0.15 || dev > 0.15 {
+				t.Errorf("n=%d: %s owns %d keys (ideal %.0f, deviation %+.1f%%)",
+					n, w, c, ideal, dev*100)
+			}
+		}
+		if len(counts) != n {
+			t.Errorf("n=%d: only %d members received keys", n, len(counts))
+		}
+	}
+}
+
+// TestRingMinimalMovement is the ISSUE's churn property: a single join
+// or leave moves at most ~1/N of the keys (with slack for vnode
+// placement variance), and every key that moves on a join moves TO the
+// joiner — the surviving members never trade keys among themselves.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := ringKeys(1000)
+	owner := func(r *Ring, k string) string {
+		o, _ := r.Owner(k)
+		return o
+	}
+	for _, n := range []int{3, 4, 8} {
+		workers := workerNames(n + 1)
+		r := NewRing(0)
+		for _, w := range workers[:n] {
+			r.Add(w)
+		}
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k] = owner(r, k)
+		}
+
+		// Join: keys may move only to the new member.
+		joiner := workers[n]
+		r.Add(joiner)
+		moved := 0
+		for _, k := range keys {
+			if now := owner(r, k); now != before[k] {
+				moved++
+				if now != joiner {
+					t.Fatalf("n=%d join: key %s moved %s -> %s, not to the joiner",
+						n, k, before[k], now)
+				}
+			}
+		}
+		// Expected movement is 1/(N+1); allow 1.5x for vnode variance.
+		if limit := int(1.5 * float64(len(keys)) / float64(n+1)); moved > limit {
+			t.Errorf("n=%d join moved %d keys, want <= %d", n, moved, limit)
+		}
+
+		// Leave (remove the joiner): exactly the joiner's keys move back,
+		// everyone else keeps theirs — ownership returns to 'before'.
+		r.Remove(joiner)
+		for _, k := range keys {
+			if now := owner(r, k); now != before[k] {
+				t.Fatalf("n=%d leave: key %s settled on %s, want original %s",
+					n, k, now, before[k])
+			}
+		}
+	}
+}
+
+// TestRingOwnersReplicaList: Owners yields distinct members, the
+// primary first, and degrades gracefully when n exceeds membership.
+func TestRingOwnersReplicaList(t *testing.T) {
+	r := NewRing(0)
+	for _, w := range workerNames(3) {
+		r.Add(w)
+	}
+	owners := r.Owners("some-key", 5)
+	if len(owners) != 3 {
+		t.Fatalf("Owners(5) on 3 members = %v", owners)
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate member in replica list: %v", owners)
+		}
+		seen[o] = true
+	}
+	if primary, _ := r.Owner("some-key"); primary != owners[0] {
+		t.Fatalf("Owner %s != Owners[0] %s", primary, owners[0])
+	}
+	if got := NewRing(0).Owners("k", 2); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+}
+
+// TestRingDeterministic: placement is a pure function of membership —
+// insertion order does not matter.
+func TestRingDeterministic(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	ws := workerNames(4)
+	for _, w := range ws {
+		a.Add(w)
+	}
+	for i := len(ws) - 1; i >= 0; i-- {
+		b.Add(ws[i])
+	}
+	for _, k := range ringKeys(100) {
+		ao, _ := a.Owner(k)
+		bo, _ := b.Owner(k)
+		if ao != bo {
+			t.Fatalf("key %s: order-dependent placement %s vs %s", k, ao, bo)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/heatstroke-sim/heatstroke/internal/experiment"
+	"github.com/heatstroke-sim/heatstroke/pkg/api"
+)
+
+// warmKeysFor enumerates the warmup-snapshot keys the resolved request
+// will look up when it runs, without simulating anything (see
+// experiment.WarmKeys). The coordinator resolves requests with the
+// same version and base config as the workers, so these keys alias the
+// workers' warm caches exactly; with a mixed-version fleet they miss
+// and shipping degrades to a no-op — slower warmups, never wrong
+// results.
+func (c *Coordinator) warmKeysFor(ctx context.Context, req api.JobRequest) []string {
+	cfg := c.opts.BaseConfig()
+	if req.Scale > 0 {
+		cfg.Thermal.Scale = req.Scale
+	}
+	o := experiment.Options{
+		Config:      &cfg,
+		Benchmarks:  req.Benchmarks,
+		Quantum:     req.Quantum,
+		Warmup:      req.Warmup,
+		Seed:        *req.Seed,
+		SeedSet:     true,
+		CodeVersion: c.opts.Version,
+	}
+	keys, err := experiment.WarmKeys(ctx, req.Experiment, o)
+	if err != nil {
+		c.log.Info("warm key enumeration failed", "experiment", req.Experiment, "err", err)
+		return nil
+	}
+	return keys
+}
+
+// shipWarm makes sure the target worker holds every warmup snapshot
+// the job will want, before the job is submitted there. Sources, in
+// order: any other worker advertising the key in its stats, then the
+// coordinator's local SnapshotDir. Everything here is best-effort —
+// a missing or unshippable snapshot just means the target re-runs the
+// warmup itself (the snapshot store is a cache, not a dependency).
+//
+// This is what keeps warm hit rates intact across resharding: when a
+// key's owner changes (worker join/leave), the first dispatch to the
+// new owner carries the old owner's snapshot with it.
+func (c *Coordinator) shipWarm(ctx context.Context, target *worker, req api.JobRequest) {
+	if c.opts.DisableWarmShipping {
+		return
+	}
+	keys := c.warmKeysFor(ctx, req)
+	for _, key := range keys {
+		if target.hasWarm(key) {
+			continue
+		}
+		data := c.findSnapshot(ctx, key, target)
+		if data == nil {
+			continue
+		}
+		putCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err := target.cl.PutWarm(putCtx, key, data)
+		cancel()
+		if err != nil {
+			c.log.Info("warm ship failed", "key", shortID(key), "worker", target.label(), "err", err)
+			continue
+		}
+		target.setWarm(key)
+		c.met.warmShipped.Inc()
+		c.log.Info("warm snapshot shipped", "key", shortID(key), "worker", target.label(), "bytes", len(data))
+	}
+}
+
+// findSnapshot locates a warm snapshot in its wire form: first from a
+// worker that advertises the key (GET /v1/warm/{key}), then from the
+// coordinator's local snapshot directory. The on-disk .snap format is
+// the wire format (sim.WriteStateFile writes sim.WriteState bytes),
+// so local files ship verbatim.
+func (c *Coordinator) findSnapshot(ctx context.Context, key string, exclude *worker) []byte {
+	c.mu.Lock()
+	ws := make([]*worker, 0, len(c.workers))
+	for _, w := range c.workers {
+		ws = append(ws, w)
+	}
+	c.mu.Unlock()
+	for _, w := range ws {
+		if w == exclude || !w.isHealthy() || !w.hasWarm(key) {
+			continue
+		}
+		getCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		data, err := w.cl.FetchWarm(getCtx, key)
+		cancel()
+		if err == nil {
+			return data
+		}
+		c.log.Info("warm fetch failed", "key", shortID(key), "worker", w.label(), "err", err)
+	}
+	if c.opts.SnapshotDir != "" {
+		if data, err := os.ReadFile(filepath.Join(c.opts.SnapshotDir, key+".snap")); err == nil {
+			return data
+		}
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -16,6 +17,13 @@ import (
 type jobEntry struct {
 	id  string
 	req api.JobRequest // resolved: every default filled in
+
+	// ctx governs this job's run (derived from the server's base
+	// context); cancel aborts it. DELETE /v1/jobs/{id} — the hedging
+	// coordinator's "cancel the loser" path — calls cancel with a
+	// client-cancellation cause. Both are set before execute starts.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
 
 	mu      sync.Mutex
 	status  api.Status

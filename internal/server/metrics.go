@@ -24,8 +24,10 @@ type serverMetrics struct {
 	// sims[false]/sims[true] count individual simulations by failure.
 	sims map[bool]*telemetry.Counter
 
-	warmHits   *telemetry.Counter
-	warmMisses *telemetry.Counter
+	warmHits      *telemetry.Counter
+	warmMisses    *telemetry.Counter
+	warmServed    *telemetry.Counter
+	warmInstalled *telemetry.Counter
 
 	jobDur     *telemetry.Histogram
 	simDur     *telemetry.Histogram
@@ -54,6 +56,10 @@ func newServerMetrics(s *Server, version string) *serverMetrics {
 			"Warmup snapshots served from the persistent warmup cache."),
 		warmMisses: reg.Counter("heatstroked_warmup_cache_misses_total",
 			"Warmup-cache lookups that ran a fresh warmup instead."),
+		warmServed: reg.Counter("heatstroked_warm_snapshots_served_total",
+			"Warmup snapshots sent to fleet peers over GET /v1/warm/{key}."),
+		warmInstalled: reg.Counter("heatstroked_warm_snapshots_installed_total",
+			"Warmup snapshots installed from fleet peers over PUT /v1/warm/{key}."),
 		jobDur: reg.Histogram("heatstroked_job_duration_seconds",
 			"Wall time of executed jobs (queued-to-terminal, excluding cache hits).",
 			telemetry.DefLatencyBuckets),

@@ -84,10 +84,21 @@ type Options struct {
 	// Logf, when set and Logger is not, receives the same logs rendered
 	// as printf lines (legacy bridge; prefer Logger).
 	Logf func(format string, args ...any)
+	// Advertise is the address this daemon wants fleet peers to reach
+	// it at (reported in /v1/stats). A coordinator uses it to label the
+	// worker and to locate snapshot sources; the daemon itself only
+	// echoes it.
+	Advertise string
+	// FleetToken, when set, gates the warmup-snapshot transfer
+	// endpoints (GET/PUT /v1/warm/{key}) behind a shared bearer token.
+	// Empty leaves them open (fine on a trusted network; set it when
+	// workers are reachable beyond the fleet).
+	FleetToken string
 
-	// beforeRun, when set, is called immediately before each sweep
-	// starts (test hook: lets tests hold jobs in-flight).
-	beforeRun func(id string)
+	// BeforeRun, when set, is called immediately before each sweep
+	// starts (test and fault-injection hook: lets callers hold jobs
+	// in-flight or kill a worker mid-job deterministically).
+	BeforeRun func(id string)
 }
 
 // errShutdown is the cancellation cause during Shutdown. It wraps
@@ -128,7 +139,7 @@ func New(opts Options) (*Server, error) {
 		opts.BaseConfig = config.Default
 	}
 	if opts.Version == "" {
-		opts.Version = buildVersion()
+		opts.Version = BuildVersion()
 	}
 	log := opts.Logger
 	if log == nil {
@@ -158,6 +169,9 @@ func New(opts Options) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/warm/{key}", s.handleWarmGet)
+	s.mux.HandleFunc("PUT /v1/warm/{key}", s.handleWarmPut)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleArtifact)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
@@ -199,14 +213,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Stats returns a snapshot of the serving counters.
+// Stats returns a snapshot of the serving counters, plus the
+// fleet-discovery fields: the advertised address and the warmup
+// snapshots this daemon can serve over /v1/warm/{key}.
 func (s *Server) Stats() api.Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.stats
 	st.Queued = s.queued
 	st.Running = s.running
 	st.Jobs = len(s.jobs)
+	s.mu.Unlock()
+	st.Advertise = s.opts.Advertise
+	if s.warm != nil {
+		st.WarmKeys = s.warm.Keys()
+	}
 	return st
 }
 
@@ -214,6 +234,21 @@ func (s *Server) Stats() api.Stats {
 // returned request has every default filled in (so it round-trips:
 // resubmitting a resolved request yields the same ID).
 func (s *Server) resolve(req api.JobRequest) (api.JobRequest, string, error) {
+	return Resolve(s.opts.Version, s.opts.BaseConfig, req)
+}
+
+// Resolve normalizes a job request against a base configuration and
+// derives its content address: the digest identical requests share.
+// It is the one key-derivation path — the daemon uses it for its
+// result cache, and the fleet coordinator (internal/fleet) uses the
+// same function so shard placement hashes the very key the worker
+// will cache under (same build and base config on both sides; with a
+// mixed-version fleet the placements still land deterministically,
+// the keys just stop aliasing across versions, as they must).
+func Resolve(version string, base func() config.Config, req api.JobRequest) (api.JobRequest, string, error) {
+	if base == nil {
+		base = config.Default
+	}
 	req.Experiment = strings.TrimSpace(req.Experiment)
 	if _, ok := experiment.Describe(req.Experiment); !ok {
 		return req, "", fmt.Errorf("unknown experiment %q (have %v)", req.Experiment, experiment.Names())
@@ -236,7 +271,7 @@ func (s *Server) resolve(req api.JobRequest) (api.JobRequest, string, error) {
 	if req.Scale < 0 {
 		return req, "", fmt.Errorf("scale must be non-negative")
 	}
-	cfg := s.opts.BaseConfig()
+	cfg := base()
 	if req.Scale > 0 {
 		cfg.Thermal.Scale = req.Scale
 	}
@@ -269,7 +304,7 @@ func (s *Server) resolve(req api.JobRequest) (api.JobRequest, string, error) {
 		Warmup     int64    `json:"warmup"`
 		Seed       int64    `json:"seed"`
 		Benchmarks []string `json:"benchmarks"`
-	}{s.opts.Version, req.Experiment, cfg.Digest(), req.Quantum, req.Warmup, *req.Seed, req.Benchmarks}
+	}{version, req.Experiment, cfg.Digest(), req.Quantum, req.Warmup, *req.Seed, req.Benchmarks}
 	b, err := json.Marshal(key)
 	if err != nil {
 		return req, "", err
@@ -358,6 +393,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.cacheMisses.Inc()
 	e := newJobEntry(id, resolved, s.met)
+	e.ctx, e.cancel = context.WithCancelCause(s.baseCtx)
 	s.jobs[id] = e
 	s.queued++
 	s.wg.Add(1)
@@ -379,14 +415,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // and persist it.
 func (s *Server) execute(e *jobEntry) {
 	defer s.wg.Done()
+	defer e.cancel(nil)
 	select {
 	case s.sem <- struct{}{}:
-	case <-s.baseCtx.Done():
-		// Canceled while still queued: never simulated.
+	case <-e.ctx.Done():
+		// Canceled while still queued (shutdown or a client DELETE):
+		// never simulated.
 		s.mu.Lock()
 		s.queued--
 		s.mu.Unlock()
-		e.finish(api.StatusCanceled, nil, context.Cause(s.baseCtx))
+		e.finish(api.StatusCanceled, nil, context.Cause(e.ctx))
 		s.persist(e)
 		return
 	}
@@ -397,13 +435,13 @@ func (s *Server) execute(e *jobEntry) {
 	s.mu.Unlock()
 	e.setStatus(api.StatusRunning)
 
-	runCtx := s.baseCtx
+	runCtx := e.ctx
 	var cancel context.CancelFunc
 	if s.opts.JobTimeout > 0 {
 		runCtx, cancel = context.WithTimeout(runCtx, s.opts.JobTimeout)
 	}
-	if s.opts.beforeRun != nil {
-		s.opts.beforeRun(e.id)
+	if s.opts.BeforeRun != nil {
+		s.opts.BeforeRun(e.id)
 	}
 	start := time.Now()
 	table, err := experiment.RunContext(runCtx, e.req.Experiment, s.expOptions(e))
@@ -445,6 +483,32 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job")
 		return
 	}
+	writeJSON(w, http.StatusOK, e.snapshot())
+}
+
+// errClientCanceled is the cancellation cause for DELETE /v1/jobs/{id}
+// (a coordinator cancelling the losing side of a hedged dispatch, or
+// any client abandoning a run). It wraps context.Canceled so the job
+// classifies as canceled, keeping its partial summary.
+var errClientCanceled = fmt.Errorf("canceled by client request: %w", context.Canceled)
+
+// handleCancel aborts a queued or running job. Cancellation is
+// asynchronous: the response carries the job's snapshot at signal
+// time, and the job reaches StatusCanceled once its running
+// simulations wind down (poll or stream events for the terminal
+// state). Cancelling an already-terminal job is a no-op; note a
+// canceled entry is evicted and re-run on the next identical submit,
+// so cancellation also cancels for any clients coalesced onto the job.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	e := s.lookup(r.PathValue("id"))
+	if e == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	if e.cancel != nil {
+		e.cancel(errClientCanceled)
+	}
+	s.log.Info("job cancel requested", "job", shortID(e.id))
 	writeJSON(w, http.StatusOK, e.snapshot())
 }
 
@@ -524,8 +588,12 @@ func shortID(id string) string {
 	return id
 }
 
-// buildVersion derives the code version from the binary's VCS stamp.
-func buildVersion() string {
+// BuildVersion derives the code version from the binary's VCS stamp
+// (else "dev"). It is the default Options.Version — exported so the
+// fleet coordinator (internal/fleet), built from the same source,
+// defaults to the same version and its shard keys and warm keys alias
+// the workers' caches.
+func BuildVersion() string {
 	if info, ok := debug.ReadBuildInfo(); ok {
 		var rev, dirty string
 		for _, kv := range info.Settings {

@@ -121,7 +121,7 @@ func TestCoalescingAndCache(t *testing.T) {
 	entered := make(chan string, 1)
 	release := make(chan struct{})
 	s, ts := newTestServer(t, func(o *Options) {
-		o.beforeRun = func(id string) {
+		o.BeforeRun = func(id string) {
 			entered <- id
 			<-release
 		}
@@ -271,7 +271,7 @@ func TestSSEMonotonicProgress(t *testing.T) {
 	entered := make(chan string, 1)
 	release := make(chan struct{})
 	_, ts := newTestServer(t, func(o *Options) {
-		o.beforeRun = func(id string) {
+		o.BeforeRun = func(id string) {
 			entered <- id
 			<-release
 		}
@@ -345,7 +345,7 @@ func TestBackpressure(t *testing.T) {
 	s, ts := newTestServer(t, func(o *Options) {
 		o.MaxConcurrent = 1
 		o.MaxQueue = 1
-		o.beforeRun = func(id string) {
+		o.BeforeRun = func(id string) {
 			entered <- id
 			<-release
 		}

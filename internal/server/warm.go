@@ -4,6 +4,8 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
 	"github.com/heatstroke-sim/heatstroke/internal/sim"
@@ -58,6 +60,33 @@ func (ws *warmStore) Get(key string) (*sim.MachineState, bool) {
 	ws.mu.Unlock()
 	ws.met.warmHits.Inc()
 	return ms, true
+}
+
+// Keys lists every warm key the store can serve, memory and disk
+// union, sorted. This is what /v1/stats advertises to the fleet
+// coordinator, so it is the discovery side of snapshot shipping.
+func (ws *warmStore) Keys() []string {
+	seen := make(map[string]bool)
+	ws.mu.Lock()
+	for k := range ws.mem {
+		seen[k] = true
+	}
+	ws.mu.Unlock()
+	if entries, err := os.ReadDir(ws.dir); err == nil {
+		for _, de := range entries {
+			name := de.Name()
+			if de.IsDir() || !strings.HasSuffix(name, ".snap") {
+				continue
+			}
+			seen[strings.TrimSuffix(name, ".snap")] = true
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Put implements experiment.SnapshotStore. Disk failures only log —

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"crypto/subtle"
+	"net/http"
+
+	"github.com/heatstroke-sim/heatstroke/internal/sim"
+)
+
+// Warmup-snapshot transfer: the fleet coordinator keeps warm-reuse hit
+// rates alive across resharding by copying .snap gobs between workers
+// — GET /v1/warm/{key} reads one out of this daemon's warmup cache,
+// PUT /v1/warm/{key} installs one into it. The payload is exactly the
+// sim.WriteState on-disk form (magic header + versioned gob), so a
+// snapshot file, a GET body, and a PUT body are interchangeable; PUT
+// decodes before installing, so a torn or stale-format upload is
+// rejected instead of poisoning the cache. Both endpoints require the
+// warmup cache (-warmup-cache-dir) and, when Options.FleetToken is
+// set, a matching bearer token.
+
+// fleetAuthorized checks the shared-token gate on the transfer
+// endpoints. An empty configured token leaves them open.
+func (s *Server) fleetAuthorized(r *http.Request) bool {
+	if s.opts.FleetToken == "" {
+		return true
+	}
+	got := r.Header.Get("Authorization")
+	want := "Bearer " + s.opts.FleetToken
+	return subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1
+}
+
+// validWarmKey gates the path parameter: warm keys are lowercase
+// sha256 hex digests, and since they double as cache filenames nothing
+// else may reach the store.
+func validWarmKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) warmTransferOK(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if !s.fleetAuthorized(r) {
+		writeError(w, http.StatusUnauthorized, "missing or wrong fleet token")
+		return "", false
+	}
+	if s.warm == nil {
+		writeError(w, http.StatusNotFound, "warmup cache disabled (run with -warmup-cache-dir)")
+		return "", false
+	}
+	key := r.PathValue("key")
+	if !validWarmKey(key) {
+		writeError(w, http.StatusBadRequest, "warm key must be a sha256 hex digest")
+		return "", false
+	}
+	return key, true
+}
+
+func (s *Server) handleWarmGet(w http.ResponseWriter, r *http.Request) {
+	key, ok := s.warmTransferOK(w, r)
+	if !ok {
+		return
+	}
+	ms, ok := s.warm.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no warmup snapshot for key")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := sim.WriteState(w, ms); err != nil {
+		// Headers are gone; all we can do is log and drop the
+		// connection mid-body so the peer sees a truncated gob (which
+		// its decode rejects).
+		s.log.Info("warm snapshot send failed", "key", shortID(key), "err", err)
+	}
+	s.met.warmServed.Inc()
+}
+
+func (s *Server) handleWarmPut(w http.ResponseWriter, r *http.Request) {
+	key, ok := s.warmTransferOK(w, r)
+	if !ok {
+		return
+	}
+	// Decode (and thereby validate) before installing: ReadState
+	// checks the magic header and the snapshot format version, so a
+	// corrupt or incompatible upload is a 400, never a cache entry.
+	ms, err := sim.ReadState(http.MaxBytesReader(w, r.Body, 1<<30))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad snapshot payload: %v", err)
+		return
+	}
+	s.warm.Put(key, ms)
+	s.met.warmInstalled.Inc()
+	s.log.Info("warm snapshot installed", "key", shortID(key))
+	w.WriteHeader(http.StatusNoContent)
+}

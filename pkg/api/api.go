@@ -6,14 +6,24 @@
 //
 // Endpoints (all JSON unless noted):
 //
-//	POST /v1/jobs                    submit a job; identical requests are
+//	POST   /v1/jobs                  submit a job; identical requests are
 //	                                 content-addressed to one result
-//	GET  /v1/jobs/{id}               status + summary
-//	GET  /v1/jobs/{id}/artifact      rendered table (?format=table|json|csv)
-//	GET  /v1/jobs/{id}/events        SSE progress stream
-//	GET  /v1/experiments             experiment registry listing
-//	GET  /v1/stats                   serving counters
-//	GET  /healthz, GET /readyz       liveness / readiness
+//	GET    /v1/jobs/{id}             status + summary
+//	DELETE /v1/jobs/{id}             cancel a queued or running job
+//	GET    /v1/jobs/{id}/artifact    rendered table (?format=table|json|csv)
+//	GET    /v1/jobs/{id}/events      SSE progress stream
+//	GET    /v1/experiments           experiment registry listing
+//	GET    /v1/stats                 serving counters
+//	GET    /v1/warm/{key}            warmup snapshot gob (fleet shipping)
+//	PUT    /v1/warm/{key}            install a warmup snapshot
+//	GET    /healthz, GET /readyz     liveness / readiness
+//
+// The fleet coordinator (internal/fleet, cmd/heatstroke-fleet) serves
+// the same job surface plus worker membership:
+//
+//	GET    /v1/workers               registered workers + health
+//	POST   /v1/workers               register a worker {"url": ...}
+//	DELETE /v1/workers?url=...       deregister a worker
 package api
 
 import "github.com/heatstroke-sim/heatstroke/internal/sweep"
@@ -114,6 +124,56 @@ type Stats struct {
 	Queued    int   `json:"queued"`
 	Running   int   `json:"running"`
 	Jobs      int   `json:"jobs"` // entries resident (cache + active)
+	// Advertise is the address the daemon wants peers to reach it at
+	// (the -advertise flag); empty when the daemon is not fleet-aware.
+	Advertise string `json:"advertise,omitempty"`
+	// WarmKeys lists the warmup-snapshot keys resident in the daemon's
+	// warmup cache (memory or disk), so a fleet coordinator can
+	// discover snapshot locations from a single stats poll instead of
+	// probing /v1/warm/{key} per key.
+	WarmKeys []string `json:"warm_keys,omitempty"`
+}
+
+// WorkerRegistration is the body of the coordinator's
+// POST /v1/workers: one worker joining (or rejoining) the fleet.
+type WorkerRegistration struct {
+	// URL is the worker's base URL as the coordinator should dial it.
+	URL string `json:"url"`
+}
+
+// WorkerInfo is the coordinator's view of one registered worker
+// (GET /v1/workers, and embedded per-worker in FleetStats).
+type WorkerInfo struct {
+	URL string `json:"url"`
+	// Name labels the worker in aggregated metrics and logs: the
+	// worker's advertised address when it reports one, else URL.
+	Name    string `json:"name"`
+	Healthy bool   `json:"healthy"`
+	// Stats is the worker's own /v1/stats snapshot from the last
+	// successful poll (nil before the first one succeeds).
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// FleetStats are the coordinator's serving counters plus every
+// worker's latest stats (coordinator GET /v1/stats).
+type FleetStats struct {
+	// Submitted / CacheHits / Coalesced mirror the single-daemon
+	// counters, observed at the coordinator's edge.
+	Submitted int64 `json:"submitted"`
+	CacheHits int64 `json:"cache_hits"`
+	Coalesced int64 `json:"coalesced"`
+	// Retries counts dispatch attempts after a worker failure; Hedges
+	// counts straggler jobs speculatively duplicated onto a second
+	// replica; HedgeWins counts hedges that finished first.
+	Retries   int64 `json:"retries"`
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
+	// WarmShipped counts warmup snapshots copied between workers
+	// before dispatch so warm-reuse hit rates survive resharding.
+	WarmShipped int64 `json:"warm_shipped"`
+	// Jobs counts job entries tracked by the coordinator.
+	Jobs    int          `json:"jobs"`
+	Workers []WorkerInfo `json:"workers"`
 }
 
 // Error is the JSON error envelope for non-2xx responses.

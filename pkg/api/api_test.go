@@ -1,0 +1,124 @@
+package api
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/sweep"
+)
+
+// ptr helps build optional fields.
+func ptr[T any](v T) *T { return &v }
+
+// roundTrip encodes v, decodes into a fresh value of the same type,
+// and fails unless the two are deep-equal. The wire types carry no
+// unexported or non-JSON state, so marshal→unmarshal must be lossless.
+func roundTrip[T any](t *testing.T, v T) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	var got T
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal %T: %v", v, err)
+	}
+	if !reflect.DeepEqual(v, got) {
+		t.Errorf("%T round trip:\n in  %+v\n out %+v\n wire %s", v, v, got, b)
+	}
+}
+
+func TestWireTypesRoundTrip(t *testing.T) {
+	roundTrip(t, JobRequest{
+		Experiment: "fig5",
+		Benchmarks: []string{"crafty", "mcf"},
+		Quantum:    60_000,
+		Warmup:     1_000,
+		Scale:      35,
+		Seed:       ptr(int64(0)), // literal seed 0 must survive the wire
+	})
+	roundTrip(t, JobStatus{
+		ID:         "deadbeef",
+		Experiment: "fig5",
+		Request:    JobRequest{Experiment: "fig5"},
+		Status:     StatusRunning,
+		Cached:     true,
+		Coalesced:  true,
+		Progress:   Progress{Completed: 3, Total: 9, PeakTempK: 356.5, CyclesPerSec: 1e6, SimCycles: 1.8e5},
+		Summary: &sweep.Summary{
+			Jobs:      9,
+			Succeeded: 3,
+			Metrics:   map[string]sweep.Agg{"peak_temp_k": {Count: 3, Sum: 1069.5, Max: 356.5, Min: 356.0}},
+		},
+		Error: "boom",
+	})
+	roundTrip(t, Stats{
+		Submitted: 10, Runs: 4, CacheHits: 3, Coalesced: 2, Rejected: 1,
+		Queued: 1, Running: 2, Jobs: 7,
+		Advertise: "10.0.0.7:8080",
+		WarmKeys:  []string{"aa", "bb"},
+	})
+	roundTrip(t, Event{Type: "progress", Progress: &Progress{Completed: 1, Total: 2}})
+	roundTrip(t, Event{Type: "done", Job: &JobStatus{ID: "x", Status: StatusDone}})
+	roundTrip(t, Error{Code: 429, Message: "queue full"})
+	roundTrip(t, ExperimentInfo{Name: "fig3", Title: "t", Description: "d"})
+	roundTrip(t, WorkerRegistration{URL: "http://w1:8080"})
+	roundTrip(t, WorkerInfo{
+		URL: "http://w1:8080", Name: "w1", Healthy: true,
+		Stats: &Stats{Submitted: 1, WarmKeys: []string{"k"}},
+	})
+	roundTrip(t, FleetStats{
+		Submitted: 5, CacheHits: 1, Coalesced: 1,
+		Retries: 2, Hedges: 1, HedgeWins: 1, WarmShipped: 3, Jobs: 4,
+		Workers: []WorkerInfo{{URL: "http://w1:8080", Name: "w1", Healthy: true}},
+	})
+}
+
+// TestSeedPointerDistinguishesAbsentFromZero pins the protocol detail
+// the server's seed round-tripping depends on: an absent seed and a
+// literal zero seed must encode differently.
+func TestSeedPointerDistinguishesAbsentFromZero(t *testing.T) {
+	absent, _ := json.Marshal(JobRequest{Experiment: "fig3"})
+	zero, _ := json.Marshal(JobRequest{Experiment: "fig3", Seed: ptr(int64(0))})
+	if string(absent) == string(zero) {
+		t.Fatalf("absent and zero seed encode identically: %s", absent)
+	}
+	var back JobRequest
+	if err := json.Unmarshal(zero, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed == nil || *back.Seed != 0 {
+		t.Fatalf("literal seed 0 lost on the wire: %+v", back.Seed)
+	}
+}
+
+// TestUnknownFieldTolerance pins the protocol's forward compatibility:
+// a newer peer may add fields, and an older one must ignore them
+// rather than erroring — that is what lets coordinator and workers be
+// upgraded independently. (encoding/json does this by default; the
+// test exists so nobody "tightens" decoding with DisallowUnknownFields
+// on a shared path without tripping it.)
+func TestUnknownFieldTolerance(t *testing.T) {
+	cases := []struct {
+		name string
+		into any
+		wire string
+	}{
+		{"JobRequest", &JobRequest{}, `{"experiment":"fig3","benchmarks":["mcf"],"hedge_class":"gold","priority":9}`},
+		{"JobStatus", &JobStatus{}, `{"id":"x","status":"done","placement":{"worker":"w1"},"attempt":2}`},
+		{"Stats", &Stats{}, `{"submitted":3,"gpu_seconds":1.5,"warm_keys":["k"]}`},
+		{"FleetStats", &FleetStats{}, `{"submitted":3,"workers":[{"url":"u","shard_epoch":7}],"ring_version":12}`},
+		{"Event", &Event{}, `{"type":"progress","progress":{"completed":1,"total":2,"eta_s":3.5}}`},
+	}
+	for _, tc := range cases {
+		if err := json.Unmarshal([]byte(tc.wire), tc.into); err != nil {
+			t.Errorf("%s: unknown fields rejected: %v", tc.name, err)
+		}
+	}
+	// Spot-check that known fields still landed.
+	var st Stats
+	if err := json.Unmarshal([]byte(`{"submitted":3,"future":true}`), &st); err != nil || st.Submitted != 3 {
+		t.Fatalf("known field lost among unknown ones: %+v err=%v", st, err)
+	}
+}

@@ -13,12 +13,73 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/heatstroke-sim/heatstroke/pkg/api"
 )
+
+// RetryPolicy governs the client's automatic retries of transient
+// server responses: 429 (queue backpressure), 502, and 503. Retried
+// requests are safe to repeat — the daemon content-addresses
+// submissions, so a duplicate POST joins the original job rather than
+// starting another simulation. Transport-level errors are NOT retried:
+// a fleet coordinator wants an unreachable worker to surface
+// immediately so it can re-dispatch, and plain callers see the real
+// error.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms). Attempt
+	// n waits a uniformly jittered [0, BaseDelay*2^n), capped at
+	// MaxDelay — full jitter, so synchronized clients (a sweep fan-out
+	// hitting one 429ing daemon) spread out instead of re-colliding.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff wait (default 5s).
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is the policy used when Client.Retry is nil.
+var DefaultRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+
+// delay computes the jittered wait before retry number attempt
+// (0-based), honouring a Retry-After header when the server sent one:
+// an explicit Retry-After is the server's own pacing and is used
+// verbatim (still capped at MaxDelay).
+func (p RetryPolicy) delay(attempt int, retryAfter string) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		d := time.Duration(secs) * time.Second
+		if d > p.MaxDelay {
+			return p.MaxDelay
+		}
+		return d
+	}
+	if t, err := http.ParseTime(retryAfter); err == nil {
+		if d := time.Until(t); d > 0 {
+			if d > p.MaxDelay {
+				return p.MaxDelay
+			}
+			return d
+		}
+		return 0
+	}
+	ceil := p.BaseDelay << uint(attempt)
+	if ceil <= 0 || ceil > p.MaxDelay {
+		ceil = p.MaxDelay
+	}
+	return time.Duration(rand.Int63n(int64(ceil) + 1))
+}
+
+// retryableStatus reports whether a response status is worth retrying.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests ||
+		code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable
+}
 
 // Client talks to one heatstroked daemon.
 type Client struct {
@@ -31,6 +92,14 @@ type Client struct {
 	// PollInterval paces Wait's status polling when the event stream
 	// is unavailable (default 500ms).
 	PollInterval time.Duration
+	// Retry configures transient-failure retries (nil = DefaultRetry;
+	// &RetryPolicy{MaxAttempts: 1} disables them). Every wait is
+	// context-bounded: a cancelled context ends the retry budget
+	// immediately, whatever the policy says.
+	Retry *RetryPolicy
+	// Token, when set, is sent as "Authorization: Bearer <Token>" on
+	// every request (the daemon's fleet-token gate on /v1/warm).
+	Token string
 }
 
 // New returns a client for the daemon at baseURL.
@@ -45,6 +114,63 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+func (c *Client) retry() RetryPolicy {
+	p := DefaultRetry
+	if c.Retry != nil {
+		p = *c.Retry
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetry.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetry.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetry.MaxDelay
+	}
+	return p
+}
+
+// do issues one API request with the retry policy applied: transient
+// statuses (429/502/503) are retried with jittered exponential backoff
+// honouring Retry-After, until the policy's attempt budget or the
+// context runs out. The caller owns the returned response body.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string) (*http.Response, error) {
+	pol := c.retry()
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		if c.Token != "" {
+			req.Header.Set("Authorization", "Bearer "+c.Token)
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if !retryableStatus(resp.StatusCode) || attempt+1 >= pol.MaxAttempts {
+			return resp, nil
+		}
+		wait := pol.delay(attempt, resp.Header.Get("Retry-After"))
+		// Drain so the connection is reusable, then back off.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close()
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
 // apiError converts a non-2xx response into an error, decoding the
 // server's JSON envelope when present.
 func apiError(resp *http.Response) error {
@@ -57,11 +183,7 @@ func apiError(resp *http.Response) error {
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.do(ctx, http.MethodGet, path, nil, "")
 	if err != nil {
 		return err
 	}
@@ -74,18 +196,15 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 
 // Submit posts a job. The returned status may already be terminal
 // (Cached) or joined to an in-flight run (Coalesced); identical
-// requests always return the same job ID.
+// requests always return the same job ID. A 429 (queue backpressure)
+// is retried under the client's RetryPolicy — resubmission is safe
+// because identical requests content-address to one job.
 func (c *Client) Submit(ctx context.Context, jr api.JobRequest) (*api.JobStatus, error) {
 	body, err := json.Marshal(jr)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(req)
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", body, "application/json")
 	if err != nil {
 		return nil, err
 	}
@@ -100,6 +219,55 @@ func (c *Client) Submit(ctx context.Context, jr api.JobRequest) (*api.JobStatus,
 	return &st, nil
 }
 
+// Cancel aborts a queued or running job (DELETE /v1/jobs/{id}).
+// Cancellation is asynchronous: the returned snapshot may still be
+// running; poll or Wait for the terminal canceled state. The fleet
+// coordinator uses this to put down the losing side of a hedged
+// dispatch.
+func (c *Client) Cancel(ctx context.Context, id string) (*api.JobStatus, error) {
+	resp, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var st api.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// FetchWarm downloads a warmup snapshot (GET /v1/warm/{key}) in the
+// sim.WriteState wire form, suitable for PutWarm on another daemon.
+func (c *Client) FetchWarm(ctx context.Context, key string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/warm/"+key, nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// PutWarm installs a warmup snapshot (PUT /v1/warm/{key}) on the
+// daemon, making its warm key servable there without re-warming.
+func (c *Client) PutWarm(ctx context.Context, key string, snapshot []byte) error {
+	resp, err := c.do(ctx, http.MethodPut, "/v1/warm/"+key, snapshot, "application/octet-stream")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return nil
+}
+
 // Job fetches a job's current status.
 func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
 	var st api.JobStatus
@@ -112,15 +280,11 @@ func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
 // Artifact fetches a completed job's rendered table in the given
 // format ("table", "json", or "csv"; empty means "table").
 func (c *Client) Artifact(ctx context.Context, id, format string) ([]byte, error) {
-	url := c.BaseURL + "/v1/jobs/" + id + "/artifact"
+	path := "/v1/jobs/" + id + "/artifact"
 	if format != "" {
-		url += "?format=" + format
+		path += "?format=" + format
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.do(ctx, http.MethodGet, path, nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -152,11 +316,7 @@ func (c *Client) Stats(ctx context.Context) (*api.Stats, error) {
 // Metrics fetches the daemon's Prometheus text-format exposition
 // (GET /metrics), returned verbatim.
 func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -167,11 +327,15 @@ func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
-// Healthy checks the liveness endpoint.
+// Healthy checks the liveness endpoint. It deliberately skips the
+// retry policy: health probes want the instantaneous truth.
 func (c *Client) Healthy(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
 	if err != nil {
 		return err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -189,12 +353,10 @@ func (c *Client) Healthy(ctx context.Context) error {
 // error, or ctx is cancelled. A nil return means the terminal event
 // was received.
 func (c *Client) Events(ctx context.Context, id string, fn func(api.Event) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Accept", "text/event-stream")
-	resp, err := c.http().Do(req)
+	// The retrying path covers the connection handshake (a 503 from a
+	// restarting daemon); once the stream is up, breaks surface to the
+	// caller, which falls back to polling (see Wait).
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/events", nil, "")
 	if err != nil {
 		return err
 	}

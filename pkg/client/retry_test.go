@@ -1,0 +1,153 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/heatstroke-sim/heatstroke/pkg/api"
+	"github.com/heatstroke-sim/heatstroke/pkg/client"
+)
+
+// flaky429 serves n transient failures before succeeding, recording
+// how many attempts it saw.
+type flaky429 struct {
+	fail     int32 // remaining failures
+	code     int
+	attempts int32
+	retryHdr string
+}
+
+func (f *flaky429) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	atomic.AddInt32(&f.attempts, 1)
+	if atomic.AddInt32(&f.fail, -1) >= 0 {
+		if f.retryHdr != "" {
+			w.Header().Set("Retry-After", f.retryHdr)
+		}
+		w.WriteHeader(f.code)
+		json.NewEncoder(w).Encode(api.Error{Code: f.code, Message: "try later"})
+		return
+	}
+	switch {
+	case r.Method == http.MethodPost:
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(api.JobStatus{ID: "ok", Status: api.StatusQueued})
+	default:
+		json.NewEncoder(w).Encode(api.Stats{Submitted: 42})
+	}
+}
+
+func fastRetry(attempts int) *client.RetryPolicy {
+	return &client.RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond}
+}
+
+// TestRetryTransientStatuses: each of 429/502/503 is retried until
+// success within the attempt budget; the call succeeds transparently.
+func TestRetryTransientStatuses(t *testing.T) {
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable} {
+		h := &flaky429{fail: 2, code: code}
+		ts := httptest.NewServer(h)
+		c := client.New(ts.URL)
+		c.Retry = fastRetry(4)
+		st, err := c.Submit(context.Background(), api.JobRequest{Experiment: "fig3"})
+		ts.Close()
+		if err != nil {
+			t.Fatalf("code %d: submit after retries: %v", code, err)
+		}
+		if st.ID != "ok" || atomic.LoadInt32(&h.attempts) != 3 {
+			t.Fatalf("code %d: id=%q attempts=%d, want ok after 3", code, st.ID, h.attempts)
+		}
+	}
+}
+
+// TestRetryBudgetExhausted: when every attempt fails the final error
+// carries the server's status, and exactly MaxAttempts requests were
+// made — no unbounded spinning.
+func TestRetryBudgetExhausted(t *testing.T) {
+	h := &flaky429{fail: 100, code: http.StatusTooManyRequests}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	c.Retry = fastRetry(3)
+	_, err := c.Submit(context.Background(), api.JobRequest{Experiment: "fig3"})
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("want 429 error after exhausting budget, got %v", err)
+	}
+	if got := atomic.LoadInt32(&h.attempts); got != 3 {
+		t.Fatalf("attempts = %d, want exactly MaxAttempts", got)
+	}
+}
+
+// TestRetryDisabled: MaxAttempts 1 restores the old single-shot
+// behaviour (a 429 surfaces straight to the caller).
+func TestRetryDisabled(t *testing.T) {
+	h := &flaky429{fail: 1, code: http.StatusTooManyRequests}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	c.Retry = &client.RetryPolicy{MaxAttempts: 1}
+	if _, err := c.Submit(context.Background(), api.JobRequest{Experiment: "fig3"}); err == nil {
+		t.Fatal("want immediate 429 with retries disabled")
+	}
+	if got := atomic.LoadInt32(&h.attempts); got != 1 {
+		t.Fatalf("attempts = %d, want 1", got)
+	}
+}
+
+// TestRetryHonorsRetryAfter: the server's Retry-After pacing is used
+// instead of the backoff schedule.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	h := &flaky429{fail: 1, code: http.StatusServiceUnavailable, retryHdr: "1"}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	c.Retry = &client.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 30 * time.Second}
+	start := time.Now()
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retried after %v; Retry-After: 1 demands ~1s", elapsed)
+	}
+}
+
+// TestRetryContextBounded: a context cancelled mid-backoff aborts the
+// retry loop promptly with the context's error.
+func TestRetryContextBounded(t *testing.T) {
+	h := &flaky429{fail: 100, code: http.StatusTooManyRequests, retryHdr: "30"}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	c.Retry = &client.RetryPolicy{MaxAttempts: 10, BaseDelay: time.Second, MaxDelay: time.Minute}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Stats(ctx)
+	if err == nil || ctx.Err() == nil {
+		t.Fatalf("want context-bounded failure, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retry loop outlived its context")
+	}
+}
+
+// TestNonRetryableStatusSurfaces: a 400 is the caller's problem, not a
+// transient — exactly one attempt.
+func TestNonRetryableStatusSurfaces(t *testing.T) {
+	h := &flaky429{fail: 100, code: http.StatusBadRequest}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := client.New(ts.URL)
+	c.Retry = fastRetry(5)
+	if _, err := c.Stats(context.Background()); err == nil {
+		t.Fatal("want 400 error")
+	}
+	if got := atomic.LoadInt32(&h.attempts); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (400 is not retryable)", got)
+	}
+}
