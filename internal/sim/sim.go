@@ -113,7 +113,11 @@ type Simulator struct {
 	threads []Thread
 	reports []score.Report
 	events  *telemetry.EventLog
-	warmed  bool
+	// unitTemp is net.UnitTemp bound once at construction: policy.Tick
+	// takes it as a func value, and rebuilding the bound method every
+	// sensor interval was one heap allocation per interval.
+	unitTemp func(power.Unit) float64
+	warmed   bool
 	// started flips at the first RunCycles; WarmupSnapshot refuses to
 	// run after it (the state would no longer be policy-agnostic).
 	started bool
@@ -190,6 +194,7 @@ func New(cfg config.Config, threads []Thread, opts Options) (*Simulator, error) 
 	net.InitSteady(model.SteadyPowers(power.TypicalRates()))
 
 	s := &Simulator{cfg: cfg, core: c, model: model, net: net, opts: opts, threads: threads}
+	s.unitTemp = net.UnitTemp
 	if opts.CollectEvents {
 		s.events = &telemetry.EventLog{}
 	}
@@ -338,6 +343,11 @@ func (s *Simulator) BeginRun(quantum int64) error {
 		qr.startStats[tid] = s.core.Stats(tid)
 		qr.startRF[tid] = s.core.Activity().Thread(tid, power.UnitIntReg)
 	}
+	if s.opts.TraceTemps {
+		// One entry per sensor boundary: size the trace up front so the
+		// appends in StepRun never grow the backing array.
+		qr.res.RFTrace = make([]float64, 0, quantum/int64(s.cfg.Thermal.SensorIntervalCycles)+1)
+	}
 	if s.opts.Recorder != nil {
 		for tid := range s.threads {
 			qr.lastCommitted[tid] = s.core.Stats(tid).Committed
@@ -396,7 +406,7 @@ func (s *Simulator) StepRun(upTo int64) (bool, error) {
 			} else {
 				qr.aboveEmergency = false
 			}
-			s.policy.Tick(s.core.Cycle(), maxT, s.net.UnitTemp)
+			s.policy.Tick(s.core.Cycle(), maxT, s.unitTemp)
 			if s.opts.TraceTemps {
 				res.RFTrace = append(res.RFTrace, s.net.UnitTemp(power.UnitIntReg))
 			}
