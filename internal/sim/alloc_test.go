@@ -5,6 +5,7 @@ import (
 
 	"github.com/heatstroke-sim/heatstroke/internal/config"
 	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/trace"
 	"github.com/heatstroke-sim/heatstroke/internal/workload"
 )
 
@@ -24,9 +25,14 @@ func allocSim(t *testing.T, policy dtm.Kind, opts Options) *Simulator {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// One full quantum grows every buffer to its high-water mark.
+	// One full quantum grows every buffer to its high-water mark. A
+	// caller that drains the recorder per quantum resets it, which is
+	// what keeps the record path allocation-free afterwards.
 	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
+	}
+	if opts.Recorder != nil {
+		opts.Recorder.Reset()
 	}
 	if err := s.BeginRun(cfg.Run.QuantumCycles); err != nil {
 		t.Fatal(err)
@@ -45,6 +51,9 @@ func stepOneInterval(t *testing.T, s *Simulator) func() {
 			// Re-open a fresh quantum when the current one runs out.
 			if _, err := s.FinishRun(); err != nil {
 				t.Fatal(err)
+			}
+			if s.opts.Recorder != nil {
+				s.opts.Recorder.Reset()
 			}
 			if err := s.BeginRun(s.cfg.Run.QuantumCycles); err != nil {
 				t.Fatal(err)
@@ -70,6 +79,8 @@ func TestSensorPipelineZeroAllocs(t *testing.T) {
 		{"bare", Options{}},
 		{"events", Options{CollectEvents: true}},
 		{"temps", Options{TraceTemps: true}},
+		{"recorder", Options{Recorder: &trace.Recorder{}}},
+		{"recorder+events", Options{Recorder: &trace.Recorder{}, CollectEvents: true}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

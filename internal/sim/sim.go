@@ -117,7 +117,12 @@ type Simulator struct {
 	// takes it as a func value, and rebuilding the bound method every
 	// sensor interval was one heap allocation per interval.
 	unitTemp func(power.Unit) float64
-	warmed   bool
+	// sampleScratch is the reusable sensor-interval observation handed
+	// to the recorder. RecordCopy deep-copies it into recorder-owned
+	// storage, so refilling the same scratch every interval is safe and
+	// keeps the record path allocation-free.
+	sampleScratch trace.Sample
+	warmed        bool
 	// started flips at the first RunCycles; WarmupSnapshot refuses to
 	// run after it (the state would no longer be policy-agnostic).
 	started bool
@@ -195,6 +200,10 @@ func New(cfg config.Config, threads []Thread, opts Options) (*Simulator, error) 
 
 	s := &Simulator{cfg: cfg, core: c, model: model, net: net, opts: opts, threads: threads}
 	s.unitTemp = net.UnitTemp
+	if opts.Recorder != nil {
+		s.sampleScratch.ThreadIPC = make([]float64, len(threads))
+		s.sampleScratch.ThreadSedated = make([]bool, len(threads))
+	}
 	if opts.CollectEvents {
 		s.events = &telemetry.EventLog{}
 	}
@@ -266,15 +275,13 @@ func (s *Simulator) Run() (*Result, error) {
 	return s.RunCycles(s.cfg.Run.QuantumCycles)
 }
 
-// record captures one trace sample at a sensor boundary.
+// record captures one trace sample at a sensor boundary into the
+// reusable scratch and hands it to the recorder by copy.
 func (s *Simulator) record(powers *[power.NumUnits]float64, stalled bool, lastCommitted []uint64) {
-	sample := trace.Sample{
-		Cycle:         s.core.Cycle(),
-		Stalled:       stalled,
-		TotalPowerW:   thermal.TotalPower(*powers),
-		ThreadIPC:     make([]float64, len(s.threads)),
-		ThreadSedated: make([]bool, len(s.threads)),
-	}
+	sample := &s.sampleScratch
+	sample.Cycle = s.core.Cycle()
+	sample.Stalled = stalled
+	sample.TotalPowerW = thermal.TotalPower(*powers)
 	for u := power.Unit(0); u < power.NumUnits; u++ {
 		sample.UnitTempK[u] = s.net.UnitTemp(u)
 	}
@@ -285,7 +292,7 @@ func (s *Simulator) record(powers *[power.NumUnits]float64, stalled bool, lastCo
 		lastCommitted[tid] = cur
 		sample.ThreadSedated[tid] = !s.core.FetchEnabled(tid)
 	}
-	s.opts.Recorder.Record(sample)
+	s.opts.Recorder.RecordCopy(sample)
 }
 
 // warmup runs the pipeline without measurement so caches fill and
@@ -328,6 +335,12 @@ func (s *Simulator) BeginRun(quantum int64) error {
 	}
 	s.started = true
 	s.warmup()
+
+	// FinishRun copies the open quantum's event span out into its
+	// Result, so nothing outside the quantum reads the log: each
+	// BeginRun reuses the log's backing storage instead of letting a
+	// long-lived simulator grow it without bound.
+	s.events.Reset()
 
 	qr := &quantumRun{
 		quantum:       quantum,
@@ -454,6 +467,7 @@ func (s *Simulator) FinishRun() (*Result, error) {
 		res.Events = append(res.Events, s.events.Events[qr.eventsStart:]...)
 	}
 
+	res.Threads = make([]ThreadResult, 0, len(s.threads))
 	for tid, t := range s.threads {
 		st := s.core.Stats(tid).Sub(qr.startStats[tid])
 		sed := int64(st.SedatedCycles)

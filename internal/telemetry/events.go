@@ -67,6 +67,17 @@ func (l *EventLog) Emit(e Event) {
 	l.Events = append(l.Events, e)
 }
 
+// Reset drops all collected events, retaining the backing storage so
+// a log drained once per quantum never grows past its high-water mark.
+// Safe on a nil receiver. Event slices previously handed out alias the
+// storage and become invalid — copy them out first.
+func (l *EventLog) Reset() {
+	if l == nil {
+		return
+	}
+	l.Events = l.Events[:0]
+}
+
 // Len returns the number of collected events (0 on nil).
 func (l *EventLog) Len() int {
 	if l == nil {

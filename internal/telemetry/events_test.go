@@ -165,3 +165,30 @@ func TestWritePerfettoNeedsFrequency(t *testing.T) {
 		t.Error("zero FrequencyHz accepted")
 	}
 }
+
+func TestEventLogReset(t *testing.T) {
+	var nilLog *EventLog
+	nilLog.Reset() // must not panic
+
+	l := &EventLog{}
+	for i := 0; i < 6; i++ {
+		l.Emit(Event{Cycle: int64(i), Kind: KindSedate, Thread: 0})
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatalf("reset left %d events", l.Len())
+	}
+	// Refilling to the high-water mark reuses the backing array.
+	allocs := testing.AllocsPerRun(100, func() {
+		l.Reset()
+		for i := 0; i < 6; i++ {
+			l.Emit(Event{Cycle: int64(i), Kind: KindResume, Thread: 1})
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state emit loop allocates %.1f times per run, want 0", allocs)
+	}
+	if l.Len() != 6 || l.Events[5].Kind != KindResume {
+		t.Fatalf("refill kept %d events", l.Len())
+	}
+}

@@ -54,16 +54,57 @@ type Recorder struct {
 	seen int
 }
 
-// Record appends a sample, honouring the stride.
+// Record appends a sample, honouring the stride. The sample's slices
+// are retained as passed (aliased, not copied); callers that reuse a
+// scratch sample must use RecordCopy instead.
 func (r *Recorder) Record(s Sample) {
 	r.seen++
+	if r.keep() {
+		r.Samples = append(r.Samples, s)
+	}
+}
+
+// RecordCopy appends a deep copy of s, honouring the stride. The
+// recorder owns the retained storage, so the caller may reuse s and
+// its slices immediately. After a Reset, RecordCopy refills the slots
+// (and their per-thread slices) retained from the previous recording,
+// so a steady-state record loop does not allocate.
+func (r *Recorder) RecordCopy(s *Sample) {
+	r.seen++
+	if !r.keep() {
+		return
+	}
+	if n := len(r.Samples); n < cap(r.Samples) {
+		r.Samples = r.Samples[:n+1]
+	} else {
+		r.Samples = append(r.Samples, Sample{})
+	}
+	dst := &r.Samples[len(r.Samples)-1]
+	ipc, sed := dst.ThreadIPC, dst.ThreadSedated
+	*dst = *s
+	dst.ThreadIPC = append(ipc[:0], s.ThreadIPC...)
+	dst.ThreadSedated = append(sed[:0], s.ThreadSedated...)
+}
+
+// keep advances nothing; it reports whether the current (already
+// counted) observation lands on the stride.
+func (r *Recorder) keep() bool {
 	stride := r.Stride
 	if stride < 1 {
 		stride = 1
 	}
-	if (r.seen-1)%stride == 0 {
-		r.Samples = append(r.Samples, s)
-	}
+	return (r.seen-1)%stride == 0
+}
+
+// Reset empties the recorder, retaining the backing storage of the
+// sample slice and of each retained sample's per-thread slices for
+// reuse by subsequent RecordCopy calls. Samples handed out before the
+// Reset become invalid — copy them out first. Callers that drain a
+// recorder every quantum should Reset it rather than allocate a fresh
+// one, keeping the record path allocation-free across quanta.
+func (r *Recorder) Reset() {
+	r.Samples = r.Samples[:0]
+	r.seen = 0
 }
 
 // Len returns the number of retained samples.

@@ -137,3 +137,68 @@ func TestWriteCSVRaggedThreads(t *testing.T) {
 		t.Errorf("second row lost thread 1: %v", row1)
 	}
 }
+
+func TestRecordCopyOwnsStorage(t *testing.T) {
+	r := &Recorder{Stride: 2}
+	scratch := sample(0, 351, false)
+	for i := int64(0); i < 6; i++ {
+		scratch.Cycle = i
+		scratch.ThreadIPC[0] = float64(i)
+		scratch.ThreadSedated[1] = i%2 == 0
+		r.RecordCopy(&scratch)
+	}
+	if r.Len() != 3 { // samples 0,2,4
+		t.Fatalf("retained %d samples, want 3", r.Len())
+	}
+	// Retained samples must not alias the scratch: trashing the scratch
+	// after recording must not reach back into them.
+	scratch.ThreadIPC[0] = -1
+	scratch.ThreadSedated[1] = false
+	for i, want := range []float64{0, 2, 4} {
+		s := &r.Samples[i]
+		if s.Cycle != int64(want) || s.ThreadIPC[0] != want {
+			t.Errorf("sample %d: cycle %d ipc %.0f, want %.0f", i, s.Cycle, s.ThreadIPC[0], want)
+		}
+		if !s.ThreadSedated[1] {
+			t.Errorf("sample %d: sedated flag lost", i)
+		}
+	}
+}
+
+func TestRecorderResetReusesStorage(t *testing.T) {
+	r := &Recorder{}
+	scratch := sample(0, 351, false)
+	for i := int64(0); i < 8; i++ {
+		scratch.Cycle = i
+		r.RecordCopy(&scratch)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("reset left %d samples", r.Len())
+	}
+	// Refilling up to the previous high-water mark must not allocate:
+	// the recorder reuses the retained slots and their thread slices.
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reset()
+		for i := int64(0); i < 8; i++ {
+			scratch.Cycle = i
+			r.RecordCopy(&scratch)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state record loop allocates %.1f times per run, want 0", allocs)
+	}
+	if r.Len() != 8 || r.Samples[7].Cycle != 7 {
+		t.Fatalf("refill retained %d samples (last cycle %d)", r.Len(), r.Samples[r.Len()-1].Cycle)
+	}
+	// The stride counter restarts too.
+	r.Reset()
+	r.Stride = 3
+	for i := int64(0); i < 4; i++ {
+		scratch.Cycle = i
+		r.RecordCopy(&scratch)
+	}
+	if r.Len() != 2 || r.Samples[1].Cycle != 3 {
+		t.Errorf("post-reset stride retained %d samples", r.Len())
+	}
+}
