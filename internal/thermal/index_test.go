@@ -1,0 +1,144 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+	"github.com/heatstroke-sim/heatstroke/internal/floorplan"
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+// randomFloorplan tiles a die with a random grid and scatters the power
+// units over its cells, producing floorplans with edge counts, areas,
+// and adjacency structures the default plan never exercises.
+func randomFloorplan(t *testing.T, rng *rand.Rand) *floorplan.Floorplan {
+	t.Helper()
+	const die = 6e-3
+	cuts := func(n int) []float64 {
+		xs := []float64{0}
+		for i := 1; i < n; i++ {
+			// Uneven but well-separated cuts keep every cell non-degenerate.
+			xs = append(xs, die*(float64(i)+0.6*(rng.Float64()-0.5))/float64(n))
+		}
+		return append(xs, die)
+	}
+	cols := 4 + rng.Intn(2)
+	rows := 4 + rng.Intn(2)
+	xs, ys := cuts(cols), cuts(rows)
+
+	cells := make([]floorplan.Block, 0, cols*rows)
+	for j := 0; j < rows; j++ {
+		for i := 0; i < cols; i++ {
+			cells = append(cells, floorplan.Block{
+				Name: fmt.Sprintf("cell_%d_%d", i, j),
+				X:    xs[i], Y: ys[j], W: xs[i+1] - xs[i], H: ys[j+1] - ys[j],
+			})
+		}
+	}
+	rng.Shuffle(len(cells), func(a, b int) { cells[a], cells[b] = cells[b], cells[a] })
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		cells[u].Unit = u
+		cells[u].HasUnit = true
+	}
+	fp, err := floorplan.New(cells, die, die)
+	if err != nil {
+		t.Fatalf("random floorplan invalid: %v", err)
+	}
+	return fp
+}
+
+func randomPower(rng *rand.Rand) [power.NumUnits]float64 {
+	var p [power.NumUnits]float64
+	for u := range p {
+		p[u] = rng.Float64() * 8
+	}
+	return p
+}
+
+// TestStepMatchesNaiveReference drives the CSR kernel and the retained
+// naive edge-walk in lockstep over random floorplans, scales, power
+// histories, and step spans, requiring bit-identical temperatures at
+// every step. This is the proof obligation for the indexed kernel: it
+// may change how a substep is computed, never what it computes.
+func TestStepMatchesNaiveReference(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			th := config.Default().Thermal
+			if seed%2 == 1 {
+				th.Scale = 4
+			}
+			var fp *floorplan.Floorplan
+			if seed == 0 {
+				fp = floorplan.Default()
+			} else {
+				fp = randomFloorplan(t, rng)
+			}
+			indexed, err := New(fp, th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive, err := New(fp, th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			init := randomPower(rng)
+			indexed.InitSteady(init)
+			naive.InitSteady(init)
+
+			spans := []float64{5e-6, 20e-6, 50e-6, 1e-3}
+			for step := 0; step < 60; step++ {
+				p := randomPower(rng)
+				sec := spans[rng.Intn(len(spans))]
+				indexed.Step(p, sec)
+				naive.stepNaive(p, sec)
+				for i := range indexed.temps {
+					a, b := indexed.temps[i], naive.temps[i]
+					if math.Float64bits(a) != math.Float64bits(b) {
+						t.Fatalf("step %d (span %g): node %d diverged: %x vs %x (%.17g vs %.17g)",
+							step, sec, i, math.Float64bits(a), math.Float64bits(b), a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStepZeroAllocs pins the steady-state Euler step at zero
+// allocations.
+func TestStepZeroAllocs(t *testing.T) {
+	th := config.Default().Thermal
+	nw, err := New(floorplan.Default(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := randomPower(rand.New(rand.NewSource(1)))
+	nw.InitSteady(p)
+	sec := float64(th.SensorIntervalCycles) / 3e9
+	nw.Step(p, sec)
+	if allocs := testing.AllocsPerRun(100, func() { nw.Step(p, sec) }); allocs > 0 {
+		t.Fatalf("thermal step allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkThermalStep measures one sensor interval's worth of Euler
+// substeps on the default floorplan — the per-interval thermal cost of
+// every simulation.
+func BenchmarkThermalStep(b *testing.B) {
+	th := config.Default().Thermal
+	nw, err := New(floorplan.Default(), th)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := randomPower(rand.New(rand.NewSource(1)))
+	nw.InitSteady(p)
+	sec := float64(th.SensorIntervalCycles) / 3e9
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Step(p, sec)
+	}
+}

@@ -46,6 +46,17 @@ type edge struct {
 	g    float64 // conductance, W/K
 }
 
+// incidence is one edge endpoint in a node's CSR row. The row node's
+// flux contribution is (temps[j]-temps[k])*g: for the edge's a side,
+// j/k/g are b/a/+g — exactly the naive walk's f — and for the b side
+// the stored conductance is negated. IEEE 754 multiplication commutes
+// with sign flips exactly, so the b-side product is bit-for-bit the
+// `-f` the naive walk subtracts.
+type incidence struct {
+	j, k int32
+	g    float64
+}
+
 // Network is the RC thermal network for one floorplan.
 type Network struct {
 	fp    *floorplan.Floorplan
@@ -65,6 +76,24 @@ type Network struct {
 
 	dtMax   float64
 	blockOf [power.NumUnits]int
+
+	// inc/rowPtr are the CSR layout of edges: node i's incidences, in
+	// edge-list order, occupy inc[rowPtr[i]:rowPtr[i+1]]. Built once in
+	// New; Step gathers rows instead of scattering over the edge list,
+	// so each node's flux accumulates locally with the same addends in
+	// the same order as the naive walk.
+	inc    []incidence
+	rowPtr []int32
+	// tempsNext is the double buffer for the fused gather+update pass:
+	// each substep reads temps and writes tempsNext, then the two swap.
+	tempsNext []float64
+
+	// planSeconds/planSteps/planDt cache the substep plan for the last
+	// Step span: the simulator steps the same sensor interval for a
+	// whole run, so the Ceil and division happen once.
+	planSeconds float64
+	planSteps   int
+	planDt      float64
 }
 
 // New builds the network from a floorplan and the package parameters.
@@ -149,7 +178,35 @@ func New(fp *floorplan.Floorplan, t config.Thermal) (*Network, error) {
 			nw.temps[i] = t.InitialK
 		}
 	}
+	nw.buildIndex()
 	return nw, nil
+}
+
+// buildIndex lays the edge list out as CSR rows. Each edge appears in
+// two rows (its a and b nodes); within a row, incidences keep the
+// edge-list order, which is what preserves the naive walk's per-node
+// floating-point accumulation order exactly.
+func (nw *Network) buildIndex() {
+	m := len(nw.temps)
+	nw.rowPtr = make([]int32, m+1)
+	for _, e := range nw.edges {
+		nw.rowPtr[e.a+1]++
+		nw.rowPtr[e.b+1]++
+	}
+	for i := 0; i < m; i++ {
+		nw.rowPtr[i+1] += nw.rowPtr[i]
+	}
+	nw.inc = make([]incidence, nw.rowPtr[m])
+	nw.tempsNext = make([]float64, m)
+	next := make([]int32, m)
+	copy(next, nw.rowPtr[:m])
+	for _, e := range nw.edges {
+		a, b := int32(e.a), int32(e.b)
+		nw.inc[next[e.a]] = incidence{j: b, k: a, g: e.g}
+		next[e.a]++
+		nw.inc[next[e.b]] = incidence{j: b, k: a, g: -e.g}
+		next[e.b]++
+	}
 }
 
 // unitPowersToBlocks spreads the per-unit power vector onto die blocks.
@@ -230,7 +287,63 @@ func solveLinear(a [][]float64, b []float64) []float64 {
 // Step advances the network by the given wall-clock seconds under the
 // per-unit power vector, using as many Euler substeps as stability
 // requires. With an ideal sink, temperatures do not move.
+//
+// Each substep makes one fused pass over the nodes: gather the node's
+// flux through its CSR row (replacing the naive zero/inject/scatter
+// loops and the flux array) and integrate it into the double buffer,
+// which then swaps with temps. Every node's flux sums the same
+// IEEE 754 addends in the same order as stepNaive — per-row incidences
+// keep edge-list order — so the temperatures are bit-identical
+// (enforced by the cross-check tests).
 func (nw *Network) Step(p [power.NumUnits]float64, seconds float64) {
+	if nw.ideal || seconds <= 0 {
+		return
+	}
+	nw.unitPowersToBlocks(&p)
+	steps, dt := nw.plan(seconds)
+	temps, out, caps := nw.temps, nw.tempsNext, nw.caps
+	inc, rowPtr := nw.inc, nw.rowPtr
+	for s := 0; s < steps; s++ {
+		for i := range temps {
+			var acc float64
+			if i < nw.n {
+				acc = nw.blockPower[i]
+			}
+			for t := rowPtr[i]; t < rowPtr[i+1]; t++ {
+				in := &inc[t]
+				acc += (temps[in.j] - temps[in.k]) * in.g
+			}
+			if i == nw.sink {
+				// The ambient term stays after the sink's edge
+				// contributions, exactly where the naive walk adds it.
+				acc += (nw.amb - temps[i]) * nw.gAmb
+			}
+			out[i] = temps[i] + dt*acc/caps[i]
+		}
+		temps, out = out, temps
+	}
+	nw.temps, nw.tempsNext = temps, out
+}
+
+// plan returns the substep count and size for one Step span, caching
+// the last answer.
+func (nw *Network) plan(seconds float64) (int, float64) {
+	if seconds != nw.planSeconds || nw.planSteps == 0 {
+		steps := int(math.Ceil(seconds / nw.dtMax))
+		if steps < 1 {
+			steps = 1
+		}
+		nw.planSeconds, nw.planSteps, nw.planDt = seconds, steps, seconds/float64(steps)
+	}
+	return nw.planSteps, nw.planDt
+}
+
+// stepNaive is the original unindexed Euler step, retained as the
+// executable specification of Step: the cross-check tests drive both
+// over random floorplans and power histories and require bit-identical
+// temperatures. Any change to Step's arithmetic must keep the two in
+// lockstep.
+func (nw *Network) stepNaive(p [power.NumUnits]float64, seconds float64) {
 	if nw.ideal || seconds <= 0 {
 		return
 	}
