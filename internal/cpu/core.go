@@ -117,6 +117,13 @@ type Core struct {
 	dispatchRR int
 
 	stats []ThreadStats
+
+	// pend accumulates per-thread activity deltas between flushes; the
+	// stage code increments these core-local vectors and Run/Step fold
+	// them into the shared Activity at their exit, so every consumer
+	// (power model, sedation monitor, snapshots — all of which read
+	// between runs, never mid-run) still sees exact counters.
+	pend [][power.NumUnits]uint64
 }
 
 const (
@@ -163,6 +170,7 @@ func New(cfg *config.Config, programs []*isa.Program) (*Core, error) {
 		hier:  hier,
 		act:   power.NewActivity(nthreads),
 		stats: make([]ThreadStats, nthreads),
+		pend:  make([][power.NumUnits]uint64, nthreads),
 	}
 	c.fuLimit[fuIntALU] = cfg.Pipeline.IntALUs
 	c.fuLimit[fuIntMulDiv] = cfg.Pipeline.IntMulDiv
@@ -272,8 +280,16 @@ func (c *Core) gatedCycle() bool {
 // StalledCycles returns the cumulative cycles spent globally stalled.
 func (c *Core) StalledCycles() uint64 { return c.stalledCycles }
 
-// Step advances the core by one cycle.
+// Step advances the core by one cycle and flushes the batched activity
+// counters, so single-stepping callers always observe exact counts.
 func (c *Core) Step() {
+	c.stepCycle()
+	c.flushActivity()
+}
+
+// stepCycle is one pipeline cycle without the activity flush — the
+// body Run amortizes the flush over.
+func (c *Core) stepCycle() {
 	c.cycle++
 	if c.globalStall {
 		c.stalledCycles++
@@ -294,6 +310,20 @@ func (c *Core) Step() {
 	c.fetch()
 }
 
+// addAct batches one activity increment into the core-local pending
+// vector; flushActivity folds it into the shared counters.
+func (c *Core) addAct(u power.Unit, tid int, n uint64) {
+	c.pend[tid][u] += n
+}
+
+// flushActivity folds every thread's pending deltas into the shared
+// Activity.
+func (c *Core) flushActivity() {
+	for tid := range c.pend {
+		c.act.AddBatch(tid, &c.pend[tid])
+	}
+}
+
 // Run advances the core n cycles. When the pipeline provably cannot do
 // any work for a stretch of cycles — the whole chip is stalled, every
 // clock is gated, or every thread is waiting on a known future cycle —
@@ -303,19 +333,21 @@ func (c *Core) Run(n int64) {
 	end := c.cycle + n
 	if c.ffDisabled {
 		for c.cycle < end {
-			c.Step()
+			c.stepCycle()
 		}
+		c.flushActivity()
 		return
 	}
 	for c.cycle < end {
 		next := c.nextActiveCycle(end)
 		if next > end {
 			c.skipTo(end)
-			return
+			break
 		}
 		c.skipTo(next - 1)
-		c.Step()
+		c.stepCycle()
 	}
+	c.flushActivity()
 }
 
 // fetchCand is one fetch-arbitration candidate; fetch reuses a scratch

@@ -68,9 +68,9 @@ func (c *Core) fetchThread(t *thread, budget int) int {
 		line := int64(iaddr >> 6)
 		if line != t.curLine {
 			res := c.hier.InstAt(iaddr, c.cycle)
-			c.act.Add(power.UnitICache, int(t.id), 1)
+			c.addAct(power.UnitICache, int(t.id), 1)
 			if res.L1Miss {
-				c.act.Add(power.UnitL2, int(t.id), 1)
+				c.addAct(power.UnitL2, int(t.id), 1)
 			}
 			t.curLine = line
 			if res.L1Miss {
@@ -98,7 +98,7 @@ func (c *Core) fetchThread(t *thread, budget int) int {
 			c.stats[t.id].Branches++
 			if e.isCond {
 				e.brPCAddr = iaddr
-				c.act.Add(power.UnitBpred, int(t.id), 1)
+				c.addAct(power.UnitBpred, int(t.id), 1)
 				e.brPredTaken = bool(t.pred.Predict(iaddr))
 				if e.brPredTaken != e.brTaken {
 					e.brMispred = true
@@ -167,13 +167,13 @@ func (c *Core) rename(t *thread, e *entry) {
 	}
 
 	tid := int(t.id)
-	c.act.Add(power.UnitDecode, tid, 1)
-	c.act.Add(power.UnitIntQ, tid, 1)
+	c.addAct(power.UnitDecode, tid, 1)
+	c.addAct(power.UnitIntQ, tid, 1)
 
 	if e.isLoad || e.isStore {
 		c.lsqUsed++
 		e.inLSQ = true
-		c.act.Add(power.UnitLSQ, tid, 1)
+		c.addAct(power.UnitLSQ, tid, 1)
 	}
 	if e.isLoad {
 		// Store-to-load forwarding: youngest older store to the same
@@ -289,35 +289,35 @@ func (c *Core) issueOne(e *entry) {
 	tid := int(e.tid)
 	d := e.dec
 	e.state = esIssued
-	c.act.Add(power.UnitIntQ, tid, 1) // issue-queue read-out
+	c.addAct(power.UnitIntQ, tid, 1) // issue-queue read-out
 
 	// Register-file read ports.
 	if d.intReads > 0 {
-		c.act.Add(power.UnitIntReg, tid, uint64(d.intReads))
+		c.addAct(power.UnitIntReg, tid, uint64(d.intReads))
 	}
 	if d.fpReads > 0 {
-		c.act.Add(power.UnitFPReg, tid, uint64(d.fpReads))
+		c.addAct(power.UnitFPReg, tid, uint64(d.fpReads))
 	}
 
 	lat := d.latency
 	switch d.fu {
 	case fuIntALU, fuIntMulDiv:
-		c.act.Add(power.UnitIntExec, tid, 1)
+		c.addAct(power.UnitIntExec, tid, 1)
 	case fuFPAdd:
-		c.act.Add(power.UnitFPAdd, tid, 1)
+		c.addAct(power.UnitFPAdd, tid, 1)
 	case fuFPMulDiv:
-		c.act.Add(power.UnitFPMul, tid, 1)
+		c.addAct(power.UnitFPMul, tid, 1)
 	case fuMem:
-		c.act.Add(power.UnitLSQ, tid, 1)
+		c.addAct(power.UnitLSQ, tid, 1)
 		if e.isLoad {
 			if c.lookup(e.prod[2]) != nil {
 				// Forwarded from an in-flight store: no cache access.
 				lat = 2
 			} else {
 				res := c.hier.DataAt(c.threads[e.tid].dataAddr(e.addr), false, c.cycle)
-				c.act.Add(power.UnitDCache, tid, 1)
+				c.addAct(power.UnitDCache, tid, 1)
 				if res.L1Miss {
-					c.act.Add(power.UnitL2, tid, 1)
+					c.addAct(power.UnitL2, tid, 1)
 				}
 				lat = int64(res.Latency)
 				if res.L2Miss {
@@ -330,9 +330,9 @@ func (c *Core) issueOne(e *entry) {
 		} else {
 			// Stores probe/write the cache at issue.
 			res := c.hier.DataAt(c.threads[e.tid].dataAddr(e.addr), true, c.cycle)
-			c.act.Add(power.UnitDCache, tid, 1)
+			c.addAct(power.UnitDCache, tid, 1)
 			if res.L1Miss {
-				c.act.Add(power.UnitL2, tid, 1)
+				c.addAct(power.UnitL2, tid, 1)
 			}
 			lat = 1
 		}
@@ -364,14 +364,14 @@ func (c *Core) writeback() {
 
 		// Register-file write ports.
 		if e.dec.intWrite {
-			c.act.Add(power.UnitIntReg, tid, 1)
+			c.addAct(power.UnitIntReg, tid, 1)
 		}
 		if e.dec.fpWrite {
-			c.act.Add(power.UnitFPReg, tid, 1)
+			c.addAct(power.UnitFPReg, tid, 1)
 		}
 
 		if e.isCond {
-			c.act.Add(power.UnitBpred, tid, 1)
+			c.addAct(power.UnitBpred, tid, 1)
 			t.pred.Update(e.brPCAddr, bpred.Outcome(e.brTaken))
 		}
 

@@ -186,6 +186,7 @@ func toRefs(rs []ref) []Ref {
 // Snapshot returns a deep copy of the core's state; the copy shares
 // nothing with the live core, so one snapshot can seed many clones.
 func (c *Core) Snapshot() CoreState {
+	c.flushActivity() // fold pending deltas so Act captures exact counts
 	st := CoreState{
 		Cycle:         c.cycle,
 		Seq:           c.seq,
@@ -439,6 +440,11 @@ func (c *Core) Restore(st CoreState) error {
 
 	if err := c.hier.Restore(st.Hier); err != nil {
 		return err
+	}
+	// Snapshots carry exact counters (Snapshot flushes first), so any
+	// deltas batched since then belong to discarded execution.
+	for tid := range c.pend {
+		c.pend[tid] = [power.NumUnits]uint64{}
 	}
 	return c.act.Restore(st.Act)
 }

@@ -89,6 +89,22 @@ func (a *Activity) Add(u Unit, tid int, n uint64) {
 // AddGlobal records n accesses not attributable to a thread.
 func (a *Activity) AddGlobal(u Unit, n uint64) { a.total[u] += n }
 
+// AddBatch folds thread tid's accumulated delta vector into the
+// counters and zeroes it. The pipeline batches its per-event
+// increments into a core-local vector and flushes at run boundaries,
+// so the shared counters are touched once per batch instead of once
+// per event; integer addition makes the batching exact.
+func (a *Activity) AddBatch(tid int, d *[NumUnits]uint64) {
+	pt := &a.perThread[tid]
+	for u, n := range d {
+		if n != 0 {
+			a.total[u] += n
+			pt[u] += n
+			d[u] = 0
+		}
+	}
+}
+
 // Total returns the cumulative chip-wide count for u.
 func (a *Activity) Total(u Unit) uint64 { return a.total[u] }
 
