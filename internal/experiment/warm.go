@@ -82,13 +82,17 @@ func buildWarm(o Options, j job, key string) (*sim.MachineState, error) {
 // runFromWarm restores the shared warm state into a fully-optioned
 // simulator and runs the measurement quantum. warm is read-only: many
 // jobs restore from the same pointer, possibly concurrently, and
-// sim.Restore copies rather than aliases.
+// sim.Restore copies rather than aliases. The simulator itself comes
+// from the run's reuse pool when one is configured — the restore
+// overwrites all of a recycled simulator's state, so results are
+// byte-identical to fresh construction — and goes back to the pool
+// after a clean run.
 func runFromWarm(o Options, j job, warm any) (*sim.Result, error) {
 	ms, ok := warm.(*sim.MachineState)
 	if !ok {
 		return nil, fmt.Errorf("experiment: warm state is %T, want *sim.MachineState", warm)
 	}
-	s, err := sim.New(j.cfg, j.threads, j.opts)
+	s, err := o.simPool.Get(j.cfg, j.threads, j.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +103,11 @@ func runFromWarm(o Options, j job, warm any) (*sim.Result, error) {
 	if o.OnRestore != nil {
 		o.OnRestore(time.Since(start).Seconds())
 	}
-	return s.Run()
+	res, err := s.Run()
+	if err == nil {
+		o.simPool.Put(s)
+	}
+	return res, err
 }
 
 // warmJob fills in the sweep job's warmup-sharing hooks for the flat

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/trace"
+)
+
+// poolWarm builds the policy-agnostic warmup snapshot the pool tests
+// restore from.
+func poolWarm(t *testing.T, o Options) *MachineState {
+	t.Helper()
+	cfg := quickCfg()
+	threads := []Thread{specThread(t, "crafty"), variantThread(t, 2)}
+	s, err := New(cfg, threads, Options{Policy: dtm.None, WarmupCycles: o.WarmupCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := s.WarmupSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+// TestPoolDirtyReuseByteIdentity is the reuse pool's proof obligation:
+// a simulator that already ran a full quantum under one policy, went
+// back to the pool, and was recycled for a different policy must —
+// after restoring the shared warmup snapshot — produce a Result
+// deep-equal to a freshly constructed simulator's. Checked for every
+// DTM policy, each recycled from a dirty simulator that ran under a
+// different one.
+func TestPoolDirtyReuseByteIdentity(t *testing.T) {
+	cfg := quickCfg()
+	threads := []Thread{specThread(t, "crafty"), variantThread(t, 2)}
+	total := 10 * int64(cfg.Thermal.SensorIntervalCycles)
+
+	kinds := dtm.Kinds()
+	for i, policy := range kinds {
+		t.Run(string(policy), func(t *testing.T) {
+			opts := stateOptions(policy)
+			ms := poolWarm(t, opts)
+
+			fresh, err := New(cfg, threads, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.Restore(ms); err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.RunCycles(total)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Dirty a pooled simulator under a different policy first.
+			pool := NewPool()
+			dirtyOpts := stateOptions(kinds[(i+1)%len(kinds)])
+			dirty, err := pool.Get(cfg, threads, dirtyOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dirty.Restore(ms); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dirty.RunCycles(total); err != nil {
+				t.Fatal(err)
+			}
+			pool.Put(dirty)
+
+			s, err := pool.Get(cfg, threads, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hits, _ := pool.Stats(); hits != 1 {
+				t.Fatalf("pool hits = %d, want 1 (cross-policy recycle)", hits)
+			}
+			if s != dirty {
+				t.Fatal("pool returned a different simulator than it recycled")
+			}
+			if err := s.Restore(ms); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.RunCycles(total)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("recycled simulator diverges from fresh construction under %s", policy)
+			}
+		})
+	}
+}
+
+// TestPoolObservationAdaptation checks that Get re-options a recycled
+// simulator: a simulator pooled with events and temperature tracing on
+// must serve a bare request (and vice versa) with results identical to
+// fresh construction.
+func TestPoolObservationAdaptation(t *testing.T) {
+	cfg := quickCfg()
+	threads := []Thread{specThread(t, "crafty"), variantThread(t, 2)}
+	total := 10 * int64(cfg.Thermal.SensorIntervalCycles)
+	rich := stateOptions(dtm.SelectiveSedation)
+	bare := Options{Policy: dtm.SelectiveSedation, WarmupCycles: rich.WarmupCycles}
+	ms := poolWarm(t, rich)
+
+	run := func(s *Simulator) *Result {
+		t.Helper()
+		if err := s.Restore(ms); err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.RunCycles(total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	for name, pair := range map[string][2]Options{
+		"rich-then-bare": {rich, bare},
+		"bare-then-rich": {bare, rich},
+	} {
+		t.Run(name, func(t *testing.T) {
+			fresh, err := New(cfg, threads, pair[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := run(fresh)
+
+			pool := NewPool()
+			first, err := pool.Get(cfg, threads, pair[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			run(first)
+			pool.Put(first)
+			second, err := pool.Get(cfg, threads, pair[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hits, _ := pool.Stats(); hits != 1 {
+				t.Fatalf("pool hits = %d, want 1", hits)
+			}
+			got := run(second)
+			if !reflect.DeepEqual(got, want) {
+				t.Error("re-optioned recycled simulator diverges from fresh construction")
+			}
+		})
+	}
+}
+
+// TestPoolBypassesRecorder: requests carrying a caller-owned recorder
+// never recycle (fresh construction, and Put drops them).
+func TestPoolBypassesRecorder(t *testing.T) {
+	cfg := quickCfg()
+	threads := []Thread{specThread(t, "crafty")}
+	opts := stateOptions(dtm.StopAndGo)
+
+	pool := NewPool()
+	plain, err := pool.Get(cfg, threads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(plain)
+
+	withRec := opts
+	withRec.Recorder = &trace.Recorder{}
+	s, err := pool.Get(cfg, threads, withRec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == plain {
+		t.Fatal("pool served a recycled simulator to a recorder-carrying request")
+	}
+	if s.poolKey != "" {
+		t.Fatal("recorder-carrying simulator is marked poolable")
+	}
+	pool.Put(s) // must be a no-op
+	if hits, misses := pool.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("pool stats = %d hits / %d misses, want 0/1", hits, misses)
+	}
+}

@@ -126,6 +126,9 @@ type Simulator struct {
 	// started flips at the first RunCycles; WarmupSnapshot refuses to
 	// run after it (the state would no longer be policy-agnostic).
 	started bool
+	// poolKey is the construction identity under which a Pool recycles
+	// this simulator; empty for simulators built outside a pool.
+	poolKey string
 	// qr is the measurement quantum in progress between BeginRun and
 	// FinishRun (nil otherwise). Snapshot captures it, so a simulation
 	// can fork mid-quantum at any sensor boundary.
@@ -214,36 +217,52 @@ func New(cfg config.Config, threads []Thread, opts Options) (*Simulator, error) 
 	}
 	s.mon = mon
 
+	if err := s.buildPolicy(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildPolicy constructs the DTM policy (and, for selective sedation,
+// its engine) from the simulator's configuration, replacing any
+// previous one. New calls it once; Restore calls it again when loading
+// a policy-agnostic warmup snapshot, so a recycled simulator's policy
+// is indistinguishable from a freshly constructed one. Policy
+// constructors read only configuration and nominal machine parameters
+// (DVS captures the supply voltage, which warmup never changes), so
+// building before warmup and rebuilding after a warm restore yield
+// identical policies.
+func (s *Simulator) buildPolicy() error {
 	cool := s.coolingCycles()
-	switch opts.Policy {
+	switch s.opts.Policy {
 	case dtm.None:
 		s.policy = dtm.NewNone()
 	case dtm.StopAndGo:
-		s.policy = dtm.NewStopAndGo(c, cfg.Thermal, cool)
+		s.policy = dtm.NewStopAndGo(s.core, s.cfg.Thermal, cool)
 	case dtm.DVS:
-		s.policy = dtm.NewDVS(c, model, cfg.Thermal, cool)
+		s.policy = dtm.NewDVS(s.core, s.model, s.cfg.Thermal, cool)
 	case dtm.TTDFS:
-		s.policy = dtm.NewTTDFS(c, cfg.Thermal)
+		s.policy = dtm.NewTTDFS(s.core, s.cfg.Thermal)
 	case dtm.SelectiveSedation:
-		engine, err := score.NewEngine(cfg.Sedation, mon, c, cool,
+		engine, err := score.NewEngine(s.cfg.Sedation, s.mon, s.core, cool,
 			func(r score.Report) {
 				s.reports = append(s.reports, r)
 				s.events.Emit(telemetry.Event{Cycle: r.Cycle, Kind: telemetry.KindOSReport,
 					Unit: r.Unit.String(), Thread: r.Thread, Rate: r.Rate})
 			})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		engine.SetEvents(s.events)
-		s.policy, err = dtm.NewSelectiveSedation(c, cfg.Thermal, engine, cool)
+		s.policy, err = dtm.NewSelectiveSedation(s.core, s.cfg.Thermal, engine, cool)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	default:
-		return nil, fmt.Errorf("sim: unknown policy %q", opts.Policy)
+		return fmt.Errorf("sim: unknown policy %q", s.opts.Policy)
 	}
 	dtm.SetEventLog(s.policy, s.events)
-	return s, nil
+	return nil
 }
 
 // coolingCycles converts Table 1's thermal-RC cooling time into scaled

@@ -302,6 +302,16 @@ func (s *Simulator) Restore(ms *MachineState) error {
 				return err
 			}
 		}
+	} else {
+		// A warmup snapshot carries no policy state because none existed
+		// when it was taken. Rebuild the policy and engine from scratch
+		// (after the model restore above, so DVS captures the nominal
+		// supply voltage) so that restoring into a previously-run
+		// simulator is indistinguishable from restoring into a new one —
+		// the precondition for recycling simulators through a Pool.
+		if err := s.buildPolicy(); err != nil {
+			return err
+		}
 	}
 	s.reports = append(s.reports[:0], ms.Reports...)
 	if s.events != nil {
@@ -339,6 +349,12 @@ func (s *Simulator) Restore(ms *MachineState) error {
 		s.started = true
 	} else {
 		s.qr = nil
+		if ms.Policy == "" {
+			// A policy-agnostic snapshot precedes measurement by
+			// definition; restoring one re-arms WarmupSnapshot exactly as
+			// on a freshly built simulator.
+			s.started = false
+		}
 	}
 	return nil
 }
