@@ -14,13 +14,16 @@
 // (the -N GOMAXPROCS suffix is stripped so names are stable across
 // machines).
 //
-// Comparing re-runs the same benchmarks and reports the per-benchmark
-// ns/op ratio against the baseline file. Regressions beyond -threshold
-// (default 10%) print a WARNING but do not fail the run — shared CI
-// machines are too noisy for a hard gate; the warnings make a genuine
-// regression visible in the job log without blocking merges on
-// scheduler jitter. -strict upgrades warnings to a non-zero exit for
-// local use on a quiet machine.
+// Comparing re-runs the same benchmarks and reports each one's ns/op,
+// B/op, and allocs/op against the baseline file. Time regressions
+// beyond -threshold (default 10%) and memory regressions beyond
+// -alloc-threshold (default 5% on both B/op and allocs/op — the
+// allocator columns are near-deterministic, so the bar is tighter)
+// print a WARNING but do not fail the run — shared CI machines are too
+// noisy for a hard time gate; the warnings make a genuine regression
+// visible in the job log without blocking merges on scheduler jitter.
+// -fail-on-regress (alias -strict) upgrades warnings to a non-zero
+// exit for local use on a quiet machine.
 package main
 
 import (
@@ -45,24 +48,30 @@ type Benchmark struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// File is the artifact schema.
+// File is the artifact schema. Previous, when present, holds earlier
+// recordings of the same baseline (newest first) so the committed file
+// carries the performance trajectory, not just the latest point; the
+// tool reads and compares against the top-level rows only.
 type File struct {
 	Benchtime  string      `json:"benchtime"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	Previous   []File      `json:"previous,omitempty"`
 }
 
 // defaultPattern covers the simulator-speed benchmarks the committed
 // baseline tracks: the profile pair/solo runs that dominate experiment
-// wall time, the raw pipeline rate, one full quantum, the
-// warmup-snapshot-reuse comparison (reuse vs cold sub-benchmarks),
-// the fork-tree sweep comparison (fork vs cold sub-benchmarks), and
-// the fleet-throughput comparison (1 vs 4 workers behind the
-// coordinator; the absolute jobs/sec is machine-bound, but a
-// regression in either arm still surfaces as ns/op growth).
-const defaultPattern = "^(BenchmarkProfileSolo|BenchmarkProfilePair|BenchmarkPipelineCycles|BenchmarkQuantumSimulation|BenchmarkWarmupReuse|BenchmarkForkSweep|BenchmarkFleetThroughput)$"
+// wall time, the raw pipeline rate, one full quantum, one sensor
+// interval's worth of thermal Euler substeps (the per-interval
+// constant every simulation pays), the warmup-snapshot-reuse
+// comparison (reuse vs cold sub-benchmarks), the fork-tree sweep
+// comparison (fork vs cold sub-benchmarks), and the fleet-throughput
+// comparison (1 vs 4 workers behind the coordinator; the absolute
+// jobs/sec is machine-bound, but a regression in either arm still
+// surfaces as ns/op growth).
+const defaultPattern = "^(BenchmarkProfileSolo|BenchmarkProfilePair|BenchmarkPipelineCycles|BenchmarkQuantumSimulation|BenchmarkThermalStep|BenchmarkWarmupReuse|BenchmarkForkSweep|BenchmarkFleetThroughput)$"
 
 // defaultPackages are the packages holding those benchmarks.
-var defaultPackages = []string{".", "./internal/experiment", "./internal/fleet"}
+var defaultPackages = []string{".", "./internal/experiment", "./internal/fleet", "./internal/thermal"}
 
 func main() {
 	log.SetFlags(0)
@@ -74,7 +83,9 @@ func main() {
 	out := flag.String("out", "", "write the JSON artifact to this file (default stdout)")
 	compare := flag.String("compare", "", "baseline JSON to diff the run against")
 	threshold := flag.Float64("threshold", 10, "regression warning threshold in percent ns/op")
-	strict := flag.Bool("strict", false, "exit non-zero when a regression exceeds the threshold")
+	allocThreshold := flag.Float64("alloc-threshold", 5, "regression warning threshold in percent B/op and allocs/op")
+	failOnRegress := flag.Bool("fail-on-regress", false, "exit non-zero when a regression exceeds a threshold")
+	strict := flag.Bool("strict", false, "alias for -fail-on-regress")
 	flag.Parse()
 
 	results, err := runBenchmarks(*pattern, *benchtime, *count, strings.Split(*pkgs, ","))
@@ -91,7 +102,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if regressed := diff(base, artifact, *threshold); regressed && *strict {
+		if regressed := diff(base, artifact, *threshold, *allocThreshold); regressed && (*failOnRegress || *strict) {
 			os.Exit(1)
 		}
 		return
@@ -166,27 +177,49 @@ func readBaseline(path string) (File, error) {
 	return f, nil
 }
 
-// diff prints a per-benchmark comparison and returns whether any
-// benchmark regressed past the threshold.
-func diff(base, cur File, thresholdPct float64) bool {
+// diff prints a per-benchmark comparison — time and memory columns —
+// and returns whether any benchmark regressed past its threshold.
+// ns/op is judged against timePct, B/op and allocs/op against
+// memPct: the allocator columns barely jitter, so they get the
+// tighter bar and catch a reintroduced hot-path allocation even on a
+// noisy machine.
+func diff(base, cur File, timePct, memPct float64) bool {
 	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseBy[b.Name] = b
 	}
 	regressed := false
+	warn := func(name, col string, deltaPct, limit float64) {
+		fmt.Printf("WARNING: %s %s regressed %.1f%% over baseline (threshold %.0f%%)\n",
+			name, col, deltaPct, limit)
+		regressed = true
+	}
+	pctOf := func(cur, old int64) float64 {
+		if old <= 0 {
+			return 0
+		}
+		return float64(cur-old) / float64(old) * 100
+	}
 	for _, b := range cur.Benchmarks {
 		o, ok := baseBy[b.Name]
 		if !ok || o.NsPerOp <= 0 {
-			fmt.Printf("%-32s %14.0f ns/op  (no baseline)\n", b.Name, b.NsPerOp)
+			fmt.Printf("%-32s %14.0f ns/op  %12d B/op  %9d allocs/op  (no baseline)\n",
+				b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
 			continue
 		}
-		deltaPct := (b.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
-		fmt.Printf("%-32s %14.0f ns/op  baseline %14.0f  %+6.1f%%  allocs %d -> %d\n",
-			b.Name, b.NsPerOp, o.NsPerOp, deltaPct, o.AllocsPerOp, b.AllocsPerOp)
-		if deltaPct > thresholdPct {
-			fmt.Printf("WARNING: %s regressed %.1f%% over baseline (threshold %.0f%%)\n",
-				b.Name, deltaPct, thresholdPct)
-			regressed = true
+		nsPct := (b.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		bytesPct := pctOf(b.BytesPerOp, o.BytesPerOp)
+		allocsPct := pctOf(b.AllocsPerOp, o.AllocsPerOp)
+		fmt.Printf("%-32s %14.0f ns/op  %+6.1f%%  %12d B/op  %+6.1f%%  %9d allocs/op  %+6.1f%%\n",
+			b.Name, b.NsPerOp, nsPct, b.BytesPerOp, bytesPct, b.AllocsPerOp, allocsPct)
+		if nsPct > timePct {
+			warn(b.Name, "ns/op", nsPct, timePct)
+		}
+		if bytesPct > memPct {
+			warn(b.Name, "B/op", bytesPct, memPct)
+		}
+		if allocsPct > memPct {
+			warn(b.Name, "allocs/op", allocsPct, memPct)
 		}
 	}
 	return regressed
