@@ -18,6 +18,7 @@
 //	GET    /v1/jobs/{id}          status (survives worker death)
 //	GET    /v1/jobs/{id}/artifact rendered table from the winning replica
 //	GET    /v1/jobs/{id}/events   SSE progress proxied across retries
+//	GET    /v1/traces/{id}        distributed trace stitched across workers
 //	GET    /v1/workers            membership + per-worker health/stats
 //	POST   /v1/workers            join {"url": "http://worker:8080"}
 //	DELETE /v1/workers?url=...    leave
@@ -78,6 +79,8 @@ func run(args []string, ready func(addr string)) error {
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "shutdown drain deadline")
 	logJSON := fs.Bool("log-json", false, "emit structured JSON logs instead of text")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	traceBuf := fs.Int("trace-buf", 0, "span capacity of the trace flight-recorder ring buffer (0 = default 8192, negative = disable tracing)")
+	traceDir := fs.String("trace-dir", "", "flight-recorder mode: write each terminal job's stitched trace to this directory as {trace-id}.ndjson")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -108,6 +111,11 @@ func run(args []string, ready func(addr string)) error {
 	if hedge == 0 {
 		hedge = -1 // flag semantics: 0 disables; Options semantics: negative disables
 	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return fmt.Errorf("-trace-dir: %w", err)
+		}
+	}
 	coord, err := fleet.New(fleet.Options{
 		Workers:             workers,
 		HedgeAfter:          hedge,
@@ -117,6 +125,9 @@ func run(args []string, ready func(addr string)) error {
 		DisableWarmShipping: *noWarmShip,
 		BaseConfig:          baseConfig,
 		Logger:              logger,
+		TraceCapacity:       max(*traceBuf, 0),
+		DisableTracing:      *traceBuf < 0,
+		TraceDir:            *traceDir,
 	})
 	if err != nil {
 		return err

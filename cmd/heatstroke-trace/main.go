@@ -14,6 +14,12 @@
 // -perfetto-out writes the same run as Chrome/Perfetto trace-event
 // JSON — open it in ui.perfetto.dev to see sedation slices per thread
 // over the per-unit temperature counters.
+//
+// A second mode, -stitch, merges distributed-tracing span files (the
+// NDJSON a fleet coordinator's -trace-dir writes, or per-node dumps of
+// GET /v1/traces/{id}) into one Perfetto trace-event JSON:
+//
+//	heatstroke-trace -stitch fleet.json coord.ndjson worker1.ndjson worker2.ndjson
 package main
 
 import (
@@ -26,9 +32,41 @@ import (
 	"github.com/heatstroke-sim/heatstroke/internal/dtm"
 	"github.com/heatstroke-sim/heatstroke/internal/sim"
 	"github.com/heatstroke-sim/heatstroke/internal/telemetry"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
 	"github.com/heatstroke-sim/heatstroke/internal/trace"
 	"github.com/heatstroke-sim/heatstroke/internal/workload"
 )
+
+// stitch merges per-node span NDJSON files into one Perfetto JSON at
+// outPath: spans are deduplicated by (trace id, span id) — the same
+// span fetched via two nodes collapses to one — and sorted by start
+// time, so the output is deterministic for a given input set.
+func stitch(outPath string, inputs []string) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("-stitch needs at least one span NDJSON file argument")
+	}
+	groups := make([][]tracing.Span, 0, len(inputs))
+	for _, in := range inputs {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		spans, err := tracing.ReadNDJSON(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", in, err)
+		}
+		groups = append(groups, spans)
+	}
+	merged := tracing.Stitch(groups...)
+	if err := writeFile(outPath, func(w *os.File) error {
+		return tracing.WritePerfetto(w, merged)
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stitched %d spans from %d files\n", len(merged), len(inputs))
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -42,7 +80,15 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	eventsOut := flag.String("events-out", "", "write the DTM event timeline as NDJSON to this file")
 	perfettoOut := flag.String("perfetto-out", "", "write a Chrome/Perfetto trace-event JSON to this file")
+	stitchOut := flag.String("stitch", "", "stitch mode: merge the span NDJSON files given as arguments into one Perfetto JSON at this path, then exit")
 	flag.Parse()
+
+	if *stitchOut != "" {
+		if err := stitch(*stitchOut, flag.Args()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cfg := heatstroke.DefaultConfig()
 	cfg.Run.QuantumCycles = *cycles

@@ -387,6 +387,9 @@ func runRemote(ctx context.Context, c *client.Client, req api.JobRequest, f swee
 	default:
 		fmt.Fprintf(os.Stderr, "  %s: submitted job %s\n", req.Experiment, st.ID)
 	}
+	if st.TraceID != "" {
+		fmt.Fprintf(os.Stderr, "  %s: trace %s (GET /v1/traces/%s)\n", req.Experiment, st.TraceID, st.TraceID)
+	}
 	final, err := c.Wait(ctx, st.ID, func(p api.Progress) {
 		if p.Total > 0 {
 			fmt.Fprintf(os.Stderr, "\r  %s: %d/%d simulations", req.Experiment, p.Completed, p.Total)

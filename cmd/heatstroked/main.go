@@ -15,6 +15,7 @@
 //	GET  /v1/jobs/{id}/artifact  rendered table (?format=table|json|csv)
 //	GET  /v1/jobs/{id}/events    SSE progress stream
 //	GET  /v1/experiments         registry listing
+//	GET  /v1/traces/{id}         spans of one trace (trace id or job id)
 //	GET  /v1/stats               serving counters
 //	GET  /metrics                Prometheus text-format exposition
 //	GET  /healthz, /readyz       probes
@@ -73,6 +74,7 @@ func run(args []string, ready func(addr string)) error {
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "shutdown drain deadline")
 	logJSON := fs.Bool("log-json", false, "emit structured JSON logs instead of text")
 	logLevel := fs.String("log-level", "info", "log level: debug (includes per-request lines), info, warn, error")
+	traceBuf := fs.Int("trace-buf", 0, "span capacity of the trace flight-recorder ring buffer (0 = default 8192, negative = disable tracing)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,6 +114,8 @@ func run(args []string, ready func(addr string)) error {
 		FleetToken:     *fleetToken,
 		BaseConfig:     baseConfig,
 		Logger:         logger,
+		TraceCapacity:  max(*traceBuf, 0),
+		DisableTracing: *traceBuf < 0,
 	})
 	if err != nil {
 		return err

@@ -194,7 +194,7 @@ func runSweep(ctx context.Context, jobs []job, o Options) (map[string]*sim.Resul
 		sjobs[i] = sweep.Job[*sim.Result]{
 			Key: j.key,
 			Run: func(ctx context.Context) (*sim.Result, error) {
-				return runCold(j)
+				return runCold(ctx, j)
 			},
 		}
 		if j.opts.WarmupCycles > 0 && !o.DisableWarmupReuse {

@@ -27,9 +27,9 @@ func runForkSweep(ctx context.Context, jobs []job, o Options) (map[string]*sim.R
 		j := j
 		leaf := sweep.LeafNode(j.key, func(ctx context.Context, parent any) (*sim.Result, error) {
 			if parent == nil {
-				return runCold(j)
+				return runCold(ctx, j)
 			}
-			return runFromWarm(o, j, parent)
+			return runFromWarm(ctx, o, j, parent)
 		})
 		if j.opts.WarmupCycles <= 0 {
 			roots = append(roots, leaf)
@@ -41,7 +41,7 @@ func runForkSweep(ctx context.Context, jobs []job, o Options) (map[string]*sim.R
 			p = sweep.PrefixNode[*sim.Result](
 				fmt.Sprintf("warm:%s:%s", j.key, key[:12]),
 				func(ctx context.Context, _ any) (any, error) {
-					return buildWarm(o, j, key)
+					return buildWarm(ctx, o, j, key)
 				},
 			)
 			groups[key] = p

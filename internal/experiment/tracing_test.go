@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
+)
+
+// TestTracingDoesNotPerturbResults is the observer-effect gate: an
+// experiment run under a live tracer (every sweep.job, warmup, and
+// sim.quantum span recorded) renders a byte-identical table to the
+// same run with tracing absent. Spans observe the simulation; they
+// must never feed back into it.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	for _, name := range []string{NameFigure3, NameFigure4} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			render := func(ctx context.Context) string {
+				o := tinyOptions()
+				o.Seed = 11
+				o.Parallelism = 2
+				tb, err := RunContext(ctx, name, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var csv bytes.Buffer
+				if err := tb.WriteCSV(&csv); err != nil {
+					t.Fatal(err)
+				}
+				return tb.String() + csv.String()
+			}
+
+			plain := render(context.Background())
+
+			tr := tracing.NewTracer("test", 0)
+			tctx, root := tracing.StartSpan(tracing.ContextWithTracer(context.Background(), tr), "experiment.test")
+			traced := render(tctx)
+			root.End()
+
+			if plain != traced {
+				t.Errorf("tracing perturbed the rendered result:\n--- off\n%s\n--- on\n%s", plain, traced)
+			}
+			if tr.Recorded() == 0 {
+				t.Error("tracer recorded no spans: the traced run was not actually traced")
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/heatstroke-sim/heatstroke/internal/dtm"
 	"github.com/heatstroke-sim/heatstroke/internal/sim"
 	"github.com/heatstroke-sim/heatstroke/internal/sweep"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
 )
 
 // SnapshotStore persists warmup snapshots across experiment runs (the
@@ -42,8 +43,22 @@ func warmKey(o Options, j job) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// traceSimOpts copies the context's tracer and current span into the
+// job's sim options so the simulator records its quantum-boundary span
+// under the per-job span. A no-op (and no allocation) when the context
+// carries no tracer.
+func traceSimOpts(ctx context.Context, opts *sim.Options) {
+	if tr := tracing.TracerFrom(ctx); tr != nil {
+		opts.Tracer = tr
+		if sc, ok := tracing.SpanContextFrom(ctx); ok {
+			opts.TraceParent = sc
+		}
+	}
+}
+
 // runCold runs a job from scratch: construct, warm up, measure.
-func runCold(j job) (*sim.Result, error) {
+func runCold(ctx context.Context, j job) (*sim.Result, error) {
+	traceSimOpts(ctx, &j.opts)
 	s, err := sim.New(j.cfg, j.threads, j.opts)
 	if err != nil {
 		return nil, err
@@ -55,9 +70,10 @@ func runCold(j job) (*sim.Result, error) {
 // policy-agnostic warmup snapshot for key. The warming simulator runs
 // no policy: warmup never ticks it, and leaving it out keeps the
 // snapshot restorable under all of them.
-func buildWarm(o Options, j job, key string) (*sim.MachineState, error) {
+func buildWarm(ctx context.Context, o Options, j job, key string) (*sim.MachineState, error) {
 	if o.WarmupCache != nil {
 		if ms, ok := o.WarmupCache.Get(key); ok {
+			tracing.Active(ctx).SetAttr("warm_cached", "true")
 			return ms, nil
 		}
 	}
@@ -87,19 +103,23 @@ func buildWarm(o Options, j job, key string) (*sim.MachineState, error) {
 // overwrites all of a recycled simulator's state, so results are
 // byte-identical to fresh construction — and goes back to the pool
 // after a clean run.
-func runFromWarm(o Options, j job, warm any) (*sim.Result, error) {
+func runFromWarm(ctx context.Context, o Options, j job, warm any) (*sim.Result, error) {
 	ms, ok := warm.(*sim.MachineState)
 	if !ok {
 		return nil, fmt.Errorf("experiment: warm state is %T, want *sim.MachineState", warm)
 	}
+	traceSimOpts(ctx, &j.opts)
 	s, err := o.simPool.Get(j.cfg, j.threads, j.opts)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
+	_, rsp := tracing.StartSpan(ctx, "warm.restore")
 	if err := s.Restore(ms); err != nil {
+		rsp.EndErr(err)
 		return nil, err
 	}
+	rsp.End()
 	if o.OnRestore != nil {
 		o.OnRestore(time.Since(start).Seconds())
 	}
@@ -116,9 +136,9 @@ func warmJob(o Options, j job, sj *sweep.Job[*sim.Result]) {
 	key := warmKey(o, j)
 	sj.WarmKey = key
 	sj.Warm = func(ctx context.Context) (any, error) {
-		return buildWarm(o, j, key)
+		return buildWarm(ctx, o, j, key)
 	}
 	sj.RunWarm = func(ctx context.Context, warm any) (*sim.Result, error) {
-		return runFromWarm(o, j, warm)
+		return runFromWarm(ctx, o, j, warm)
 	}
 }

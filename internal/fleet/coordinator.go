@@ -14,6 +14,7 @@ import (
 	"github.com/heatstroke-sim/heatstroke/internal/experiment"
 	"github.com/heatstroke-sim/heatstroke/internal/server"
 	"github.com/heatstroke-sim/heatstroke/internal/sweep"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
 	"github.com/heatstroke-sim/heatstroke/pkg/api"
 	"github.com/heatstroke-sim/heatstroke/pkg/client"
 )
@@ -54,6 +55,18 @@ type Options struct {
 	DisableWarmShipping bool
 	// Logger receives structured logs (default: discard).
 	Logger *slog.Logger
+	// Tracer records coordinator-side spans (fleet.job roots, one
+	// fleet.dispatch per attempt). Nil gets a default bounded tracer
+	// of TraceCapacity spans (0 = tracing.DefaultCapacity) unless
+	// DisableTracing is set.
+	Tracer         *tracing.Tracer
+	TraceCapacity  int
+	DisableTracing bool
+	// TraceDir, when set, is flight-recorder mode: every terminal
+	// fleet job's stitched trace is written to {TraceDir}/{trace
+	// id}.ndjson, one span per line, mergeable offline with
+	// heatstroke-trace -stitch.
+	TraceDir string
 }
 
 // worker is one registered daemon.
@@ -117,6 +130,7 @@ type Coordinator struct {
 	mux     *http.ServeMux
 	log     *slog.Logger
 	met     *fleetMetrics
+	tracer  *tracing.Tracer
 
 	mu      sync.Mutex
 	workers map[string]*worker // by normalized URL
@@ -155,6 +169,10 @@ func New(opts Options) (*Coordinator, error) {
 		workers: make(map[string]*worker),
 		ring:    NewRing(0),
 		jobs:    make(map[string]*fleetJob),
+		tracer:  opts.Tracer,
+	}
+	if c.tracer == nil && !opts.DisableTracing {
+		c.tracer = tracing.NewTracer("fleet", opts.TraceCapacity)
 	}
 	c.met = newFleetMetrics(c)
 	for _, u := range opts.Workers {
@@ -169,6 +187,7 @@ func New(opts Options) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /v1/jobs/{id}/artifact", c.handleArtifact)
 	c.mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleEvents)
 	c.mux.HandleFunc("GET /v1/experiments", c.handleExperiments)
+	c.mux.HandleFunc("GET /v1/traces/{id}", c.handleTrace)
 	c.mux.HandleFunc("GET /v1/stats", c.handleStats)
 	c.mux.HandleFunc("GET /v1/workers", c.handleWorkersList)
 	c.mux.HandleFunc("POST /v1/workers", c.handleWorkerJoin)
@@ -216,6 +235,7 @@ func (c *Coordinator) newWorkerClient(url string) *client.Client {
 	cl.Token = c.opts.FleetToken
 	cl.Retry = &client.RetryPolicy{MaxAttempts: 2, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second}
 	cl.PollInterval = 100 * time.Millisecond
+	cl.Tracer = c.tracer // worker hops record into the coordinator's buffer
 	return cl
 }
 
@@ -388,6 +408,21 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		delete(c.jobs, id)
 	}
 	fj := newFleetJob(id, resolved)
+	// The fleet.job span roots this job's trace at the coordinator
+	// edge, joining the client's trace when the submit carried a W3C
+	// traceparent header. Dispatch attempts parent under it via fj.ctx.
+	tctx := tracing.ContextWithTracer(c.baseCtx, c.tracer)
+	if sc, err := tracing.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+		tctx = tracing.ContextWithRemote(tctx, sc)
+	}
+	jctx, span := tracing.StartSpan(tctx, "fleet.job")
+	span.SetAttr("job", shortID(id))
+	span.SetAttr("experiment", resolved.Experiment)
+	fj.ctx = jctx
+	fj.span = span
+	if sc := span.Context(); sc.Valid() {
+		fj.traceID = sc.TraceID.String()
+	}
 	c.jobs[id] = fj
 	c.wg.Add(1)
 	go c.runJob(fj)

@@ -7,6 +7,7 @@ import (
 	"net/url"
 	"time"
 
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
 	"github.com/heatstroke-sim/heatstroke/pkg/api"
 )
 
@@ -49,7 +50,12 @@ type attemptOutcome struct {
 // delivers it first.
 func (c *Coordinator) runJob(fj *fleetJob) {
 	defer c.wg.Done()
-	ctx, cancel := context.WithCancel(c.baseCtx)
+	defer c.flightRecord(fj) // after terminal: persist the stitched trace
+	base := fj.ctx
+	if base == nil {
+		base = c.baseCtx
+	}
+	ctx, cancel := context.WithCancel(base)
 	defer cancel()
 
 	cands := c.placement(fj.id)
@@ -61,15 +67,31 @@ func (c *Coordinator) runJob(fj *fleetJob) {
 	resCh := make(chan attemptOutcome, len(cands))
 	inflight := 0
 	next := 0
+	// prev is the previous attempt's span context: a retry links to the
+	// attempt it replaces, a hedge to the straggler it duplicates.
+	// launch only runs on the select-loop goroutine, so prev is
+	// race-free.
+	var prev tracing.SpanContext
 	launch := func(kind attemptKind) {
 		w := cands[next]
 		next++
 		inflight++
 		c.log.Info("dispatch", "job", shortID(fj.id), "worker", w.label(), "kind", string(kind))
+		actx, sp := tracing.StartSpan(ctx, "fleet.dispatch")
+		sp.SetAttr("worker", w.label())
+		sp.SetAttr("kind", string(kind))
+		switch kind {
+		case attemptRetry:
+			sp.Link(prev, tracing.LinkRetry)
+		case attemptHedge:
+			sp.Link(prev, tracing.LinkHedge)
+		}
+		prev = sp.Context()
 		go func() {
 			start := time.Now()
-			st, err := c.dispatchOnce(ctx, w, fj)
+			st, err := c.dispatchOnce(actx, w, fj)
 			c.met.dispatchDur.Observe(time.Since(start).Seconds())
+			sp.EndErr(err)
 			resCh <- attemptOutcome{w: w, kind: kind, st: st, err: err}
 		}()
 	}

@@ -1,9 +1,11 @@
 package fleet
 
 import (
+	"context"
 	"sync"
 
 	"github.com/heatstroke-sim/heatstroke/internal/sweep"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
 	"github.com/heatstroke-sim/heatstroke/pkg/api"
 )
 
@@ -16,6 +18,15 @@ import (
 type fleetJob struct {
 	id  string
 	req api.JobRequest // resolved: every default filled in
+
+	// ctx carries the job's fleet.job span (and the coordinator's
+	// tracer) into runJob so dispatch attempts parent under it; span is
+	// that root span, ended at terminal; traceID is its trace in hex
+	// ("" with tracing off). All three are written in handleSubmit
+	// before runJob starts and read-only after.
+	ctx     context.Context
+	span    *tracing.ActiveSpan
+	traceID string
 
 	mu      sync.Mutex
 	status  api.Status
@@ -62,6 +73,7 @@ func (fj *fleetJob) snapshotLocked() api.JobStatus {
 		Progress:   fj.prog,
 		Summary:    fj.summary,
 		Error:      fj.errMsg,
+		TraceID:    fj.traceID,
 	}
 }
 
@@ -143,6 +155,13 @@ func (fj *fleetJob) fail(st api.Status, msg string) {
 // finishLocked broadcasts the terminal frame, closes subscribers, and
 // unlocks (callers hold fj.mu).
 func (fj *fleetJob) finishLocked() {
+	if fj.span != nil {
+		fj.span.SetAttr("status", string(fj.status))
+		if fj.errMsg != "" {
+			fj.span.SetAttr("error", fj.errMsg)
+		}
+		fj.span.End()
+	}
 	job := fj.snapshotLocked()
 	fj.broadcastLocked(api.Event{Type: "done", Job: &job})
 	for ch := range fj.subs {

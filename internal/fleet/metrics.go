@@ -71,5 +71,13 @@ func newFleetMetrics(c *Coordinator) *fleetMetrics {
 			defer c.mu.Unlock()
 			return float64(len(c.jobs))
 		})
+	// Tracer counters read the tracer's atomics at exposition time
+	// (nil-safe: both report 0 with tracing disabled).
+	reg.CounterFunc("fleet_trace_spans_total",
+		"Spans recorded into the coordinator's trace flight-recorder buffer.",
+		func() uint64 { return c.tracer.Recorded() })
+	reg.CounterFunc("fleet_trace_spans_dropped_total",
+		"Oldest spans evicted from the bounded trace buffer on overflow.",
+		func() uint64 { return c.tracer.Dropped() })
 	return m
 }

@@ -67,6 +67,52 @@ func TestMergePromLabelsAndGrouping(t *testing.T) {
 	}
 }
 
+// TestMergePromHelpCollisionFirstWins pins the header-collision rule:
+// when two workers report the same family with different HELP (or
+// TYPE) text — a mixed-version fleet mid-upgrade — the first source to
+// state the header wins and the merged exposition still emits each
+// header exactly once, keeping the output parseable.
+func TestMergePromHelpCollisionFirstWins(t *testing.T) {
+	oldWorker := []byte("# HELP jobs_total Jobs by outcome.\n# TYPE jobs_total counter\njobs_total 3\n")
+	newWorker := []byte("# HELP jobs_total Jobs reaching a terminal state, by outcome.\n# TYPE jobs_total counter\njobs_total 9\n")
+	var out bytes.Buffer
+	if err := mergeProm(&out, nil, []workerScrape{
+		{name: "w-old", body: oldWorker},
+		{name: "w-new", body: newWorker},
+	}); err != nil {
+		t.Fatalf("mergeProm: %v", err)
+	}
+	text := out.String()
+	if n := strings.Count(text, "# HELP jobs_total"); n != 1 {
+		t.Fatalf("HELP jobs_total appears %d times, want exactly 1:\n%s", n, text)
+	}
+	if !strings.Contains(text, "# HELP jobs_total Jobs by outcome.") {
+		t.Errorf("first source's HELP text must win:\n%s", text)
+	}
+	if strings.Contains(text, "terminal state") {
+		t.Errorf("second source's HELP text leaked into the merge:\n%s", text)
+	}
+	// Both workers' samples survive the header collision.
+	for _, want := range []string{
+		`jobs_total{worker="w-old"} 3`,
+		`jobs_total{worker="w-new"} 9`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("merged output missing %q\n%s", want, text)
+		}
+	}
+	// Coordinator-first ordering: when the coordinator's own registry
+	// also states the family, its header beats every worker's.
+	own := []byte("# HELP jobs_total Coordinator view.\n# TYPE jobs_total counter\njobs_total 1\n")
+	out.Reset()
+	if err := mergeProm(&out, own, []workerScrape{{name: "w-old", body: oldWorker}}); err != nil {
+		t.Fatalf("mergeProm: %v", err)
+	}
+	if !strings.Contains(out.String(), "# HELP jobs_total Coordinator view.") {
+		t.Errorf("coordinator HELP must win over workers':\n%s", out.String())
+	}
+}
+
 func TestInjectLabelEscaping(t *testing.T) {
 	got := injectLabel(`m 1`, `a"b\c`)
 	want := `m{worker="a\"b\\c"} 1`

@@ -1,0 +1,265 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/heatstroke-sim/heatstroke/internal/server"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
+	"github.com/heatstroke-sim/heatstroke/pkg/api"
+)
+
+// TestFleetTraceStitchedAcrossRetry kills the first worker to run the
+// job (mid-run, like the fault-injection acceptance test) and requires
+// the coordinator's stitched trace to show the whole story: the
+// fleet.job root, two fleet.dispatch attempts on distinct workers, a
+// retry link from the second attempt back to the first, and the
+// surviving worker's own job/sweep spans merged in under the dispatch
+// that reached it.
+func TestFleetTraceStitchedAcrossRetry(t *testing.T) {
+	var killed int32
+	var workers [2]*testWorker
+	for i := range workers {
+		i := i
+		workers[i] = startWorker(t, func(o *server.Options) {
+			o.Advertise = "worker-" + string(rune('a'+i))
+			o.BeforeRun = func(string) {
+				if atomic.CompareAndSwapInt32(&killed, 0, int32(i)+1) {
+					workers[i].kill()
+				}
+			}
+		})
+	}
+	c, fcl := startFleet(t, workers[:], nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := fcl.Submit(ctx, tinyRequest())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if st.TraceID == "" {
+		t.Fatal("fleet JobStatus.TraceID empty: coordinator tracing should be on by default")
+	}
+	st, err = fcl.Wait(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if st.Status != api.StatusDone {
+		t.Fatalf("job finished %s: %s", st.Status, st.Error)
+	}
+	if r := c.met.retries.Value(); r < 1 {
+		t.Fatalf("retries = %d, want >= 1", r)
+	}
+
+	tr, err := fcl.Trace(ctx, st.ID) // by job id; coordinator maps to the trace
+	if err != nil {
+		t.Fatalf("trace fetch: %v", err)
+	}
+	if tr.TraceID != st.TraceID {
+		t.Fatalf("trace id %q, want %q", tr.TraceID, st.TraceID)
+	}
+
+	var dispatches []tracing.Span
+	services := map[string]bool{}
+	names := map[string]int{}
+	for _, sp := range tr.Spans {
+		services[sp.Service] = true
+		names[sp.Name]++
+		if sp.Name == "fleet.dispatch" {
+			dispatches = append(dispatches, sp)
+		}
+	}
+	if names["fleet.job"] != 1 {
+		t.Fatalf("fleet.job spans = %d, want 1; names %v", names["fleet.job"], names)
+	}
+	if len(dispatches) < 2 {
+		t.Fatalf("fleet.dispatch spans = %d, want >= 2 (primary + retry)", len(dispatches))
+	}
+	// Distinct workers across attempts, and the retry links back to the
+	// attempt it replaced.
+	attemptWorkers := map[string]bool{}
+	var retried *tracing.Span
+	byID := map[string]tracing.Span{}
+	for i := range dispatches {
+		attemptWorkers[dispatches[i].Attrs["worker"]] = true
+		byID[dispatches[i].SpanID] = dispatches[i]
+		if dispatches[i].Attrs["kind"] == "retry" {
+			retried = &dispatches[i]
+		}
+	}
+	if len(attemptWorkers) < 2 {
+		t.Fatalf("dispatch attempts hit %d distinct workers, want >= 2: %v", len(attemptWorkers), attemptWorkers)
+	}
+	if retried == nil {
+		t.Fatal("no dispatch span with kind=retry")
+	}
+	foundLink := false
+	for _, l := range retried.Links {
+		if l.Kind == tracing.LinkRetry {
+			foundLink = true
+			if _, ok := byID[l.SpanID]; !ok {
+				t.Fatalf("retry link points at %s, not a dispatch span in this trace", l.SpanID)
+			}
+		}
+	}
+	if !foundLink {
+		t.Fatal("retry dispatch has no retry link to the failed attempt")
+	}
+	// The surviving worker's spans are stitched in: at least two
+	// services (fleet + the worker) and the worker-side job span.
+	if len(services) < 2 {
+		t.Fatalf("stitched trace has services %v, want the coordinator's and a worker's", services)
+	}
+	if names["job"] < 1 || names["sweep.job"] < 1 {
+		t.Fatalf("stitched trace missing worker-side spans; names %v", names)
+	}
+}
+
+// TestFleetTraceAcceptance is the ISSUE's acceptance check: a fleet
+// job submitted through pkg/client yields one stitched trace whose
+// root span covers >= 95% of the client's observed wall time, with
+// worker-side queue.wait and sweep.job children, and the whole thing
+// exports as valid Perfetto JSON.
+func TestFleetTraceAcceptance(t *testing.T) {
+	workers := []*testWorker{startWorker(t, nil), startWorker(t, nil)}
+	_, fcl := startFleet(t, workers, nil)
+	fcl.Tracer = tracing.NewTracer("loadgen", 0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	// The client opens one root span around the full interaction; every
+	// client/coordinator/worker span lands in the same trace via the
+	// propagated traceparent.
+	rctx, root := tracing.StartSpan(tracing.ContextWithTracer(ctx, fcl.Tracer), "client.request")
+	start := time.Now()
+	st, err := fcl.Submit(rctx, tinyRequest())
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if !st.Status.Terminal() {
+		if st, err = fcl.Wait(rctx, st.ID, nil); err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+	}
+	if st.Status != api.StatusDone {
+		t.Fatalf("job finished %s: %s", st.Status, st.Error)
+	}
+	root.End()
+	wall := time.Since(start)
+
+	traceID := root.Context().TraceID.String()
+	if st.TraceID != traceID {
+		t.Fatalf("fleet job trace %q did not join the client's %q", st.TraceID, traceID)
+	}
+	remote, err := fcl.Trace(ctx, traceID)
+	if err != nil {
+		t.Fatalf("trace fetch: %v", err)
+	}
+	// One stitched trace: client-side spans + everything the
+	// coordinator assembled from itself and the workers.
+	spans := tracing.Stitch(fcl.Tracer.Spans(traceID), remote.Spans)
+
+	names := map[string]int{}
+	var rootSpan *tracing.Span
+	for i := range spans {
+		names[spans[i].Name]++
+		if spans[i].Name == "client.request" {
+			rootSpan = &spans[i]
+		}
+	}
+	for _, want := range []string{"client.submit", "client.wait", "fleet.job", "fleet.dispatch", "job", "queue.wait", "sweep.job", "sim.quantum"} {
+		if names[want] == 0 {
+			t.Errorf("stitched trace missing %q; have %v", want, names)
+		}
+	}
+	if rootSpan == nil {
+		t.Fatal("client root span missing from stitched trace")
+	}
+	cover := time.Duration(rootSpan.End - rootSpan.Start)
+	if cover < wall*95/100 {
+		t.Fatalf("root span covers %s of %s client wall time (< 95%%)", cover, wall)
+	}
+
+	// The stitched set renders as valid Perfetto trace-event JSON.
+	var buf bytes.Buffer
+	if err := tracing.WritePerfetto(&buf, spans); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Perfetto output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < len(spans) {
+		t.Fatalf("Perfetto has %d events for %d spans", len(doc.TraceEvents), len(spans))
+	}
+}
+
+// TestFleetTraceDirFlightRecorder: with TraceDir set, a terminal job
+// leaves {trace-id}.ndjson behind, readable and stitchable offline.
+func TestFleetTraceDirFlightRecorder(t *testing.T) {
+	dir := t.TempDir()
+	workers := []*testWorker{startWorker(t, nil)}
+	_, fcl := startFleet(t, workers, func(o *Options) { o.TraceDir = dir })
+
+	got := runToArtifact(t, fcl, tinyRequest())
+	if len(got) == 0 {
+		t.Fatal("empty artifact")
+	}
+	st, err := fcl.Job(context.Background(), jobID(t))
+	if err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	if st.TraceID == "" {
+		t.Fatal("no trace id on the fleet job")
+	}
+	path := filepath.Join(dir, st.TraceID+".ndjson")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight-recorder file %s never appeared", path)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := tracing.ReadNDJSON(f)
+	if err != nil {
+		t.Fatalf("ReadNDJSON: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("flight-recorder file holds no spans")
+	}
+	names := map[string]bool{}
+	for _, sp := range spans {
+		names[sp.Name] = true
+	}
+	if !names["fleet.job"] || !names["sweep.job"] {
+		t.Fatalf("flight-recorder trace missing expected spans: %v", names)
+	}
+}
+
+// jobID resolves the canonical tiny request's content address, shared
+// by tests that look a job up after runToArtifact.
+func jobID(t *testing.T) string {
+	t.Helper()
+	_, id, err := server.Resolve(testVersion, tinyBase, tinyRequest())
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	return id
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/heatstroke-sim/heatstroke/internal/sweep"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
 	"github.com/heatstroke-sim/heatstroke/pkg/api"
 )
 
@@ -24,6 +25,14 @@ type jobEntry struct {
 	// client-cancellation cause. Both are set before execute starts.
 	ctx    context.Context
 	cancel context.CancelCauseFunc
+
+	// span is the job's root-on-this-node span, opened at submit and
+	// ended by finish; traceID is its trace in hex ("" when tracing is
+	// off); created stamps the submit time for the queue-wait span.
+	// All three are written before execute starts and read-only after.
+	span    *tracing.ActiveSpan
+	traceID string
+	created time.Time
 
 	mu      sync.Mutex
 	status  api.Status
@@ -68,6 +77,7 @@ func (e *jobEntry) snapshotLocked() api.JobStatus {
 		Request:    e.req,
 		Status:     e.status,
 		Progress:   e.prog,
+		TraceID:    e.traceID,
 	}
 	if e.table != nil && e.table.Summary != nil {
 		st.Summary = e.table.Summary
@@ -127,9 +137,23 @@ func (e *jobEntry) onProgress(p sweep.Progress) {
 	e.mu.Unlock()
 }
 
+// logAttrs returns the job's trace correlation attrs for log lines
+// (empty when tracing is off), so job-scoped logs and spans join up.
+func (e *jobEntry) logAttrs() []any {
+	sc := e.span.Context()
+	if !sc.Valid() {
+		return nil
+	}
+	return []any{"trace_id", sc.TraceID.String(), "span_id", sc.SpanID.String()}
+}
+
 // finish records the terminal state, builds a partial summary when the
 // sweep did not complete, notifies SSE subscribers, and releases them.
 func (e *jobEntry) finish(st api.Status, table *sweep.Table, err error) {
+	if e.span != nil {
+		e.span.SetAttr("status", string(st))
+		e.span.EndErr(err)
+	}
 	e.mu.Lock()
 	e.status = st
 	e.table = table

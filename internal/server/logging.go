@@ -13,11 +13,16 @@ import (
 // Options.Logf keep their log lines (rendered "msg key=val ...").
 type logfHandler struct {
 	logf  func(format string, args ...any)
+	level slog.Leveler // minimum level; nil means Info
 	attrs []slog.Attr
 }
 
 func (h *logfHandler) Enabled(_ context.Context, level slog.Level) bool {
-	return level >= slog.LevelInfo
+	min := slog.LevelInfo
+	if h.level != nil {
+		min = h.level.Level()
+	}
+	return level >= min
 }
 
 func (h *logfHandler) Handle(_ context.Context, r slog.Record) error {
@@ -38,7 +43,7 @@ func (h *logfHandler) Handle(_ context.Context, r slog.Record) error {
 }
 
 func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
-	return &logfHandler{logf: h.logf, attrs: append(append([]slog.Attr{}, h.attrs...), attrs...)}
+	return &logfHandler{logf: h.logf, level: h.level, attrs: append(append([]slog.Attr{}, h.attrs...), attrs...)}
 }
 
 func (h *logfHandler) WithGroup(string) slog.Handler { return h }

@@ -105,6 +105,14 @@ func newServerMetrics(s *Server, version string) *serverMetrics {
 			defer s.mu.Unlock()
 			return float64(len(s.jobs))
 		})
+	// Tracer counters read the tracer's atomics at exposition time
+	// (nil-safe: both report 0 with tracing disabled).
+	reg.CounterFunc("heatstroked_trace_spans_total",
+		"Spans recorded into the trace flight-recorder buffer.",
+		func() uint64 { return s.tracer.Recorded() })
+	reg.CounterFunc("heatstroked_trace_spans_dropped_total",
+		"Oldest spans evicted from the bounded trace buffer on overflow.",
+		func() uint64 { return s.tracer.Dropped() })
 	return m
 }
 

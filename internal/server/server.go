@@ -38,6 +38,7 @@ import (
 	"github.com/heatstroke-sim/heatstroke/internal/experiment"
 	"github.com/heatstroke-sim/heatstroke/internal/sweep"
 	"github.com/heatstroke-sim/heatstroke/internal/telemetry"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
 	"github.com/heatstroke-sim/heatstroke/internal/workload"
 	"github.com/heatstroke-sim/heatstroke/pkg/api"
 )
@@ -84,6 +85,23 @@ type Options struct {
 	// Logf, when set and Logger is not, receives the same logs rendered
 	// as printf lines (legacy bridge; prefer Logger).
 	Logf func(format string, args ...any)
+	// LogLevel is the minimum level the Logf bridge emits (default
+	// Info, so -log-level debug actually reaches the sink). Ignored
+	// when Logger is set — a Logger carries its own level.
+	LogLevel slog.Leveler
+	// Tracer collects request-scoped spans (job lifecycle, queue wait,
+	// warmup restore, each sweep job, simulated quanta) into a bounded
+	// flight-recorder buffer served at GET /v1/traces/{id}. When nil,
+	// New creates one sized TraceCapacity; set DisableTracing to run
+	// without span collection entirely.
+	Tracer *tracing.Tracer
+	// TraceCapacity sizes the default tracer's span ring (<= 0 means
+	// tracing.DefaultCapacity). Ignored when Tracer is set.
+	TraceCapacity int
+	// DisableTracing turns span collection off: no tracer is created,
+	// traceparent headers are ignored, and the per-quantum cost is a
+	// single nil check.
+	DisableTracing bool
 	// Advertise is the address this daemon wants fleet peers to reach
 	// it at (reported in /v1/stats). A coordinator uses it to label the
 	// worker and to locate snapshot sources; the daemon itself only
@@ -117,6 +135,7 @@ type Server struct {
 	log     *slog.Logger
 	met     *serverMetrics
 	warm    *warmStore
+	tracer  *tracing.Tracer
 
 	mu      sync.Mutex
 	jobs    map[string]*jobEntry
@@ -144,10 +163,18 @@ func New(opts Options) (*Server, error) {
 	log := opts.Logger
 	if log == nil {
 		if opts.Logf != nil {
-			log = slog.New(&logfHandler{logf: opts.Logf})
+			log = slog.New(&logfHandler{logf: opts.Logf, level: opts.LogLevel})
 		} else {
 			log = slog.New(discardHandler{})
 		}
+	}
+	tracer := opts.Tracer
+	if tracer == nil && !opts.DisableTracing {
+		service := "heatstroked"
+		if opts.Advertise != "" {
+			service = "heatstroked@" + opts.Advertise
+		}
+		tracer = tracing.NewTracer(service, opts.TraceCapacity)
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	s := &Server{
@@ -157,6 +184,7 @@ func New(opts Options) (*Server, error) {
 		sem:     make(chan struct{}, opts.MaxConcurrent),
 		jobs:    make(map[string]*jobEntry),
 		log:     log,
+		tracer:  tracer,
 	}
 	s.met = newServerMetrics(s, opts.Version)
 	if opts.WarmupCacheDir != "" {
@@ -175,6 +203,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleArtifact)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -190,6 +219,11 @@ func (s *Server) Handler() http.Handler { return s.logRequests(s.mux) }
 // Metrics returns the daemon's telemetry registry (exposed at
 // GET /metrics), so embedders can add their own series.
 func (s *Server) Metrics() *telemetry.Registry { return s.met.reg }
+
+// Tracer returns the daemon's span collector (nil when tracing is
+// disabled), so embedders — the fleet coordinator above all — can
+// stitch its spans into cross-node traces.
+func (s *Server) Tracer() *tracing.Tracer { return s.tracer }
 
 // Shutdown drains the daemon: no new jobs are accepted, in-flight
 // sweeps are cancelled via context and allowed to finish their running
@@ -351,6 +385,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The job context carries the tracer and — when the client sent a
+	// valid traceparent — the remote parent, so the job span joins the
+	// caller's trace (a coordinator dispatch, a CLI root span) instead
+	// of starting a fresh one.
+	lookupStart := time.Now()
+	tctx := tracing.ContextWithTracer(s.baseCtx, s.tracer)
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		if parent, perr := tracing.ParseTraceparent(tp); perr == nil {
+			tctx = tracing.ContextWithRemote(tctx, parent)
+		}
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -393,7 +439,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.cacheMisses.Inc()
 	e := newJobEntry(id, resolved, s.met)
-	e.ctx, e.cancel = context.WithCancelCause(s.baseCtx)
+	e.created = lookupStart
+	jctx, span := tracing.StartSpan(tctx, "job")
+	span.SetAttr("job", shortID(id))
+	span.SetAttr("experiment", resolved.Experiment)
+	e.span = span
+	if sc := span.Context(); sc.Valid() {
+		e.traceID = sc.TraceID.String()
+		s.tracer.Emit(sc, "cache.lookup", lookupStart.UnixNano(), time.Now().UnixNano(),
+			map[string]string{"hit": "false"})
+	}
+	e.ctx, e.cancel = context.WithCancelCause(jctx)
 	s.jobs[id] = e
 	s.queued++
 	s.wg.Add(1)
@@ -402,11 +458,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	s.log.Info("job queued",
-		"job", shortID(id),
-		"experiment", resolved.Experiment,
-		"benchmarks", len(resolved.Benchmarks),
-		"quantum", resolved.Quantum,
-		"seed", *resolved.Seed)
+		append([]any{
+			"job", shortID(id),
+			"experiment", resolved.Experiment,
+			"benchmarks", len(resolved.Benchmarks),
+			"quantum", resolved.Quantum,
+			"seed", *resolved.Seed,
+		}, e.logAttrs()...)...)
 	writeJSON(w, http.StatusAccepted, st)
 }
 
@@ -434,6 +492,9 @@ func (s *Server) execute(e *jobEntry) {
 	s.stats.Runs++
 	s.mu.Unlock()
 	e.setStatus(api.StatusRunning)
+	// The slot wait is over; record it retroactively as a child of the
+	// job span (no-op when tracing is off or the span never opened).
+	s.tracer.Emit(e.span.Context(), "queue.wait", e.created.UnixNano(), time.Now().UnixNano(), nil)
 
 	runCtx := e.ctx
 	var cancel context.CancelFunc
@@ -444,7 +505,9 @@ func (s *Server) execute(e *jobEntry) {
 		s.opts.BeforeRun(e.id)
 	}
 	start := time.Now()
+	runCtx, rsp := tracing.StartSpan(runCtx, "experiment.run")
 	table, err := experiment.RunContext(runCtx, e.req.Experiment, s.expOptions(e))
+	rsp.EndErr(err)
 	if cancel != nil {
 		cancel()
 	}
@@ -458,17 +521,51 @@ func (s *Server) execute(e *jobEntry) {
 	case err == nil:
 		e.finish(api.StatusDone, table, nil)
 		s.met.finishJob(api.StatusDone, elapsed.Seconds())
-		s.log.Info("job done", "job", shortID(e.id), "dur", elapsed.Round(time.Millisecond).String())
+		s.log.Info("job done",
+			append([]any{"job", shortID(e.id), "dur", elapsed.Round(time.Millisecond).String()}, e.logAttrs()...)...)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		e.finish(api.StatusCanceled, nil, err)
 		s.met.finishJob(api.StatusCanceled, elapsed.Seconds())
-		s.log.Info("job canceled", "job", shortID(e.id), "dur", elapsed.Round(time.Millisecond).String(), "err", err)
+		s.log.Info("job canceled",
+			append([]any{"job", shortID(e.id), "dur", elapsed.Round(time.Millisecond).String(), "err", err}, e.logAttrs()...)...)
 	default:
 		e.finish(api.StatusFailed, nil, err)
 		s.met.finishJob(api.StatusFailed, elapsed.Seconds())
-		s.log.Info("job failed", "job", shortID(e.id), "err", err)
+		s.log.Info("job failed",
+			append([]any{"job", shortID(e.id), "err", err}, e.logAttrs()...)...)
 	}
 	s.persist(e)
+}
+
+// handleTrace serves every buffered span of one trace, addressed
+// either by its 32-hex trace id or by a job id (64 hex — the two are
+// disjoint by construction, so the endpoint accepts both).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, "tracing is disabled")
+		return
+	}
+	id := r.PathValue("id")
+	tid := id
+	if len(id) == 64 {
+		e := s.lookup(id)
+		if e == nil {
+			writeError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		if e.traceID == "" {
+			writeError(w, http.StatusNotFound, "job has no trace")
+			return
+		}
+		tid = e.traceID
+	}
+	spans := s.tracer.Spans(tid)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "unknown trace")
+		return
+	}
+	tracing.SortSpans(spans)
+	writeJSON(w, http.StatusOK, api.Trace{TraceID: tid, Spans: spans})
 }
 
 func (s *Server) lookup(id string) *jobEntry {

@@ -5,6 +5,7 @@ import (
 
 	"github.com/heatstroke-sim/heatstroke/internal/config"
 	"github.com/heatstroke-sim/heatstroke/internal/dtm"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
 	"github.com/heatstroke-sim/heatstroke/internal/trace"
 	"github.com/heatstroke-sim/heatstroke/internal/workload"
 )
@@ -90,6 +91,31 @@ func TestSensorPipelineZeroAllocs(t *testing.T) {
 				t.Fatalf("sensor interval allocates %.1f times per run, want 0", allocs)
 			}
 		})
+	}
+}
+
+// TestTraceQuantumDisabledZeroAlloc pins the tracing-off fast path:
+// with no Tracer attached, the quantum-boundary trace hook is a single
+// nil check — zero allocations, zero time reads — so a daemon running
+// with -trace-buf -1 pays nothing per quantum.
+func TestTraceQuantumDisabledZeroAlloc(t *testing.T) {
+	s := allocSim(t, dtm.StopAndGo, Options{})
+	res := &Result{Cycles: 1_000_000, PeakTemp: 350}
+	if allocs := testing.AllocsPerRun(100, func() {
+		s.traceQuantum(res, 0)
+	}); allocs > 0 {
+		t.Fatalf("disabled traceQuantum allocates %.1f times per run, want 0", allocs)
+	}
+	// An attached tracer without a span context is still a no-op: the
+	// simulator never invents trace roots of its own.
+	s.opts.Tracer = tracing.NewTracer("sim-test", 16)
+	if allocs := testing.AllocsPerRun(100, func() {
+		s.traceQuantum(res, 0)
+	}); allocs > 0 {
+		t.Fatalf("parentless traceQuantum allocates %.1f times per run, want 0", allocs)
+	}
+	if got := s.opts.Tracer.Recorded(); got != 0 {
+		t.Fatalf("parentless traceQuantum recorded %d spans, want 0", got)
 	}
 }
 

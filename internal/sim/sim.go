@@ -6,6 +6,8 @@ package sim
 
 import (
 	"fmt"
+	"strconv"
+	"time"
 
 	"github.com/heatstroke-sim/heatstroke/internal/config"
 	score "github.com/heatstroke-sim/heatstroke/internal/core"
@@ -16,6 +18,7 @@ import (
 	"github.com/heatstroke-sim/heatstroke/internal/power"
 	"github.com/heatstroke-sim/heatstroke/internal/stats"
 	"github.com/heatstroke-sim/heatstroke/internal/telemetry"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
 	"github.com/heatstroke-sim/heatstroke/internal/thermal"
 	"github.com/heatstroke-sim/heatstroke/internal/trace"
 )
@@ -54,6 +57,18 @@ type Options struct {
 	// fast-forward equivalence tests); the switch exists so differential
 	// suites can prove properties on both execution paths.
 	DisableFastForward bool
+	// Tracer, when set, records one "sim.quantum" span per measurement
+	// quantum (BeginRun through FinishRun) parented under TraceParent.
+	// Spans carry wall-clock boundaries plus cycle/temperature attrs and
+	// never feed back into simulation state, so results are
+	// byte-identical with and without them (enforced by the tracing
+	// determinism guard). With Tracer nil the entire cost is one nil
+	// check per quantum — zero allocations, like the disabled sensor
+	// pipeline.
+	Tracer *tracing.Tracer
+	// TraceParent is the span context quantum spans parent under
+	// (typically the per-sweep-job span). Ignored when invalid.
+	TraceParent tracing.SpanContext
 }
 
 // ThreadResult is one thread's measurements over the quantum.
@@ -154,6 +169,10 @@ type quantumRun struct {
 	startStats    []cpu.ThreadStats
 	startRF       []uint64
 	lastCommitted []uint64
+
+	// traceStartNS is the quantum's wall-clock open time, captured only
+	// when a tracer is attached (zero otherwise).
+	traceStartNS int64
 }
 
 // New builds a simulator for the given machine, threads, and options.
@@ -385,6 +404,9 @@ func (s *Simulator) BeginRun(quantum int64) error {
 			qr.lastCommitted[tid] = s.core.Stats(tid).Committed
 		}
 	}
+	if s.opts.Tracer != nil {
+		qr.traceStartNS = time.Now().UnixNano()
+	}
 	s.qr = qr
 	return nil
 }
@@ -510,5 +532,25 @@ func (s *Simulator) FinishRun() (*Result, error) {
 			L2Squashes:  st.L2Squashes,
 		})
 	}
+	s.traceQuantum(res, qr.traceStartNS)
 	return res, nil
+}
+
+// traceQuantum records the quantum-boundary span when a tracer is
+// attached. The nil check is the entire disabled-path cost: no time
+// reads, no allocations, no branch inside the cycle loop.
+func (s *Simulator) traceQuantum(res *Result, startNS int64) {
+	tr := s.opts.Tracer
+	if tr == nil {
+		return
+	}
+	parent := s.opts.TraceParent
+	if !parent.Valid() {
+		return
+	}
+	tr.Emit(parent, "sim.quantum", startNS, time.Now().UnixNano(), map[string]string{
+		"cycles":      strconv.FormatInt(res.Cycles, 10),
+		"peak_temp_k": strconv.FormatFloat(res.PeakTemp, 'f', 2, 64),
+		"policy":      string(s.opts.Policy),
+	})
 }

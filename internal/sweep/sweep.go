@@ -17,8 +17,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
+
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
 )
 
 // ErrorPolicy selects how a sweep reacts to a failing job.
@@ -281,6 +284,9 @@ func runOne[T any](ctx context.Context, j Job[T], idx, retries int, w *warmer) J
 		return jr
 	}
 	start := time.Now()
+	// prev carries the previous attempt's span so a retry links to the
+	// attempt it replaces (zero when tracing is off or on attempt 1).
+	var prev tracing.SpanContext
 	for attempt := 0; attempt <= retries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if jr.Attempts == 0 {
@@ -290,23 +296,32 @@ func runOne[T any](ctx context.Context, j Job[T], idx, retries int, w *warmer) J
 			break
 		}
 		jr.Attempts++
+		actx, sp := tracing.StartSpan(ctx, "sweep.job")
+		sp.SetAttr("key", j.Key)
+		sp.SetAttr("attempt", strconv.Itoa(jr.Attempts))
+		if jr.Attempts > 1 {
+			sp.Link(prev, tracing.LinkRetry)
+		}
 		var v T
 		var err error
 		if j.WarmKey != "" {
 			var warm any
 			var reused bool
-			warm, reused, err = w.get(ctx, j.WarmKey, j.Warm, jr.Attempts == 1)
+			warm, reused, err = w.get(actx, j.WarmKey, j.Warm, jr.Attempts == 1)
 			if jr.Attempts == 1 {
 				// Retries reuse the state this very job produced; only
 				// the first attempt says whether the warmup was shared.
 				jr.WarmReused = reused
 			}
+			sp.SetAttr("warm_reused", strconv.FormatBool(reused))
 			if err == nil {
-				v, err = j.RunWarm(ctx, warm)
+				v, err = j.RunWarm(actx, warm)
 			}
 		} else {
-			v, err = j.Run(ctx)
+			v, err = j.Run(actx)
 		}
+		sp.EndErr(err)
+		prev = sp.Context()
 		jr.Value, jr.Err = v, err
 		if err == nil {
 			break

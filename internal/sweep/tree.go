@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
 )
 
 // ForkNode is one node of a fork tree: a sweep whose jobs share
@@ -55,6 +57,9 @@ type nodeEntry[T any] struct {
 	// reaches zero the state is dropped so long sweeps don't pin every
 	// prefix in memory.
 	pending int
+	// span identifies the prefix-production span (zero when tracing is
+	// off) so leaves that fork from the shared state can link to it.
+	span tracing.SpanContext
 }
 
 // treeState coordinates prefix production across the tree's leaves.
@@ -91,7 +96,11 @@ func (ts *treeState[T]) resolve(ctx context.Context, n *ForkNode[T]) (val any, s
 	if perr != nil {
 		e.err = perr
 	} else {
-		e.val, e.err = n.Prefix(ctx, parentVal)
+		pctx, sp := tracing.StartSpan(ctx, "fork.prefix")
+		sp.SetAttr("key", n.Key)
+		e.val, e.err = n.Prefix(pctx, parentVal)
+		sp.EndErr(e.err)
+		e.span = sp.Context()
 		ts.mu.Lock()
 		ts.runs++
 		ts.mu.Unlock()
@@ -128,6 +137,14 @@ func (ts *treeState[T]) leafRun(n, parent *ForkNode[T]) func(context.Context) (T
 				ts.reused++
 				ts.mu.Unlock()
 			}
+		}
+		if parent != nil && shared && err == nil {
+			// The leaf runs from a prefix another leaf produced: record
+			// the causal edge the parent/child tree can't express.
+			ts.mu.Lock()
+			psc := ts.info[parent].span
+			ts.mu.Unlock()
+			tracing.Active(ctx).Link(psc, tracing.LinkForkPrefix)
 		}
 		if err != nil {
 			var zero T

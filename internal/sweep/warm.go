@@ -3,6 +3,8 @@ package sweep
 import (
 	"context"
 	"sync"
+
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
 )
 
 // warmer deduplicates warm-state production within one sweep: the
@@ -24,6 +26,9 @@ type warmEntry struct {
 	done chan struct{}
 	val  any
 	err  error
+	// span identifies the warmup-build span (zero when tracing is off)
+	// so jobs that reuse the state can link to the build that made it.
+	span tracing.SpanContext
 }
 
 func newWarmer() *warmer {
@@ -50,6 +55,7 @@ func (w *warmer) get(ctx context.Context, key string, warm func(context.Context)
 			w.reused++
 			w.mu.Unlock()
 		}
+		tracing.Active(ctx).Link(e.span, tracing.LinkWarmReuse)
 		return e.val, true, e.err
 	}
 	e := &warmEntry{done: make(chan struct{})}
@@ -57,9 +63,21 @@ func (w *warmer) get(ctx context.Context, key string, warm func(context.Context)
 	w.runs++
 	w.mu.Unlock()
 
-	e.val, e.err = warm(ctx)
+	wctx, sp := tracing.StartSpan(ctx, "sweep.warmup")
+	sp.SetAttr("warm_key", shortKey(key))
+	e.val, e.err = warm(wctx)
+	sp.EndErr(e.err)
+	e.span = sp.Context()
 	close(e.done)
 	return e.val, false, e.err
+}
+
+// shortKey truncates a sha256-hex sharing key for span attributes.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // counts returns the executed / reused warmup totals so far.

@@ -224,6 +224,20 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	})
 }
 
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time (e.g. span totals owned by a tracer's atomics).
+// fn must be monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ls := r.getFamily(name, help, typeCounter, labels)
+	getOrMake(fam, ls, labels, func() (struct{}, func(io.Writer, string, string)) {
+		return struct{}{}, func(w io.Writer, name, labelStr string) {
+			fmt.Fprintf(w, "%s%s %d\n", name, labelStr, fn())
+		}
+	})
+}
+
 // Histogram is a fixed-bucket cumulative histogram.
 type Histogram struct {
 	bounds []float64 // upper bounds, ascending; +Inf is implicit

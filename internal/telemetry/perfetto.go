@@ -59,6 +59,43 @@ type metaEvent struct {
 
 const perfettoPid = 1
 
+// TraceEventWriter streams a Chrome trace-event JSON document: the
+// {"displayTimeUnit":"ms","traceEvents":[...]} envelope with one
+// marshalled event per line and the comma discipline handled here.
+// It is shared by the run exporter (WritePerfetto) and the distributed
+// tracing span exporter, so both produce the same document shape.
+type TraceEventWriter struct {
+	bw    *bufio.Writer
+	first bool
+}
+
+// NewTraceEventWriter opens the trace-event envelope on w.
+func NewTraceEventWriter(w io.Writer) *TraceEventWriter {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	return &TraceEventWriter{bw: bw, first: true}
+}
+
+// Emit marshals one event object into the traceEvents array.
+func (tw *TraceEventWriter) Emit(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if !tw.first {
+		tw.bw.WriteString(",\n")
+	}
+	tw.first = false
+	tw.bw.Write(b)
+	return nil
+}
+
+// Close ends the traceEvents array and flushes the document.
+func (tw *TraceEventWriter) Close() error {
+	tw.bw.WriteString("\n]}\n")
+	return tw.bw.Flush()
+}
+
 // WritePerfetto renders the run as Chrome trace-event JSON.
 func WritePerfetto(w io.Writer, o TraceOptions) error {
 	if o.FrequencyHz <= 0 {
@@ -73,21 +110,8 @@ func WritePerfetto(w io.Writer, o TraceOptions) error {
 	ts := func(cycle int64) float64 { return float64(cycle) / o.FrequencyHz * 1e6 }
 	dtmTid := len(o.ThreadNames)
 
-	bw := bufio.NewWriter(w)
-	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
-	first := true
-	emit := func(v any) error {
-		b, err := json.Marshal(v)
-		if err != nil {
-			return err
-		}
-		if !first {
-			bw.WriteString(",\n")
-		}
-		first = false
-		bw.Write(b)
-		return nil
-	}
+	tw := NewTraceEventWriter(w)
+	emit := tw.Emit
 
 	// Metadata: process and thread names.
 	if err := emit(metaEvent{Name: "process_name", Ph: "M", Pid: perfettoPid,
@@ -205,6 +229,5 @@ func WritePerfetto(w io.Writer, o TraceOptions) error {
 		}
 	}
 
-	bw.WriteString("\n]}\n")
-	return bw.Flush()
+	return tw.Close()
 }

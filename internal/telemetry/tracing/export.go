@@ -1,0 +1,150 @@
+package tracing
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry"
+)
+
+// WriteNDJSON renders one span per line, in the given order. The
+// per-node flight-recorder files and the heatstroke-trace -stitch
+// input format.
+func WriteNDJSON(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON parses spans written by WriteNDJSON, skipping blank
+// lines.
+func ReadNDJSON(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var out []Span
+	for {
+		var s Span
+		if err := dec.Decode(&s); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("tracing: bad span record: %w", err)
+		}
+		out = append(out, s)
+	}
+}
+
+// spanEvent is one Chrome trace-event "X" (complete) record for a
+// span: microsecond timestamp and duration, string args. Field order
+// is fixed by the struct so the export is byte-deterministic for a
+// fixed span set.
+type spanEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// spanMeta is a process/thread-name metadata record.
+type spanMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// WritePerfetto renders spans as Chrome trace-event JSON (open in
+// ui.perfetto.dev): one track per service, sorted by first
+// appearance-independent service name so the output is deterministic;
+// each span is an "X" complete event whose args carry the span and
+// parent ids, attributes, and links. Timestamps are microseconds
+// relative to the earliest span start.
+func WritePerfetto(w io.Writer, spans []Span) error {
+	ordered := make([]Span, len(spans))
+	copy(ordered, spans)
+	SortSpans(ordered)
+
+	services := make(map[string]int)
+	var names []string
+	for i := range ordered {
+		svc := ordered[i].Service
+		if svc == "" {
+			svc = "unknown"
+		}
+		if _, ok := services[svc]; !ok {
+			services[svc] = 0
+			names = append(names, svc)
+		}
+	}
+	sort.Strings(names)
+	for tid, svc := range names {
+		services[svc] = tid
+	}
+
+	var t0 int64
+	if len(ordered) > 0 {
+		t0 = ordered[0].Start
+		for i := range ordered {
+			if ordered[i].Start < t0 {
+				t0 = ordered[i].Start
+			}
+		}
+	}
+
+	tw := telemetry.NewTraceEventWriter(w)
+	if err := tw.Emit(spanMeta{Name: "process_name", Ph: "M", Pid: 1,
+		Args: map[string]string{"name": "heatstroke trace"}}); err != nil {
+		return err
+	}
+	for tid, svc := range names {
+		if err := tw.Emit(spanMeta{Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]string{"name": svc}}); err != nil {
+			return err
+		}
+	}
+	for i := range ordered {
+		s := &ordered[i]
+		svc := s.Service
+		if svc == "" {
+			svc = "unknown"
+		}
+		args := make(map[string]string, len(s.Attrs)+3)
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		args["trace_id"] = s.TraceID
+		args["span_id"] = s.SpanID
+		if s.ParentID != "" {
+			args["parent_id"] = s.ParentID
+		}
+		for j, l := range s.Links {
+			args[fmt.Sprintf("link_%d", j)] = l.Kind + ":" + l.SpanID
+		}
+		dur := float64(s.End-s.Start) / 1e3
+		if dur < 0 {
+			dur = 0
+		}
+		if err := tw.Emit(spanEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start-t0) / 1e3,
+			Dur:  dur,
+			Pid:  1,
+			Tid:  services[svc],
+			Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}

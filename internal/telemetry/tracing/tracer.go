@@ -1,0 +1,197 @@
+package tracing
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultCapacity is the span-buffer size used when NewTracer is
+// given a non-positive capacity: enough for a few hundred fleet jobs
+// in flight, and a hard memory bound of capacity × sizeof(Span) plus
+// attr strings regardless of load.
+const DefaultCapacity = 8192
+
+// Tracer collects finished spans into a bounded ring buffer. When the
+// buffer is full the oldest span is overwritten and the dropped
+// counter advances — a flight recorder, not an archive. Record takes
+// one short mutex hold (no allocation beyond the span the caller
+// already built); the counters are atomics so /metrics exposition
+// never contends with recording.
+type Tracer struct {
+	service string
+
+	mu   sync.Mutex
+	buf  []Span
+	next int  // index of the slot Record writes next
+	full bool // buffer has wrapped at least once
+
+	recorded atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+// NewTracer returns a tracer whose spans carry the given service name
+// (e.g. "heatstroked@http://host:8080" or "fleet") and whose buffer
+// holds at most capacity spans (DefaultCapacity if <= 0).
+func NewTracer(service string, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{service: service, buf: make([]Span, 0, capacity)}
+}
+
+// Service returns the service name stamped on recorded spans.
+func (t *Tracer) Service() string {
+	if t == nil {
+		return ""
+	}
+	return t.service
+}
+
+// Record stores one finished span, stamping the tracer's service name
+// if the span carries none. Nil-safe: a nil tracer discards.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	if s.Service == "" {
+		s.Service = t.service
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, s)
+	} else {
+		t.buf[t.next] = s
+		t.full = true
+		t.dropped.Add(1)
+	}
+	t.next++
+	if t.next == cap(t.buf) {
+		t.next = 0
+	}
+	t.mu.Unlock()
+	t.recorded.Add(1)
+}
+
+// Recorded returns the total number of spans ever recorded.
+func (t *Tracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.recorded.Load()
+}
+
+// Dropped returns how many spans were evicted by ring overflow.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Len returns the number of spans currently buffered.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// snapshot copies the buffered spans in recording order (oldest
+// first) under the lock, filtered by traceID ("" keeps all).
+func (t *Tracer) snapshot(traceID string) []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	app := func(s *Span) {
+		if traceID == "" || s.TraceID == traceID {
+			out = append(out, *s)
+		}
+	}
+	if t.full {
+		for i := t.next; i < len(t.buf); i++ {
+			app(&t.buf[i])
+		}
+	}
+	for i := 0; i < t.next; i++ {
+		app(&t.buf[i])
+	}
+	return out
+}
+
+// Spans returns every buffered span of the given trace, oldest first.
+func (t *Tracer) Spans(traceID string) []Span {
+	if t == nil {
+		return nil
+	}
+	return t.snapshot(traceID)
+}
+
+// All returns every buffered span, oldest first.
+func (t *Tracer) All() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.snapshot("")
+}
+
+// Emit records a completed child span of parent with explicit
+// timestamps, for operations whose start predates the decision to
+// trace them (e.g. queue wait, measured submit→slot). It returns the
+// new span's context so callers can link to it.
+func (t *Tracer) Emit(parent SpanContext, name string, startNS, endNS int64, attrs map[string]string) SpanContext {
+	if t == nil || !parent.Valid() {
+		return SpanContext{}
+	}
+	sc := SpanContext{TraceID: parent.TraceID, SpanID: NewSpanID(), Flags: parent.Flags}
+	t.Record(Span{
+		TraceID:  sc.TraceID.String(),
+		SpanID:   sc.SpanID.String(),
+		ParentID: parent.SpanID.String(),
+		Name:     name,
+		Start:    startNS,
+		End:      endNS,
+		Attrs:    attrs,
+	})
+	return sc
+}
+
+// SortSpans orders spans deterministically: start time, then trace
+// id, then span id. Exports and /v1/traces responses sort so equal
+// inputs render equal bytes.
+func SortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := &spans[i], &spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.TraceID != b.TraceID {
+			return a.TraceID < b.TraceID
+		}
+		return a.SpanID < b.SpanID
+	})
+}
+
+// Stitch merges span sets collected from several nodes into one
+// deterministic tree: duplicates (same trace and span id — a span
+// fetched from both a flight-recorder file and a live buffer) keep
+// the first occurrence, and the result is sorted with SortSpans so
+// parents, which start no later than their children, precede them.
+func Stitch(groups ...[]Span) []Span {
+	seen := make(map[[2]string]bool)
+	var out []Span
+	for _, g := range groups {
+		for _, s := range g {
+			k := [2]string{s.TraceID, s.SpanID}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	SortSpans(out)
+	return out
+}

@@ -1,0 +1,303 @@
+package tracing
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: FlagSampled}
+	h := sc.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") {
+		t.Fatalf("traceparent %q: want 55-char version-00 header", h)
+	}
+	got, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", h, err)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v want %+v", got, sc)
+	}
+}
+
+func TestTraceparentAcceptsKnownGood(t *testing.T) {
+	sc, err := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if err != nil {
+		t.Fatalf("spec example rejected: %v", err)
+	}
+	if sc.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" ||
+		sc.SpanID.String() != "00f067aa0ba902b7" || sc.Flags != 0x01 {
+		t.Fatalf("wrong parse: %+v", sc)
+	}
+	// A future version may carry trailing fields; the first four must
+	// still parse.
+	if _, err := ParseTraceparent("cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); err != nil {
+		t.Fatalf("future version with trailing field rejected: %v", err)
+	}
+}
+
+func TestTraceparentRejectsInvalid(t *testing.T) {
+	const (
+		tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+		sid = "00f067aa0ba902b7"
+	)
+	cases := map[string]string{
+		"empty":              "",
+		"too short":          "00-" + tid[:30] + "-" + sid + "-01",
+		"version ff":         "ff-" + tid + "-" + sid + "-01",
+		"version non-hex":    "zz-" + tid + "-" + sid + "-01",
+		"all-zero trace-id":  "00-00000000000000000000000000000000-" + sid + "-01",
+		"all-zero parent-id": "00-" + tid + "-0000000000000000-01",
+		"uppercase trace-id": "00-" + strings.ToUpper(tid) + "-" + sid + "-01",
+		"non-hex trace-id":   "00-" + tid[:31] + "g-" + sid + "-01",
+		"short span-id":      "00-" + tid + "-" + sid[:8] + "-01",
+		"bad separators":     "00_" + tid + "_" + sid + "_01",
+		"non-hex flags":      "00-" + tid + "-" + sid + "-0x",
+		"v00 trailing":       "00-" + tid + "-" + sid + "-01-extra",
+	}
+	for name, in := range cases {
+		if sc, err := ParseTraceparent(in); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted, got %+v", name, in, sc)
+		} else if sc.Valid() {
+			t.Errorf("%s: error return carries a valid span context", name)
+		}
+	}
+}
+
+func TestTracerRingOverflowDropsOldest(t *testing.T) {
+	tr := NewTracer("test", 4)
+	tid := NewTraceID().String()
+	for i := 0; i < 7; i++ {
+		tr.Record(Span{TraceID: tid, SpanID: fmt.Sprintf("%016x", i+1), Name: fmt.Sprintf("s%d", i)})
+	}
+	if got := tr.Recorded(); got != 7 {
+		t.Fatalf("Recorded() = %d, want 7", got)
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3 (ring of 4, 7 records)", got)
+	}
+	spans := tr.Spans(tid)
+	if len(spans) != 4 {
+		t.Fatalf("buffered %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := fmt.Sprintf("s%d", i+3); s.Name != want {
+			t.Errorf("span[%d] = %q, want %q (oldest dropped, order kept)", i, s.Name, want)
+		}
+	}
+	if got := tr.Spans("ffffffffffffffffffffffffffffffff"); len(got) != 0 {
+		t.Fatalf("foreign trace id returned %d spans", len(got))
+	}
+}
+
+func TestStartSpanDisabledIsZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		c, sp := StartSpan(ctx, "noop")
+		sp.SetAttr("k", "v")
+		sp.Link(SpanContext{}, LinkRetry)
+		sp.EndErr(nil)
+		if c != ctx {
+			t.Fatal("disabled StartSpan must return ctx unchanged")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled StartSpan path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestStartSpanParentsAndLinks(t *testing.T) {
+	tr := NewTracer("svc", 16)
+	ctx := ContextWithTracer(context.Background(), tr)
+
+	rctx, root := StartSpan(ctx, "root")
+	cctx, child := StartSpan(rctx, "child")
+	_, grand := StartSpan(cctx, "grandchild")
+	grand.SetAttr("attempt", "1")
+	grand.Link(root.Context(), LinkRetry)
+	grand.End()
+	child.End()
+	root.EndErr(fmt.Errorf("boom"))
+
+	spans := tr.Spans(root.Context().TraceID.String())
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		if s.Service != "svc" {
+			t.Errorf("span %q service = %q, want svc", s.Name, s.Service)
+		}
+		if s.TraceID != root.Context().TraceID.String() {
+			t.Errorf("span %q trace id mismatch", s.Name)
+		}
+		if s.End < s.Start {
+			t.Errorf("span %q ends before it starts", s.Name)
+		}
+	}
+	if byName["root"].ParentID != "" {
+		t.Errorf("root has parent %q", byName["root"].ParentID)
+	}
+	if byName["root"].Attrs["error"] != "boom" {
+		t.Errorf("EndErr did not record the error attr: %v", byName["root"].Attrs)
+	}
+	if got, want := byName["child"].ParentID, byName["root"].SpanID; got != want {
+		t.Errorf("child parent = %q, want %q", got, want)
+	}
+	if got, want := byName["grandchild"].ParentID, byName["child"].SpanID; got != want {
+		t.Errorf("grandchild parent = %q, want %q", got, want)
+	}
+	links := byName["grandchild"].Links
+	if len(links) != 1 || links[0].Kind != LinkRetry || links[0].SpanID != byName["root"].SpanID {
+		t.Errorf("grandchild links = %+v", links)
+	}
+
+	// Ending twice records once.
+	before := tr.Recorded()
+	child2 := byName["child"]
+	_ = child2
+	root.End()
+	if tr.Recorded() != before {
+		t.Error("double End recorded a second span")
+	}
+}
+
+func TestStartSpanJoinsRemoteParent(t *testing.T) {
+	tr := NewTracer("worker", 16)
+	remote := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: FlagSampled}
+	ctx := ContextWithRemote(ContextWithTracer(context.Background(), tr), remote)
+	if sc, ok := SpanContextFrom(ctx); !ok || sc != remote {
+		t.Fatalf("SpanContextFrom = %+v, %t; want remote", sc, ok)
+	}
+	_, sp := StartSpan(ctx, "job")
+	sp.End()
+	spans := tr.Spans(remote.TraceID.String())
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans under the remote trace, want 1", len(spans))
+	}
+	if spans[0].ParentID != remote.SpanID.String() {
+		t.Fatalf("span parent = %q, want remote span id %q", spans[0].ParentID, remote.SpanID)
+	}
+}
+
+func TestEmitRetroactiveChild(t *testing.T) {
+	tr := NewTracer("svc", 16)
+	parent := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: FlagSampled}
+	sc := tr.Emit(parent, "queue.wait", 100, 200, map[string]string{"depth": "3"})
+	if !sc.Valid() || sc.TraceID != parent.TraceID {
+		t.Fatalf("Emit returned %+v", sc)
+	}
+	spans := tr.Spans(parent.TraceID.String())
+	if len(spans) != 1 || spans[0].Start != 100 || spans[0].End != 200 ||
+		spans[0].ParentID != parent.SpanID.String() || spans[0].Attrs["depth"] != "3" {
+		t.Fatalf("Emit recorded %+v", spans)
+	}
+	if sc := tr.Emit(SpanContext{}, "orphan", 0, 1, nil); sc.Valid() {
+		t.Fatal("Emit under an invalid parent should not record")
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	in := []Span{
+		{TraceID: "aa", SpanID: "01", Name: "a", Service: "s1", Start: 1, End: 2,
+			Attrs: map[string]string{"k": "v"}, Links: []Link{{TraceID: "aa", SpanID: "02", Kind: LinkHedge}}},
+		{TraceID: "aa", SpanID: "02", ParentID: "01", Name: "b", Service: "s2", Start: 2, End: 3},
+	}
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNDJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("read %d spans, want %d", len(got), len(in))
+	}
+	for i := range in {
+		a, _ := json.Marshal(in[i])
+		b, _ := json.Marshal(got[i])
+		if !bytes.Equal(a, b) {
+			t.Errorf("span %d: %s != %s", i, a, b)
+		}
+	}
+	if _, err := ReadNDJSON(strings.NewReader("{not json\n")); err == nil {
+		t.Fatal("bad record accepted")
+	}
+}
+
+func TestStitchDedupesAndSorts(t *testing.T) {
+	a := []Span{{TraceID: "t", SpanID: "02", Name: "late", Start: 50}}
+	b := []Span{
+		{TraceID: "t", SpanID: "01", Name: "root", Start: 10},
+		{TraceID: "t", SpanID: "02", Name: "dup", Start: 50},
+	}
+	out := Stitch(a, b)
+	if len(out) != 2 {
+		t.Fatalf("Stitch kept %d spans, want 2", len(out))
+	}
+	if out[0].SpanID != "01" || out[1].SpanID != "02" {
+		t.Fatalf("Stitch order: %+v", out)
+	}
+	if out[1].Name != "late" {
+		t.Fatalf("dedupe should keep the first occurrence, got %q", out[1].Name)
+	}
+}
+
+func TestWritePerfettoValidJSON(t *testing.T) {
+	spans := []Span{
+		{TraceID: "t1", SpanID: "01", Name: "root", Service: "fleet", Start: 1_000_000, End: 5_000_000},
+		{TraceID: "t1", SpanID: "02", ParentID: "01", Name: "job", Service: "worker-a",
+			Start: 2_000_000, End: 4_000_000, Attrs: map[string]string{"key": "cfg=a"},
+			Links: []Link{{TraceID: "t1", SpanID: "01", Kind: LinkRetry}}},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	var complete, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Dur <= 0 {
+				t.Errorf("complete event %q has dur %g", ev.Name, ev.Dur)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if complete != 2 {
+		t.Fatalf("want 2 complete events, got %d", complete)
+	}
+	if meta < 3 { // process_name + 2 thread_name
+		t.Fatalf("want >=3 metadata events, got %d", meta)
+	}
+	// Deterministic output for a fixed span set.
+	var buf2 bytes.Buffer
+	if err := WritePerfetto(&buf2, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("Perfetto export is not byte-deterministic")
+	}
+}

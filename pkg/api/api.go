@@ -13,6 +13,9 @@
 //	GET    /v1/jobs/{id}/artifact    rendered table (?format=table|json|csv)
 //	GET    /v1/jobs/{id}/events      SSE progress stream
 //	GET    /v1/experiments           experiment registry listing
+//	GET    /v1/traces/{id}           the spans of one trace (trace id or
+//	                                 job id; fleet-stitched on the
+//	                                 coordinator)
 //	GET    /v1/stats                 serving counters
 //	GET    /v1/warm/{key}            warmup snapshot gob (fleet shipping)
 //	PUT    /v1/warm/{key}            install a warmup snapshot
@@ -26,7 +29,10 @@
 //	DELETE /v1/workers?url=...       deregister a worker
 package api
 
-import "github.com/heatstroke-sim/heatstroke/internal/sweep"
+import (
+	"github.com/heatstroke-sim/heatstroke/internal/sweep"
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
+)
 
 // JobRequest describes one experiment run. Every field except
 // Experiment is optional; omitted fields take the daemon's defaults.
@@ -102,6 +108,19 @@ type JobStatus struct {
 	// mid-flight.
 	Summary *sweep.Summary `json:"summary,omitempty"`
 	Error   string         `json:"error,omitempty"`
+	// TraceID is the W3C trace id (32 hex chars) of the job's
+	// distributed trace, resolvable at GET /v1/traces/{id}. Empty when
+	// the serving node runs with tracing disabled.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// Trace is the GET /v1/traces/{id} response: every span of one trace
+// known to the serving node, sorted by start time. On a fleet
+// coordinator the set is stitched from the coordinator's own spans
+// plus every reachable worker's.
+type Trace struct {
+	TraceID string         `json:"trace_id"`
+	Spans   []tracing.Span `json:"spans"`
 }
 
 // ExperimentInfo is one registry entry of GET /v1/experiments.

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/heatstroke-sim/heatstroke/internal/telemetry/tracing"
 	"github.com/heatstroke-sim/heatstroke/pkg/api"
 )
 
@@ -100,6 +101,14 @@ type Client struct {
 	// Token, when set, is sent as "Authorization: Bearer <Token>" on
 	// every request (the daemon's fleet-token gate on /v1/warm).
 	Token string
+	// Tracer, when set, records client-side spans (client.submit,
+	// client.wait, client.artifact) whose contexts propagate to the
+	// daemon as W3C traceparent headers, parenting the server's job
+	// span under the client's. A nil Tracer costs nothing: requests
+	// still propagate any span context already present on the caller's
+	// context, so the client composes with an ambient tracer either
+	// way.
+	Tracer *tracing.Tracer
 }
 
 // New returns a client for the daemon at baseURL.
@@ -131,10 +140,23 @@ func (c *Client) retry() RetryPolicy {
 	return p
 }
 
+// traceCtx folds the client's Tracer into ctx (when set and ctx does
+// not already carry one), so spans opened by client methods record
+// into it.
+func (c *Client) traceCtx(ctx context.Context) context.Context {
+	if c.Tracer != nil && tracing.TracerFrom(ctx) == nil {
+		ctx = tracing.ContextWithTracer(ctx, c.Tracer)
+	}
+	return ctx
+}
+
 // do issues one API request with the retry policy applied: transient
 // statuses (429/502/503) are retried with jittered exponential backoff
 // honouring Retry-After, until the policy's attempt budget or the
-// context runs out. The caller owns the returned response body.
+// context runs out. When the context carries a span (the caller's or
+// one opened by a client method), its W3C traceparent rides on the
+// request so the daemon joins the same trace. The caller owns the
+// returned response body.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string) (*http.Response, error) {
 	pol := c.retry()
 	for attempt := 0; ; attempt++ {
@@ -151,6 +173,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 		}
 		if c.Token != "" {
 			req.Header.Set("Authorization", "Bearer "+c.Token)
+		}
+		if sc, ok := tracing.SpanContextFrom(ctx); ok && sc.Valid() {
+			req.Header.Set("traceparent", sc.Traceparent())
 		}
 		resp, err := c.http().Do(req)
 		if err != nil {
@@ -200,6 +225,17 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 // is retried under the client's RetryPolicy — resubmission is safe
 // because identical requests content-address to one job.
 func (c *Client) Submit(ctx context.Context, jr api.JobRequest) (*api.JobStatus, error) {
+	ctx, sp := tracing.StartSpan(c.traceCtx(ctx), "client.submit")
+	sp.SetAttr("experiment", jr.Experiment)
+	st, err := c.submit(ctx, jr)
+	if err == nil {
+		sp.SetAttr("job", shortID(st.ID))
+	}
+	sp.EndErr(err)
+	return st, err
+}
+
+func (c *Client) submit(ctx context.Context, jr api.JobRequest) (*api.JobStatus, error) {
 	body, err := json.Marshal(jr)
 	if err != nil {
 		return nil, err
@@ -217,6 +253,13 @@ func (c *Client) Submit(ctx context.Context, jr api.JobRequest) (*api.JobStatus,
 		return nil, err
 	}
 	return &st, nil
+}
+
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
 }
 
 // Cancel aborts a queued or running job (DELETE /v1/jobs/{id}).
@@ -280,19 +323,38 @@ func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
 // Artifact fetches a completed job's rendered table in the given
 // format ("table", "json", or "csv"; empty means "table").
 func (c *Client) Artifact(ctx context.Context, id, format string) ([]byte, error) {
+	ctx, sp := tracing.StartSpan(c.traceCtx(ctx), "client.artifact")
+	sp.SetAttr("job", shortID(id))
 	path := "/v1/jobs/" + id + "/artifact"
 	if format != "" {
 		path += "?format=" + format
 	}
 	resp, err := c.do(ctx, http.MethodGet, path, nil, "")
 	if err != nil {
+		sp.EndErr(err)
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
+		err := apiError(resp)
+		sp.EndErr(err)
+		return nil, err
 	}
-	return io.ReadAll(resp.Body)
+	body, err := io.ReadAll(resp.Body)
+	sp.EndErr(err)
+	return body, err
+}
+
+// Trace fetches every span of one trace known to the serving node
+// (GET /v1/traces/{id}); id may be a 32-hex W3C trace id or a 64-hex
+// job id. Against a fleet coordinator the response is stitched from
+// the coordinator's own spans plus every reachable worker's.
+func (c *Client) Trace(ctx context.Context, id string) (*api.Trace, error) {
+	var tr api.Trace
+	if err := c.getJSON(ctx, "/v1/traces/"+id, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
 }
 
 // Experiments lists the daemon's experiment registry.
@@ -392,6 +454,14 @@ func (c *Client) Events(ctx context.Context, id string, fn func(api.Event) error
 // progress through onProgress (which may be nil). It prefers the SSE
 // stream and falls back to status polling if streaming fails.
 func (c *Client) Wait(ctx context.Context, id string, onProgress func(api.Progress)) (*api.JobStatus, error) {
+	ctx, sp := tracing.StartSpan(c.traceCtx(ctx), "client.wait")
+	sp.SetAttr("job", shortID(id))
+	st, err := c.wait(ctx, id, onProgress)
+	sp.EndErr(err)
+	return st, err
+}
+
+func (c *Client) wait(ctx context.Context, id string, onProgress func(api.Progress)) (*api.JobStatus, error) {
 	err := c.Events(ctx, id, func(ev api.Event) error {
 		if ev.Type == "progress" && ev.Progress != nil && onProgress != nil {
 			onProgress(*ev.Progress)
