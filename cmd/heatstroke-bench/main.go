@@ -67,8 +67,10 @@ type File struct {
 // comparison (fork vs cold sub-benchmarks), and the fleet-throughput
 // comparison (1 vs 4 workers behind the coordinator; the absolute
 // jobs/sec is machine-bound, but a regression in either arm still
-// surfaces as ns/op growth).
-const defaultPattern = "^(BenchmarkProfileSolo|BenchmarkProfilePair|BenchmarkPipelineCycles|BenchmarkQuantumSimulation|BenchmarkThermalStep|BenchmarkWarmupReuse|BenchmarkForkSweep|BenchmarkFleetThroughput)$"
+// surfaces as ns/op growth), and the thermal-solver comparison (the
+// 27-node lumped network vs the 64x64 grid stencil over one sensor
+// interval, pinning the cost ratio the lumped fast path exists for).
+const defaultPattern = "^(BenchmarkProfileSolo|BenchmarkProfilePair|BenchmarkPipelineCycles|BenchmarkQuantumSimulation|BenchmarkThermalStep|BenchmarkGridThermalStep|BenchmarkWarmupReuse|BenchmarkForkSweep|BenchmarkFleetThroughput)$"
 
 // defaultPackages are the packages holding those benchmarks.
 var defaultPackages = []string{".", "./internal/experiment", "./internal/fleet", "./internal/thermal"}

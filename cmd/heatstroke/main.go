@@ -79,6 +79,8 @@ func run() int {
 	quantum := flag.Int64("quantum", 0, "cycles per OS quantum (default: config)")
 	warmup := flag.Int64("warmup", 0, "unmeasured warmup cycles (default 500000)")
 	scale := flag.Float64("scale", 0, "thermal scale factor (default 16; 1 = paper time base)")
+	cores := flag.Int("cores", 0, "die core count (default: 1, or 2 for multi-core experiments)")
+	solver := flag.String("solver", "", "thermal solver: lumped or grid (default: lumped, grid when -cores > 1)")
 	seed := flag.Int64("seed", 0, "workload generation seed (default: config)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (default: GOMAXPROCS)")
 	fork := flag.Bool("fork", false, "fork-tree mode: simulate shared warmup prefixes once and fork variants from in-memory snapshots (byte-identical tables)")
@@ -194,6 +196,8 @@ func run() int {
 				Quantum:    *quantum,
 				Warmup:     *warmup,
 				Scale:      *scale,
+				Cores:      *cores,
+				Solver:     *solver,
 			}
 			if seedSet {
 				s := *seed
@@ -210,6 +214,19 @@ func run() int {
 	cfg := config.Default()
 	if *scale > 0 {
 		cfg.Thermal.Scale = *scale
+	}
+	if *cores > 0 {
+		cfg.Topology.Cores = *cores
+		if *cores > 1 && *solver == "" {
+			cfg.Topology.Solver = config.SolverGrid
+		}
+	}
+	if *solver != "" {
+		cfg.Topology.Solver = *solver
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Print(err)
+		return 2
 	}
 	opts := experiment.Options{
 		Config:      &cfg,

@@ -82,7 +82,7 @@ func TestPublicWorkloads(t *testing.T) {
 }
 
 func TestPublicExperiment(t *testing.T) {
-	if len(heatstroke.ExperimentNames()) != 15 {
+	if len(heatstroke.ExperimentNames()) != 17 {
 		t.Errorf("experiments = %v", heatstroke.ExperimentNames())
 	}
 	cfg := heatstroke.DefaultConfig()

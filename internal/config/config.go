@@ -196,6 +196,27 @@ type Sedation struct {
 	AbsoluteEWMAThreshold float64
 }
 
+// Topology describes the die: how many SMT cores share it and which
+// thermal solver models it. The paper studies one core on a lumped
+// per-block RC network; multi-core dies (cross-core heat coupling,
+// the neighbor-heat attack) require the grid solver. See DESIGN.md §15.
+type Topology struct {
+	// Cores is the number of SMT cores tiled onto the die. 1 is the
+	// paper's machine; K>1 tiles K copies of the core floorplan above a
+	// shared L2 spine (floorplan.NewDie).
+	Cores int
+	// Solver selects the thermal model: "lumped" (the paper's per-block
+	// RC network, single-core only, byte-identical fast path) or "grid"
+	// (HotSpot-style 2D stencil, any core count).
+	Solver string
+	// GridN is the grid solver's cell count along the die's height —
+	// one core tile's edge, so per-core resolution is independent of
+	// the core count (the width scales by aspect ratio). 0 means the
+	// default of 32; the thermal time step shrinks with cell area, so
+	// larger grids cost proportionally more substeps per sensor read.
+	GridN int
+}
+
 // Run holds per-run controls.
 type Run struct {
 	// QuantumCycles is the length of one OS quantum in cycles
@@ -213,6 +234,7 @@ type Config struct {
 	Power    Power
 	Thermal  Thermal
 	Sedation Sedation
+	Topology Topology
 	Run      Run
 }
 
@@ -290,6 +312,11 @@ func Paper() Config {
 			UpperK:               356,
 			LowerK:               355,
 			ReexamineFactor:      2,
+		},
+		Topology: Topology{
+			Cores:  1,
+			Solver: SolverLumped,
+			GridN:  DefaultGridN,
 		},
 		Run: Run{
 			QuantumCycles: 500_000_000,
@@ -377,10 +404,50 @@ func (c *Config) Validate() error {
 	case s.ReexamineFactor < 1:
 		return fmt.Errorf("config: re-examination factor %g must be at least 1", s.ReexamineFactor)
 	}
+	top := c.Topology
+	switch {
+	case top.Cores < 1:
+		return fmt.Errorf("config: core count %d must be at least 1", top.Cores)
+	case top.Cores > MaxCores:
+		return fmt.Errorf("config: core count %d exceeds maximum %d", top.Cores, MaxCores)
+	}
+	switch top.Solver {
+	case SolverLumped:
+		if top.Cores != 1 {
+			return fmt.Errorf("config: the lumped solver models a single core; use solver %q for %d cores", SolverGrid, top.Cores)
+		}
+	case SolverGrid:
+	default:
+		return fmt.Errorf("config: unknown thermal solver %q (want %q or %q)", top.Solver, SolverLumped, SolverGrid)
+	}
+	if n := top.GridN; n != 0 && (n < 8 || n > 256) {
+		return fmt.Errorf("config: grid resolution %d out of range [8,256]", n)
+	}
 	if c.Run.QuantumCycles <= 0 {
 		return fmt.Errorf("config: quantum %d cycles must be positive", c.Run.QuantumCycles)
 	}
 	return nil
+}
+
+// Thermal solver names accepted by Topology.Solver.
+const (
+	SolverLumped = "lumped"
+	SolverGrid   = "grid"
+)
+
+// DefaultGridN is the grid solver's default resolution along the die's
+// height (one core tile's edge); MaxCores bounds the die tiling.
+const (
+	DefaultGridN = 32
+	MaxCores     = 8
+)
+
+// EffectiveGridN resolves the zero value of GridN to the default.
+func (t Topology) EffectiveGridN() int {
+	if t.GridN == 0 {
+		return DefaultGridN
+	}
+	return t.GridN
 }
 
 func validateCache(name string, g CacheGeom) error {

@@ -90,6 +90,12 @@ func TestValidateCatchesEachField(t *testing.T) {
 		func(c *Config) { c.Sedation.UpperK = c.Thermal.EmergencyK + 1 },
 		func(c *Config) { c.Sedation.ReexamineFactor = 0.5 },
 		func(c *Config) { c.Run.QuantumCycles = 0 },
+		func(c *Config) { c.Topology.Cores = 0 },
+		func(c *Config) { c.Topology.Cores = MaxCores + 1; c.Topology.Solver = SolverGrid },
+		func(c *Config) { c.Topology.Cores = 2 }, // lumped solver is single-core only
+		func(c *Config) { c.Topology.Solver = "spice" },
+		func(c *Config) { c.Topology.Solver = SolverGrid; c.Topology.GridN = 4 },
+		func(c *Config) { c.Topology.Solver = SolverGrid; c.Topology.GridN = 512 },
 	}
 	for i, mutate := range mutations {
 		cfg := Default()

@@ -32,6 +32,9 @@ func TestDigestSensitivity(t *testing.T) {
 		"ewma shift":   func(c *Config) { c.Sedation.EWMAShift++ },
 		"ideal sink":   func(c *Config) { c.Thermal.IdealSink = true },
 		"l2 size":      func(c *Config) { c.Memory.L2.SizeBytes *= 2 },
+		"cores":        func(c *Config) { c.Topology.Cores = 2; c.Topology.Solver = SolverGrid },
+		"solver":       func(c *Config) { c.Topology.Solver = SolverGrid },
+		"grid n":       func(c *Config) { c.Topology.Solver = SolverGrid; c.Topology.GridN = 64 },
 	}
 	seen := map[string]string{"base": base}
 	for name, mutate := range mutations {
@@ -83,6 +86,8 @@ func TestWarmDigestIgnoresEngineFields(t *testing.T) {
 		"convection":      func(c *Config) { c.Thermal.ConvectionRes = 0.5 },
 		"ideal sink":      func(c *Config) { c.Thermal.IdealSink = true },
 		"l2 size":         func(c *Config) { c.Memory.L2.SizeBytes *= 2 },
+		"cores":           func(c *Config) { c.Topology.Cores = 2; c.Topology.Solver = SolverGrid },
+		"solver":          func(c *Config) { c.Topology.Solver = SolverGrid },
 	}
 	for name, mutate := range sensitive {
 		c := Default()

@@ -265,6 +265,11 @@ const (
 	NameAbsThresh       = "ablation-absthresh"
 	NameMulti           = "ablation-multiculprit"
 	NameFetch           = "ablation-fetchpolicy"
+	// NameNeighborHeat and NameDTMScope are the multi-core experiments:
+	// they run whole-die simulations on the grid thermal solver (see
+	// multicore.go) instead of single-core jobs on the lumped network.
+	NameNeighborHeat = "neighbor-heat"
+	NameDTMScope     = "dtm-scope"
 )
 
 // Names lists every experiment in presentation order.
@@ -286,6 +291,14 @@ type Info struct {
 	// overrides it uniformly). Zero only for experiments that run no
 	// simulations.
 	WarmupCycles int64 `json:"warmup_cycles"`
+	// Cores is the number of cores the experiment's die simulates by
+	// default (JobRequest.Cores overrides it); 1 for every single-core
+	// experiment.
+	Cores int `json:"cores"`
+	// Solver names the thermal solver the experiment runs on:
+	// config.SolverLumped for single-core experiments (the fast path),
+	// config.SolverGrid for the multi-core ones.
+	Solver string `json:"solver"`
 }
 
 // registry holds the experiment metadata in presentation order.
@@ -320,6 +333,10 @@ var registry = []Info{
 		Description: "Two simultaneous attackers: checks repeated culprit identification sedates both."},
 	{Name: NameFetch, Title: "Ablation: fetch policy",
 		Description: "Round-robin fetch instead of ICOUNT, isolating how much victim loss is fetch-policy bias."},
+	{Name: NameNeighborHeat, Title: "Neighbor heat: cross-core attack",
+		Description: "Two-core die on the grid solver: a trojan on core 0 heats a solo victim on core 1 through the silicon, past sedation's reach."},
+	{Name: NameDTMScope, Title: "DTM scope: per-core vs chip-wide",
+		Description: "Victim throughput under per-core stop-and-go/sedation vs the chip-wide round-robin throttle while core 0 runs the trojan."},
 }
 
 func init() {
@@ -329,6 +346,14 @@ func init() {
 	for i := range registry {
 		if registry[i].Name != NameTable1 {
 			registry[i].WarmupCycles = DefaultWarmupCycles
+		}
+		switch registry[i].Name {
+		case NameNeighborHeat, NameDTMScope:
+			registry[i].Cores, registry[i].Solver = 2, config.SolverGrid
+		case NameTable1:
+			// Renders configuration, simulates nothing.
+		default:
+			registry[i].Cores, registry[i].Solver = 1, config.SolverLumped
 		}
 	}
 }
@@ -390,6 +415,10 @@ func RunContext(ctx context.Context, name string, o Options) (*Table, error) {
 		return AblationAbsoluteThreshold(ctx, o)
 	case NameMulti:
 		return AblationMultiCulprit(ctx, o)
+	case NameNeighborHeat:
+		return NeighborHeat(ctx, o)
+	case NameDTMScope:
+		return DTMScope(ctx, o)
 	default:
 		return nil, fmt.Errorf("experiment: unknown experiment %q (have %v)", name, Names())
 	}

@@ -167,7 +167,7 @@ func TestAblationMultiCulpritSmoke(t *testing.T) {
 }
 
 func TestRunDispatch(t *testing.T) {
-	if len(Names()) != 15 {
+	if len(Names()) != 17 {
 		t.Errorf("names = %v", Names())
 	}
 	if _, err := Run("nonsense", tinyOptions()); err == nil {

@@ -1,0 +1,192 @@
+package experiment
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/config"
+)
+
+// multiOptions builds options for the multi-core experiments: one
+// benchmark, a 16-cell grid, and 64x thermal acceleration so
+// cross-core conduction (milliseconds of thermal time) is visible
+// inside an affordable quantum.
+func multiOptions() Options {
+	cfg := config.Default()
+	cfg.Run.QuantumCycles = 1_500_000
+	cfg.Thermal.Scale = 64
+	cfg.Topology = config.Topology{Cores: 2, Solver: config.SolverGrid, GridN: 16}
+	return Options{
+		Config:     &cfg,
+		Benchmarks: []string{"gcc"},
+		Warmup:     50_000,
+	}
+}
+
+func cell(t *testing.T, tb *Table, row int, col string) string {
+	t.Helper()
+	for i, c := range tb.Columns {
+		if c == col {
+			return tb.Rows[row][i]
+		}
+	}
+	t.Fatalf("column %q not in %v", col, tb.Columns)
+	return ""
+}
+
+func cellF(t *testing.T, tb *Table, row int, col string) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(cell(t, tb, row, col), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("column %q = %q: %v", col, s, err)
+	}
+	return v
+}
+
+func TestNeighborHeatSmoke(t *testing.T) {
+	tb, err := NeighborHeat(context.Background(), multiOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tb.Rows))
+	}
+	victim := cellF(t, tb, 0, "victim IntReg trojan K")
+	trojanCore := cellF(t, tb, 0, "trojan core peak K")
+	if victim < 300 || victim > 400 {
+		t.Errorf("victim temperature %v K implausible", victim)
+	}
+	// The trojan core runs Variant2: it must end up hotter than the
+	// victim core running a SPEC program.
+	if trojanCore <= victim {
+		t.Errorf("trojan core peak %v K not above victim %v K", trojanCore, victim)
+	}
+	if ipc := cellF(t, tb, 0, "victim IPC benign"); ipc <= 0 {
+		t.Errorf("victim IPC %v", ipc)
+	}
+}
+
+// TestNeighborHeatShowsCoupling runs long enough for conduction to
+// arrive and checks the victim core is measurably hotter next to the
+// trojan than next to a benign neighbor.
+func TestNeighborHeatShowsCoupling(t *testing.T) {
+	o := multiOptions()
+	o.Config.Run.QuantumCycles = 2_500_000
+	tb, err := NeighborHeat(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign := cellF(t, tb, 0, "victim IntReg benign K")
+	trojan := cellF(t, tb, 0, "victim IntReg trojan K")
+	if trojan <= benign {
+		t.Errorf("victim IntReg %v K next to trojan not above %v K next to benign neighbor",
+			trojan, benign)
+	}
+	slow := cellF(t, tb, 0, "slowdown")
+	if slow < -100 || slow > 100 {
+		t.Errorf("slowdown %v%% implausible", slow)
+	}
+}
+
+func TestDTMScopeSmoke(t *testing.T) {
+	o := multiOptions()
+	o.Config.Run.QuantumCycles = 800_000
+	tb, err := DTMScope(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tb.Rows))
+	}
+	for _, col := range []string{"IPC stopgo", "IPC sedation", "IPC chip-rr"} {
+		if v := cellF(t, tb, 0, col); v <= 0 || v > 8 {
+			t.Errorf("%s = %v implausible", col, v)
+		}
+	}
+	for _, col := range []string{"stall% stopgo", "stall% sedation", "stall% chip-rr"} {
+		if v := cellF(t, tb, 0, col); v < 0 || v > 100 {
+			t.Errorf("%s = %v implausible", col, v)
+		}
+	}
+}
+
+// TestMultiExperimentDeterminism checks both multi-core experiments
+// render byte-identically across parallelism and the fork-tree flag:
+// whole-die jobs always run cold, so neither knob may change a byte.
+func TestMultiExperimentDeterminism(t *testing.T) {
+	for _, name := range []string{NameNeighborHeat, NameDTMScope} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			base := multiOptions()
+			base.Config.Run.QuantumCycles = 600_000
+			var want string
+			for i, variant := range []struct {
+				par  int
+				fork bool
+			}{{1, false}, {4, false}, {4, true}} {
+				o := base
+				o.Parallelism = variant.par
+				o.ForkTree = variant.fork
+				tb, err := RunContext(context.Background(), name, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := tb.String()
+				if i == 0 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("parallel=%d fork=%v render differs:\n%s\n--- want ---\n%s",
+						variant.par, variant.fork, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestMultiExperimentRegistry(t *testing.T) {
+	for _, name := range []string{NameNeighborHeat, NameDTMScope} {
+		in, ok := Describe(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if in.Cores != 2 || in.Solver != config.SolverGrid {
+			t.Errorf("%s: cores=%d solver=%q, want 2/grid", name, in.Cores, in.Solver)
+		}
+		if in.WarmupCycles != DefaultWarmupCycles {
+			t.Errorf("%s: warmup %d", name, in.WarmupCycles)
+		}
+	}
+	for _, in := range Infos() {
+		switch in.Name {
+		case NameNeighborHeat, NameDTMScope, NameTable1:
+		default:
+			if in.Cores != 1 || in.Solver != config.SolverLumped {
+				t.Errorf("%s: cores=%d solver=%q, want 1/lumped", in.Name, in.Cores, in.Solver)
+			}
+		}
+	}
+}
+
+// TestMultiExperimentWarmKeys: multi-core jobs run cold, so WarmKeys
+// must report nothing to ship — and must not simulate (the options
+// here carry the full default 500M-cycle quantum; enumeration returning
+// quickly is itself the proof).
+func TestMultiExperimentWarmKeys(t *testing.T) {
+	cfg := config.Default()
+	o := Options{Config: &cfg, Benchmarks: []string{"gcc", "mcf"}}
+	for _, name := range []string{NameNeighborHeat, NameDTMScope} {
+		keys, err := WarmKeys(context.Background(), name, o)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(keys) != 0 {
+			t.Errorf("%s: warm keys %v, want none", name, keys)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Die tiling: K instances of the single-core floorplan share one die
+// with a common L2 spine. The geometry is the substrate the grid
+// thermal solver meshes, and the only place cross-core heat coupling
+// can come from — there is no behavioural coupling above the L2.
+package floorplan
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+// SharedCore marks a DieBlock that belongs to no core (the L2 spine).
+const SharedCore = -1
+
+// DieBlock is one rectangle on a multi-core die. Coordinates are in
+// meters with the origin at the die's lower-left corner.
+type DieBlock struct {
+	Name string
+	// Core is the index of the core this block belongs to, or
+	// SharedCore for die-shared blocks.
+	Core int
+	// Unit is the power unit dissipating here; HasUnit false for fill
+	// blocks that only leak. Per-core blocks carry per-core units; a
+	// shared block may only carry UnitL2.
+	Unit       power.Unit
+	HasUnit    bool
+	X, Y, W, H float64
+}
+
+// Area returns the block area in square meters.
+func (b DieBlock) Area() float64 { return b.W * b.H }
+
+// Die is a validated multi-core floorplan: NCores copies of the core
+// layout plus shared blocks, tiling one rectangle.
+type Die struct {
+	Blocks []DieBlock
+	W, H   float64
+	NCores int
+
+	adj       []Adjacency
+	unitBlock [][power.NumUnits]int // per core: unit -> block index
+}
+
+// NewDie tiles cores instances of the Default() core region onto one
+// die above a full-width shared L2 spine.
+//
+// The Default() floorplan splits at y = 2 mm: the L2 below, the
+// 6 mm x 4 mm core region above. NewDie lays K core regions side by
+// side and stretches the L2 into a 6K mm x 2 mm spine under all of
+// them. Even-indexed cores are mirrored in x, so each adjacent pair of
+// cores faces integer-cluster to integer-cluster: the IntReg blocks of
+// cores 2k and 2k+1 end up ~3 mm apart edge-to-edge instead of ~5 mm.
+// That is deliberately the thermal worst case — the layout an attacker
+// would wish for and a floorplanner should avoid — because the
+// neighbor-heat experiment measures exactly this coupling.
+func NewDie(cores int) (*Die, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("floorplan: die needs at least 1 core, got %d", cores)
+	}
+	core := Default()
+	var l2 Block
+	var region []Block
+	for _, b := range core.Blocks {
+		if b.HasUnit && b.Unit == power.UnitL2 {
+			l2 = b
+			continue
+		}
+		region = append(region, b)
+	}
+	// The core region spans the full die width above the L2 spine.
+	tileW, spineH := core.DieW, l2.H
+	dieW, dieH := float64(cores)*tileW, core.DieH
+	blocks := []DieBlock{{
+		Name: "L2", Core: SharedCore, Unit: power.UnitL2, HasUnit: true,
+		X: 0, Y: l2.Y, W: dieW, H: spineH,
+	}}
+	for c := 0; c < cores; c++ {
+		off := float64(c) * tileW
+		for _, b := range region {
+			x := b.X
+			if c%2 == 0 {
+				x = tileW - b.X - b.W // mirror even cores in x
+			}
+			blocks = append(blocks, DieBlock{
+				Name: fmt.Sprintf("C%d.%s", c, b.Name),
+				Core: c, Unit: b.Unit, HasUnit: b.HasUnit,
+				X: off + x, Y: b.Y, W: b.W, H: b.H,
+			})
+		}
+	}
+	return NewDieFrom(blocks, dieW, dieH, cores)
+}
+
+// NewDieFrom validates an explicit block list (exact tiling, per-core
+// unit coverage, shared-L2 rules) and computes adjacency — including
+// the cross-core adjacencies that arise from shared tile edges.
+func NewDieFrom(blocks []DieBlock, dieW, dieH float64, cores int) (*Die, error) {
+	d := &Die{Blocks: blocks, W: dieW, H: dieH, NCores: cores}
+	d.adj = computeAdjacencyRects(d.rects())
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	d.indexUnits()
+	return d, nil
+}
+
+// Validate checks the die-level invariants: exact tiling, symmetric
+// geometry-consistent adjacency, every core carrying exactly one block
+// per non-L2 power unit, and exactly one shared L2 block.
+func (d *Die) Validate() error {
+	if d.NCores < 1 {
+		return fmt.Errorf("floorplan: die needs at least 1 core, got %d", d.NCores)
+	}
+	rs := d.rects()
+	if err := validateTiling(rs, d.W, d.H); err != nil {
+		return err
+	}
+	seen := make(map[int]map[power.Unit]bool)
+	l2Blocks := 0
+	for _, b := range d.Blocks {
+		if b.Core != SharedCore && (b.Core < 0 || b.Core >= d.NCores) {
+			return fmt.Errorf("floorplan: block %s names core %d of %d", b.Name, b.Core, d.NCores)
+		}
+		if !b.HasUnit {
+			continue
+		}
+		if b.Unit >= power.NumUnits {
+			return fmt.Errorf("floorplan: block %s has invalid unit", b.Name)
+		}
+		if b.Core == SharedCore {
+			if b.Unit != power.UnitL2 {
+				return fmt.Errorf("floorplan: shared block %s carries per-core unit %s", b.Name, b.Unit)
+			}
+			l2Blocks++
+			continue
+		}
+		if b.Unit == power.UnitL2 {
+			return fmt.Errorf("floorplan: block %s puts the shared L2 inside core %d", b.Name, b.Core)
+		}
+		if seen[b.Core] == nil {
+			seen[b.Core] = make(map[power.Unit]bool)
+		}
+		if seen[b.Core][b.Unit] {
+			return fmt.Errorf("floorplan: unit %s appears twice in core %d", b.Unit, b.Core)
+		}
+		seen[b.Core][b.Unit] = true
+	}
+	if l2Blocks != 1 {
+		return fmt.Errorf("floorplan: die has %d shared L2 blocks, want 1", l2Blocks)
+	}
+	for c := 0; c < d.NCores; c++ {
+		for u := power.Unit(0); u < power.NumUnits; u++ {
+			if u == power.UnitL2 {
+				continue
+			}
+			if !seen[c][u] {
+				return fmt.Errorf("floorplan: core %d has no block for unit %s", c, u)
+			}
+		}
+	}
+	return validateAdjacency(d.adj, rs)
+}
+
+// Adjacencies returns the shared-edge list (cross-core edges included).
+func (d *Die) Adjacencies() []Adjacency { return d.adj }
+
+// BlockFor returns the index of the block hosting unit u of core c.
+// Every core's UnitL2 resolves to the shared L2 spine.
+func (d *Die) BlockFor(core int, u power.Unit) int {
+	if core < 0 || core >= d.NCores || u >= power.NumUnits {
+		return -1
+	}
+	return d.unitBlock[core][u]
+}
+
+// UnitAreas returns each power unit's block area in square meters for
+// one core (identical across cores; UnitL2 is the full shared spine).
+func (d *Die) UnitAreas() [power.NumUnits]float64 {
+	var areas [power.NumUnits]float64
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		if i := d.BlockFor(0, u); i >= 0 {
+			areas[u] = d.Blocks[i].Area()
+		}
+	}
+	return areas
+}
+
+func (d *Die) rects() []rect {
+	rs := make([]rect, len(d.Blocks))
+	for i, b := range d.Blocks {
+		rs[i] = rect{name: b.Name, x: b.X, y: b.Y, w: b.W, h: b.H}
+	}
+	return rs
+}
+
+func (d *Die) indexUnits() {
+	d.unitBlock = make([][power.NumUnits]int, d.NCores)
+	for c := range d.unitBlock {
+		for u := range d.unitBlock[c] {
+			d.unitBlock[c][u] = -1
+		}
+	}
+	for i, b := range d.Blocks {
+		if !b.HasUnit {
+			continue
+		}
+		if b.Core == SharedCore {
+			for c := 0; c < d.NCores; c++ {
+				d.unitBlock[c][b.Unit] = i
+			}
+			continue
+		}
+		d.unitBlock[b.Core][b.Unit] = i
+	}
+}
+
+// dieWire is the gob encoding of a Die: the defining fields only. The
+// adjacency list and unit index are derived, so decode reconstructs
+// them through NewDieFrom and inherits its validation — a corrupted
+// stream cannot produce a Die whose derived state disagrees with its
+// geometry.
+type dieWire struct {
+	Blocks []DieBlock
+	W, H   float64
+	NCores int
+}
+
+// GobEncode implements gob.GobEncoder.
+func (d *Die) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(dieWire{Blocks: d.Blocks, W: d.W, H: d.H, NCores: d.NCores})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (d *Die) GobDecode(p []byte) error {
+	var w dieWire
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&w); err != nil {
+		return err
+	}
+	nd, err := NewDieFrom(w.Blocks, w.W, w.H, w.NCores)
+	if err != nil {
+		return err
+	}
+	*d = *nd
+	return nil
+}

@@ -1,0 +1,186 @@
+package floorplan
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+func TestNewDieTiling(t *testing.T) {
+	core := Default()
+	for _, cores := range []int{1, 2, 3, 4, 8} {
+		d, err := NewDie(cores)
+		if err != nil {
+			t.Fatalf("NewDie(%d): %v", cores, err)
+		}
+		if d.W != float64(cores)*core.DieW || d.H != core.DieH {
+			t.Errorf("%d cores: die %g x %g m", cores, d.W, d.H)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%d cores: %v", cores, err)
+		}
+		// One shared L2 spanning the full width plus 12 blocks per core.
+		if want := 1 + cores*12; len(d.Blocks) != want {
+			t.Errorf("%d cores: %d blocks, want %d", cores, len(d.Blocks), want)
+		}
+	}
+}
+
+func TestDieBlockFor(t *testing.T) {
+	d, err := NewDie(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := -1
+	for c := 0; c < d.NCores; c++ {
+		for u := power.Unit(0); u < power.NumUnits; u++ {
+			i := d.BlockFor(c, u)
+			if i < 0 {
+				t.Fatalf("core %d unit %s unresolved", c, u)
+			}
+			b := d.Blocks[i]
+			if u == power.UnitL2 {
+				if b.Core != SharedCore {
+					t.Errorf("core %d L2 resolved to per-core block %s", c, b.Name)
+				}
+				if l2 >= 0 && i != l2 {
+					t.Errorf("cores disagree on the shared L2 block")
+				}
+				l2 = i
+			} else if b.Core != c {
+				t.Errorf("core %d unit %s resolved to core %d's block", c, u, b.Core)
+			}
+		}
+	}
+	if d.BlockFor(-1, power.UnitIntReg) != -1 || d.BlockFor(3, power.UnitIntReg) != -1 {
+		t.Error("out-of-range core should resolve to -1")
+	}
+	areas := d.UnitAreas()
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		if areas[u] <= 0 {
+			t.Errorf("%s area %g", u, areas[u])
+		}
+	}
+}
+
+// TestDieMirroredPairs checks the deliberate worst-case layout: the
+// even core of each adjacent pair is mirrored, so the two IntReg
+// blocks face each other ~3 mm apart instead of a full tile away.
+func TestDieMirroredPairs(t *testing.T) {
+	d, err := NewDie(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := d.Blocks[d.BlockFor(0, power.UnitIntReg)]
+	r1 := d.Blocks[d.BlockFor(1, power.UnitIntReg)]
+	gap := r1.X - (r0.X + r0.W)
+	if gap < 0 {
+		gap = r0.X - (r1.X + r1.W)
+	}
+	if math.Abs(gap-3*mm) > 1e-9 {
+		t.Errorf("IntReg edge gap %g mm, want 3 mm (mirrored pair)", gap/mm)
+	}
+}
+
+// TestDieCrossCoreAdjacency checks that tiles actually couple: blocks
+// of different cores share edges at tile boundaries, and every core
+// borders the shared L2 spine.
+func TestDieCrossCoreAdjacency(t *testing.T) {
+	d, err := NewDie(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, l2Cores := 0, map[int]bool{}
+	for _, a := range d.Adjacencies() {
+		ca, cb := d.Blocks[a.A].Core, d.Blocks[a.B].Core
+		if ca != SharedCore && cb != SharedCore && ca != cb {
+			cross++
+		}
+		if ca == SharedCore && cb != SharedCore {
+			l2Cores[cb] = true
+		}
+		if cb == SharedCore && ca != SharedCore {
+			l2Cores[ca] = true
+		}
+	}
+	if cross == 0 {
+		t.Error("no cross-core adjacency on a 2-core die")
+	}
+	if len(l2Cores) != 2 {
+		t.Errorf("L2 spine borders cores %v, want both", l2Cores)
+	}
+}
+
+func TestNewDieFromRejectsBadDies(t *testing.T) {
+	good, err := NewDie(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := func() []DieBlock { return append([]DieBlock(nil), good.Blocks...) }
+	cases := map[string]func() ([]DieBlock, float64, float64, int){
+		"zero cores": func() ([]DieBlock, float64, float64, int) { return clone(), good.W, good.H, 0 },
+		"core oob":   func() ([]DieBlock, float64, float64, int) { b := clone(); b[1].Core = 7; return b, good.W, good.H, 2 },
+		"l2 in core": func() ([]DieBlock, float64, float64, int) { b := clone(); b[0].Core = 0; return b, good.W, good.H, 2 },
+		"per-core in l2": func() ([]DieBlock, float64, float64, int) {
+			b := clone()
+			b[1].Core = SharedCore
+			return b, good.W, good.H, 2
+		},
+		"missing unit": func() ([]DieBlock, float64, float64, int) {
+			b := clone()
+			b[1].HasUnit = false
+			return b, good.W, good.H, 2
+		},
+		"gap": func() ([]DieBlock, float64, float64, int) { return clone()[1:], good.W, good.H, 2 },
+		"overlap": func() ([]DieBlock, float64, float64, int) {
+			b := clone()
+			b[2].X, b[2].Y = b[1].X, b[1].Y
+			return b, good.W, good.H, 2
+		},
+	}
+	for name, mk := range cases {
+		blocks, w, h, cores := mk()
+		if _, err := NewDieFrom(blocks, w, h, cores); err == nil {
+			t.Errorf("%s: invalid die accepted", name)
+		}
+	}
+}
+
+// TestDieGobRoundTrip checks that a Die survives gob: the decoded die
+// must be deep-equal including its derived adjacency and unit index,
+// which decode reconstructs (and re-validates) from the geometry.
+func TestDieGobRoundTrip(t *testing.T) {
+	d, err := NewDie(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(d); err != nil {
+		t.Fatal(err)
+	}
+	var got Die
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, &got) {
+		t.Error("die not deep-equal after gob round trip")
+	}
+	if !reflect.DeepEqual(d.Adjacencies(), got.Adjacencies()) {
+		t.Error("adjacency lost in gob round trip")
+	}
+	// A corrupted geometry must be rejected at decode, not limp along.
+	bad := *d
+	bad.NCores = 3
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&bad); err != nil {
+		t.Fatal(err)
+	}
+	var rejected Die
+	if err := gob.NewDecoder(&buf).Decode(&rejected); err == nil {
+		t.Error("decode accepted a die whose geometry contradicts its core count")
+	}
+}

@@ -93,49 +93,56 @@ func Default() *Floorplan {
 }
 
 // New validates the blocks (non-overlapping, inside the die, exactly
-// tiling it, one block per power unit) and computes adjacency.
+// tiling it with no gaps, one block per power unit) and computes
+// adjacency.
 func New(blocks []Block, dieW, dieH float64) (*Floorplan, error) {
-	if len(blocks) == 0 {
-		return nil, fmt.Errorf("floorplan: no blocks")
+	fp := &Floorplan{Blocks: blocks, DieW: dieW, DieH: dieH}
+	fp.adj = computeAdjacencyRects(fp.rects())
+	if err := fp.Validate(); err != nil {
+		return nil, err
 	}
-	var area float64
+	return fp, nil
+}
+
+// Validate re-checks every invariant the thermal network depends on:
+// blocks tile the die exactly (no gaps, no overlaps, nothing outside),
+// each power unit appears in exactly one block, and the adjacency list
+// is symmetric, duplicate-free, and consistent with the geometry. New
+// runs it on every construction; a Floorplan assembled or mutated by
+// hand should be re-validated before use, since a gapped or stale
+// layout would otherwise build a silently-wrong network.
+func (f *Floorplan) Validate() error {
+	rs := f.rects()
+	if err := validateTiling(rs, f.DieW, f.DieH); err != nil {
+		return err
+	}
 	seen := make(map[power.Unit]bool)
-	for i, b := range blocks {
-		if b.W <= 0 || b.H <= 0 {
-			return nil, fmt.Errorf("floorplan: block %s has non-positive size", b.Name)
+	for _, b := range f.Blocks {
+		if !b.HasUnit {
+			continue
 		}
-		if b.X < -eps || b.Y < -eps || b.X+b.W > dieW+eps || b.Y+b.H > dieH+eps {
-			return nil, fmt.Errorf("floorplan: block %s extends outside the die", b.Name)
+		if b.Unit >= power.NumUnits {
+			return fmt.Errorf("floorplan: block %s has invalid unit", b.Name)
 		}
-		if b.HasUnit {
-			if b.Unit >= power.NumUnits {
-				return nil, fmt.Errorf("floorplan: block %s has invalid unit", b.Name)
-			}
-			if seen[b.Unit] {
-				return nil, fmt.Errorf("floorplan: unit %s appears in two blocks", b.Unit)
-			}
-			seen[b.Unit] = true
+		if seen[b.Unit] {
+			return fmt.Errorf("floorplan: unit %s appears in two blocks", b.Unit)
 		}
-		for j := 0; j < i; j++ {
-			if overlap1D(b.X, b.X+b.W, blocks[j].X, blocks[j].X+blocks[j].W) > eps &&
-				overlap1D(b.Y, b.Y+b.H, blocks[j].Y, blocks[j].Y+blocks[j].H) > eps {
-				return nil, fmt.Errorf("floorplan: blocks %s and %s overlap", b.Name, blocks[j].Name)
-			}
-		}
-		area += b.Area()
+		seen[b.Unit] = true
 	}
 	for u := power.Unit(0); u < power.NumUnits; u++ {
 		if !seen[u] {
-			return nil, fmt.Errorf("floorplan: no block for unit %s", u)
+			return fmt.Errorf("floorplan: no block for unit %s", u)
 		}
 	}
-	if math.Abs(area-dieW*dieH) > dieW*dieH*1e-6 {
-		return nil, fmt.Errorf("floorplan: blocks cover %.3f mm^2 of a %.3f mm^2 die",
-			area*1e6, dieW*dieH*1e6)
+	return validateAdjacency(f.adj, rs)
+}
+
+func (f *Floorplan) rects() []rect {
+	rs := make([]rect, len(f.Blocks))
+	for i, b := range f.Blocks {
+		rs[i] = rect{name: b.Name, x: b.X, y: b.Y, w: b.W, h: b.H}
 	}
-	fp := &Floorplan{Blocks: blocks, DieW: dieW, DieH: dieH}
-	fp.computeAdjacency()
-	return fp, nil
+	return rs
 }
 
 const eps = 1e-9
@@ -147,28 +154,6 @@ func overlap1D(a0, a1, b0, b1 float64) float64 {
 		return hi - lo
 	}
 	return 0
-}
-
-func (f *Floorplan) computeAdjacency() {
-	for i := range f.Blocks {
-		for j := i + 1; j < len(f.Blocks); j++ {
-			a, b := f.Blocks[i], f.Blocks[j]
-			// Vertical shared edge: a's right against b's left or vice
-			// versa, with overlapping y ranges.
-			if shared := overlap1D(a.Y, a.Y+a.H, b.Y, b.Y+b.H); shared > eps {
-				if math.Abs((a.X+a.W)-b.X) < eps || math.Abs((b.X+b.W)-a.X) < eps {
-					f.adj = append(f.adj, Adjacency{A: i, B: j, SharedLen: shared, Dist: (a.W + b.W) / 2})
-					continue
-				}
-			}
-			// Horizontal shared edge.
-			if shared := overlap1D(a.X, a.X+a.W, b.X, b.X+b.W); shared > eps {
-				if math.Abs((a.Y+a.H)-b.Y) < eps || math.Abs((b.Y+b.H)-a.Y) < eps {
-					f.adj = append(f.adj, Adjacency{A: i, B: j, SharedLen: shared, Dist: (a.H + b.H) / 2})
-				}
-			}
-		}
-	}
 }
 
 // Adjacencies returns the shared-edge list.

@@ -1,0 +1,98 @@
+package floorplan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/heatstroke-sim/heatstroke/internal/power"
+)
+
+// guillotine generates a random rectilinear tiling of the die by
+// repeatedly splitting the largest leaf, deterministic in rng. Every
+// layout it returns tiles the die exactly by construction.
+func guillotine(rng *rand.Rand, dieW, dieH float64, leaves int) []Block {
+	type r struct{ x, y, w, h float64 }
+	rs := []r{{0, 0, dieW, dieH}}
+	for len(rs) < leaves {
+		// Split the largest leaf so aspect ratios stay sane.
+		best := 0
+		for i, c := range rs {
+			if c.w*c.h > rs[best].w*rs[best].h {
+				best = i
+			}
+		}
+		c := rs[best]
+		frac := 0.3 + 0.4*rng.Float64()
+		if c.w >= c.h {
+			cut := c.w * frac
+			rs[best] = r{c.x, c.y, cut, c.h}
+			rs = append(rs, r{c.x + cut, c.y, c.w - cut, c.h})
+		} else {
+			cut := c.h * frac
+			rs[best] = r{c.x, c.y, c.w, cut}
+			rs = append(rs, r{c.x, c.y + cut, c.w, c.h - cut})
+		}
+	}
+	blocks := make([]Block, len(rs))
+	for i, c := range rs {
+		blocks[i] = Block{Name: fmt.Sprintf("B%d", i), X: c.x, Y: c.y, W: c.w, H: c.h}
+		if i < int(power.NumUnits) {
+			blocks[i].Unit = power.Unit(i)
+			blocks[i].HasUnit = true
+		}
+	}
+	return blocks
+}
+
+// FuzzFloorplanValidate drives Validate over random rectilinear
+// layouts: every guillotine tiling must be accepted, and a layout
+// broken afterwards — a gap punched into it, a block nudged off grid,
+// a stale adjacency list — must be rejected. This is the regression
+// net for the "silently-wrong network" class of bug: before Validate
+// existed, all of these built and simulated without complaint.
+func FuzzFloorplanValidate(f *testing.F) {
+	f.Add(int64(1), uint8(13))
+	f.Add(int64(42), uint8(20))
+	f.Add(int64(7), uint8(30))
+	f.Fuzz(func(t *testing.T, seed int64, extra uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		leaves := int(power.NumUnits) + 1 + int(extra%20)
+		dieW, dieH := 6*mm, 6*mm
+		blocks := guillotine(rng, dieW, dieH, leaves)
+		fp, err := New(blocks, dieW, dieH)
+		if err != nil {
+			t.Fatalf("valid guillotine layout rejected: %v", err)
+		}
+		if err := fp.Validate(); err != nil {
+			t.Fatalf("freshly-built floorplan fails Validate: %v", err)
+		}
+
+		pick := rng.Intn(len(blocks))
+		mutate := func(fn func([]Block)) []Block {
+			bs := append([]Block(nil), blocks...)
+			fn(bs)
+			return bs
+		}
+		// A gap: one block shrunk leaves part of the die unmodeled.
+		if bs := mutate(func(bs []Block) { bs[pick].W *= 0.75 }); true {
+			if _, err := New(bs, dieW, dieH); err == nil {
+				t.Error("gapped layout accepted")
+			}
+		}
+		// An overlap that keeps total area plausible: grow one block
+		// into its neighbours.
+		if bs := mutate(func(bs []Block) { bs[pick].W += bs[pick].W / 2; bs[pick].X -= bs[pick].W / 6 }); true {
+			if _, err := New(bs, dieW, dieH); err == nil {
+				t.Error("overlapping layout accepted")
+			}
+		}
+		// Stale derived state: mutating geometry behind the adjacency
+		// list must fail Validate even when the new geometry would be
+		// fine on its own.
+		fp.Blocks[pick].X += fp.Blocks[pick].W / 4
+		if err := fp.Validate(); err == nil {
+			t.Error("mutated floorplan with stale adjacency accepted")
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// rect is the geometry-only view of a block shared by Floorplan and
+// Die validation.
+type rect struct {
+	name       string
+	x, y, w, h float64
+}
+
+// validateTiling checks that the rects exactly tile the dieW x dieH
+// die: every rect has positive size and lies inside the die, no pair
+// overlaps, and no elementary cell of the coordinate-compressed grid
+// is uncovered. The cell check is exact for rectilinear layouts (every
+// gap, however thin, contains at least one cell center), so a layout
+// that passes builds a thermal network with no silent holes.
+func validateTiling(rs []rect, dieW, dieH float64) error {
+	if len(rs) == 0 {
+		return fmt.Errorf("floorplan: no blocks")
+	}
+	if dieW <= 0 || dieH <= 0 {
+		return fmt.Errorf("floorplan: die %g x %g m must be positive", dieW, dieH)
+	}
+	var area float64
+	for i, r := range rs {
+		if r.w <= 0 || r.h <= 0 {
+			return fmt.Errorf("floorplan: block %s has non-positive size", r.name)
+		}
+		if r.x < -eps || r.y < -eps || r.x+r.w > dieW+eps || r.y+r.h > dieH+eps {
+			return fmt.Errorf("floorplan: block %s extends outside the die", r.name)
+		}
+		for j := 0; j < i; j++ {
+			if overlap1D(r.x, r.x+r.w, rs[j].x, rs[j].x+rs[j].w) > eps &&
+				overlap1D(r.y, r.y+r.h, rs[j].y, rs[j].y+rs[j].h) > eps {
+				return fmt.Errorf("floorplan: blocks %s and %s overlap", r.name, rs[j].name)
+			}
+		}
+		area += r.w * r.h
+	}
+	if math.Abs(area-dieW*dieH) > dieW*dieH*1e-6 {
+		return fmt.Errorf("floorplan: blocks cover %.3f mm^2 of a %.3f mm^2 die",
+			area*1e6, dieW*dieH*1e6)
+	}
+	// Coordinate compression: every block edge (and the die boundary)
+	// cuts the die into elementary cells; each cell center must be
+	// inside exactly one block. Together with the pairwise overlap
+	// check above, "at least one" suffices.
+	xs := cuts(rs, dieW, func(r rect) (float64, float64) { return r.x, r.x + r.w })
+	ys := cuts(rs, dieH, func(r rect) (float64, float64) { return r.y, r.y + r.h })
+	for i := 0; i+1 < len(xs); i++ {
+		cx := (xs[i] + xs[i+1]) / 2
+		for j := 0; j+1 < len(ys); j++ {
+			cy := (ys[j] + ys[j+1]) / 2
+			covered := false
+			for _, r := range rs {
+				if cx > r.x-eps && cx < r.x+r.w+eps && cy > r.y-eps && cy < r.y+r.h+eps {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return fmt.Errorf("floorplan: gap in tiling near (%.4g, %.4g) mm",
+					cx*1e3, cy*1e3)
+			}
+		}
+	}
+	return nil
+}
+
+// cuts returns the sorted, eps-deduplicated cut coordinates along one
+// axis: 0, the die extent, and every block edge.
+func cuts(rs []rect, extent float64, span func(rect) (float64, float64)) []float64 {
+	cs := make([]float64, 0, 2*len(rs)+2)
+	cs = append(cs, 0, extent)
+	for _, r := range rs {
+		lo, hi := span(r)
+		cs = append(cs, lo, hi)
+	}
+	sort.Float64s(cs)
+	out := cs[:1]
+	for _, c := range cs[1:] {
+		if c-out[len(out)-1] > eps {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// computeAdjacencyRects derives the shared-edge list: one entry per
+// unordered pair of rects that share an edge segment longer than eps,
+// with A < B. Dist is the center-to-center distance normal to the edge.
+func computeAdjacencyRects(rs []rect) []Adjacency {
+	var adj []Adjacency
+	for i := range rs {
+		for j := i + 1; j < len(rs); j++ {
+			a, b := rs[i], rs[j]
+			// Vertical shared edge: a's right against b's left or vice
+			// versa, with overlapping y ranges.
+			if shared := overlap1D(a.y, a.y+a.h, b.y, b.y+b.h); shared > eps {
+				if math.Abs((a.x+a.w)-b.x) < eps || math.Abs((b.x+b.w)-a.x) < eps {
+					adj = append(adj, Adjacency{A: i, B: j, SharedLen: shared, Dist: (a.w + b.w) / 2})
+					continue
+				}
+			}
+			// Horizontal shared edge.
+			if shared := overlap1D(a.x, a.x+a.w, b.x, b.x+b.w); shared > eps {
+				if math.Abs((a.y+a.h)-b.y) < eps || math.Abs((b.y+b.h)-a.y) < eps {
+					adj = append(adj, Adjacency{A: i, B: j, SharedLen: shared, Dist: (a.h + b.h) / 2})
+				}
+			}
+		}
+	}
+	return adj
+}
+
+// validateAdjacency checks a stored adjacency list against the
+// geometry: every entry must name two distinct in-range blocks in
+// canonical A < B order, no unordered pair may appear twice (symmetry
+// would double-count the lateral conductance), and the list must match
+// what the geometry implies — same pairs, same shared length, same
+// distance. A Floorplan assembled by hand with a stale or empty list
+// is caught here instead of building a silently-wrong network.
+func validateAdjacency(adj []Adjacency, rs []rect) error {
+	want := computeAdjacencyRects(rs)
+	seen := make(map[[2]int]Adjacency, len(adj))
+	for _, a := range adj {
+		if a.A < 0 || a.B < 0 || a.A >= len(rs) || a.B >= len(rs) {
+			return fmt.Errorf("floorplan: adjacency %d-%d out of range", a.A, a.B)
+		}
+		if a.A == a.B {
+			return fmt.Errorf("floorplan: block %s adjacent to itself", rs[a.A].name)
+		}
+		if a.A > a.B {
+			return fmt.Errorf("floorplan: adjacency %s-%s not in canonical order", rs[a.A].name, rs[a.B].name)
+		}
+		key := [2]int{a.A, a.B}
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("floorplan: duplicate adjacency %s-%s", rs[a.A].name, rs[a.B].name)
+		}
+		seen[key] = a
+	}
+	if len(adj) != len(want) {
+		return fmt.Errorf("floorplan: %d adjacencies stored, geometry implies %d", len(adj), len(want))
+	}
+	for _, w := range want {
+		got, ok := seen[[2]int{w.A, w.B}]
+		if !ok {
+			return fmt.Errorf("floorplan: missing adjacency %s-%s", rs[w.A].name, rs[w.B].name)
+		}
+		if math.Abs(got.SharedLen-w.SharedLen) > eps || math.Abs(got.Dist-w.Dist) > eps {
+			return fmt.Errorf("floorplan: adjacency %s-%s disagrees with geometry", rs[w.A].name, rs[w.B].name)
+		}
+	}
+	return nil
+}

@@ -284,8 +284,20 @@ func Resolve(version string, base func() config.Config, req api.JobRequest) (api
 		base = config.Default
 	}
 	req.Experiment = strings.TrimSpace(req.Experiment)
-	if _, ok := experiment.Describe(req.Experiment); !ok {
+	in, ok := experiment.Describe(req.Experiment)
+	if !ok {
 		return req, "", fmt.Errorf("unknown experiment %q (have %v)", req.Experiment, experiment.Names())
+	}
+	if in.Cores > 1 {
+		// Multi-core experiments run a bigger die than the base config's
+		// single core: fill their registry defaults in so the resolved
+		// request (and the digest below) names the die that actually runs.
+		if req.Cores == 0 {
+			req.Cores = in.Cores
+		}
+		if req.Solver == "" {
+			req.Solver = in.Solver
+		}
 	}
 	known := make(map[string]bool)
 	for _, n := range workload.SpecNames() {
@@ -310,6 +322,25 @@ func Resolve(version string, base func() config.Config, req api.JobRequest) (api
 		cfg.Thermal.Scale = req.Scale
 	}
 	req.Scale = cfg.Thermal.Scale
+	if req.Cores < 0 || req.Cores > config.MaxCores {
+		return req, "", fmt.Errorf("cores must be in [0, %d]", config.MaxCores)
+	}
+	// Topology overrides land in the config before Digest() below, so
+	// the content address — and with it the fleet's shard placement —
+	// separates runs of the same experiment on different dies.
+	if req.Cores > 0 {
+		cfg.Topology.Cores = req.Cores
+		if req.Cores > 1 && req.Solver == "" {
+			// A multi-core die cannot run on the lumped network; an
+			// explicit solver still wins (and validates below).
+			cfg.Topology.Solver = config.SolverGrid
+		}
+	}
+	if req.Solver != "" {
+		cfg.Topology.Solver = req.Solver
+	}
+	req.Cores = cfg.Topology.Cores
+	req.Solver = cfg.Topology.Solver
 	if err := cfg.Validate(); err != nil {
 		return req, "", err
 	}
@@ -352,6 +383,12 @@ func Resolve(version string, base func() config.Config, req api.JobRequest) (api
 func (s *Server) expOptions(e *jobEntry) experiment.Options {
 	cfg := s.opts.BaseConfig()
 	cfg.Thermal.Scale = e.req.Scale
+	if e.req.Cores > 0 {
+		cfg.Topology.Cores = e.req.Cores
+	}
+	if e.req.Solver != "" {
+		cfg.Topology.Solver = e.req.Solver
+	}
 	o := experiment.Options{
 		Config:      &cfg,
 		Benchmarks:  e.req.Benchmarks,
@@ -646,7 +683,8 @@ func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 	infos := experiment.Infos()
 	out := make([]api.ExperimentInfo, len(infos))
 	for i, in := range infos {
-		out[i] = api.ExperimentInfo{Name: in.Name, Title: in.Title, Description: in.Description}
+		out[i] = api.ExperimentInfo{Name: in.Name, Title: in.Title, Description: in.Description,
+			Cores: in.Cores, Solver: in.Solver}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -217,6 +217,8 @@ func TestContentAddressing(t *testing.T) {
 		"scale":     func(r *api.JobRequest) { r.Scale = 32 },
 		"benchmark": func(r *api.JobRequest) { r.Benchmarks = []string{"mcf"} },
 		"exp":       func(r *api.JobRequest) { r.Experiment = "table1" },
+		"cores":     func(r *api.JobRequest) { r.Cores = 2; r.Solver = "grid" },
+		"solver":    func(r *api.JobRequest) { r.Solver = "grid" },
 	}
 	for name, mutate := range distinct {
 		req := tinyRequest()
@@ -248,6 +250,10 @@ func TestResolveRejects(t *testing.T) {
 		"unknown benchmark":  {Experiment: "fig3", Benchmarks: []string{"nope"}},
 		"negative quantum":   {Experiment: "fig3", Quantum: -1},
 		"bad scale":          {Experiment: "fig3", Scale: -3},
+		"negative cores":     {Experiment: "fig3", Cores: -1},
+		"too many cores":     {Experiment: "fig3", Cores: config.MaxCores + 1},
+		"unknown solver":     {Experiment: "fig3", Solver: "magic"},
+		"multi-core lumped":  {Experiment: "fig3", Cores: 2, Solver: config.SolverLumped},
 	} {
 		if _, _, err := s.resolve(req); err == nil {
 			t.Errorf("%s accepted", name)
@@ -261,6 +267,82 @@ func TestResolveRejects(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("malformed body: %d", resp.StatusCode)
+	}
+}
+
+// TestResolveTopology covers the multi-core request surface: registry
+// defaults fill into the resolved request, topology overrides change
+// the content address, and resolved requests round-trip to the same
+// ID.
+func TestResolveTopology(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+
+	// A multi-core experiment with no overrides resolves to its
+	// registry die (2 cores on the grid), and the resolved request
+	// re-resolves to the same address.
+	resolved, id, err := s.resolve(api.JobRequest{Experiment: "neighbor-heat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Cores != 2 || resolved.Solver != config.SolverGrid {
+		t.Fatalf("resolved topology %d/%q, want 2/grid", resolved.Cores, resolved.Solver)
+	}
+	again, id2, err := s.resolve(resolved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id || again.Cores != 2 {
+		t.Error("resolved request did not round-trip to the same address")
+	}
+	// Explicitly asking for the default die aliases the omitted form.
+	_, idExplicit, err := s.resolve(api.JobRequest{Experiment: "neighbor-heat", Cores: 2, Solver: config.SolverGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idExplicit != id {
+		t.Error("explicit default topology must alias the omitted form")
+	}
+	// A bigger die is a different job.
+	_, id4, err := s.resolve(api.JobRequest{Experiment: "neighbor-heat", Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id4 == id {
+		t.Error("core count change did not change the address")
+	}
+
+	// Single-core experiments keep the base topology untouched.
+	single, _, err := s.resolve(tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Cores != 1 || single.Solver != config.SolverLumped {
+		t.Errorf("single-core resolved topology %d/%q", single.Cores, single.Solver)
+	}
+
+	// The experiment listing carries each entry's die so clients can
+	// see which experiments are multi-core without running them.
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []api.ExperimentInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]api.ExperimentInfo)
+	for _, in := range infos {
+		byName[in.Name] = in
+	}
+	if in := byName["neighbor-heat"]; in.Cores != 2 || in.Solver != config.SolverGrid {
+		t.Errorf("listing neighbor-heat = %d/%q, want 2/grid", in.Cores, in.Solver)
+	}
+	if in := byName["dtm-scope"]; in.Cores != 2 || in.Solver != config.SolverGrid {
+		t.Errorf("listing dtm-scope = %d/%q, want 2/grid", in.Cores, in.Solver)
+	}
+	if in := byName["fig3"]; in.Cores != 1 || in.Solver != config.SolverLumped {
+		t.Errorf("listing fig3 = %d/%q, want 1/lumped", in.Cores, in.Solver)
 	}
 }
 
@@ -586,7 +668,7 @@ func TestListingAndHealth(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(infos) != 15 {
+	if len(infos) != 17 {
 		t.Errorf("%d experiments", len(infos))
 	}
 	for _, in := range infos {

@@ -252,48 +252,67 @@ func New(cfg config.Config, threads []Thread, opts Options) (*Simulator, error) 
 // building before warmup and rebuilding after a warm restore yield
 // identical policies.
 func (s *Simulator) buildPolicy() error {
-	cool := s.coolingCycles()
-	switch s.opts.Policy {
+	p, err := buildCorePolicy(s.opts.Policy, s.cfg, s.core, s.model, s.mon,
+		s.coolingCycles(), s.events, &s.reports)
+	if err != nil {
+		return err
+	}
+	s.policy = p
+	return nil
+}
+
+// buildCorePolicy constructs one core's DTM policy (and, for selective
+// sedation, its engine) from configuration and that core's machinery.
+// It is shared between the single-core Simulator and each core of a
+// MultiSimulator, so per-core policies behave identically in both.
+func buildCorePolicy(kind dtm.Kind, cfg config.Config, c *cpu.Core, model *power.Model,
+	mon *score.Monitor, cool int64, events *telemetry.EventLog, reports *[]score.Report) (dtm.Policy, error) {
+	var policy dtm.Policy
+	switch kind {
 	case dtm.None:
-		s.policy = dtm.NewNone()
+		policy = dtm.NewNone()
 	case dtm.StopAndGo:
-		s.policy = dtm.NewStopAndGo(s.core, s.cfg.Thermal, cool)
+		policy = dtm.NewStopAndGo(c, cfg.Thermal, cool)
 	case dtm.DVS:
-		s.policy = dtm.NewDVS(s.core, s.model, s.cfg.Thermal, cool)
+		policy = dtm.NewDVS(c, model, cfg.Thermal, cool)
 	case dtm.TTDFS:
-		s.policy = dtm.NewTTDFS(s.core, s.cfg.Thermal)
+		policy = dtm.NewTTDFS(c, cfg.Thermal)
 	case dtm.SelectiveSedation:
-		engine, err := score.NewEngine(s.cfg.Sedation, s.mon, s.core, cool,
+		engine, err := score.NewEngine(cfg.Sedation, mon, c, cool,
 			func(r score.Report) {
-				s.reports = append(s.reports, r)
-				s.events.Emit(telemetry.Event{Cycle: r.Cycle, Kind: telemetry.KindOSReport,
+				*reports = append(*reports, r)
+				events.Emit(telemetry.Event{Cycle: r.Cycle, Kind: telemetry.KindOSReport,
 					Unit: r.Unit.String(), Thread: r.Thread, Rate: r.Rate})
 			})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		engine.SetEvents(s.events)
-		s.policy, err = dtm.NewSelectiveSedation(s.core, s.cfg.Thermal, engine, cool)
+		engine.SetEvents(events)
+		policy, err = dtm.NewSelectiveSedation(c, cfg.Thermal, engine, cool)
 		if err != nil {
-			return err
+			return nil, err
 		}
 	default:
-		return fmt.Errorf("sim: unknown policy %q", s.opts.Policy)
+		return nil, fmt.Errorf("sim: unknown policy %q", kind)
 	}
-	dtm.SetEventLog(s.policy, s.events)
-	return nil
+	dtm.SetEventLog(policy, events)
+	return policy, nil
 }
 
 // coolingCycles converts Table 1's thermal-RC cooling time into scaled
 // cycles; stop-and-go stalls this long per emergency and selective
 // sedation derives its re-examination delay from it.
 func (s *Simulator) coolingCycles() int64 {
-	ms := s.cfg.Thermal.CoolingTimeMs
+	return coolingCyclesFor(s.cfg)
+}
+
+func coolingCyclesFor(cfg config.Config) int64 {
+	ms := cfg.Thermal.CoolingTimeMs
 	if ms <= 0 {
 		ms = 10
 	}
-	seconds := ms * 1e-3 / s.cfg.Thermal.Scale
-	return int64(seconds * s.cfg.Power.FrequencyHz)
+	seconds := ms * 1e-3 / cfg.Thermal.Scale
+	return int64(seconds * cfg.Power.FrequencyHz)
 }
 
 // Core exposes the pipeline (for tests and examples).

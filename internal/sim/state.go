@@ -27,7 +27,12 @@ import (
 //
 // v2: MachineState gained WarmConfigDigest (the relaxed warm-sharing
 // identity) and Quantum (mid-quantum fork state).
-const StateVersion = 2
+//
+// v3: MachineState gained Multi, the whole-die state of a multi-core
+// simulation: per-core machine states, the shared solver's kind-tagged
+// temperature field, and the DTM scope. Single-core snapshots are
+// unchanged apart from the version (Multi stays nil).
+const StateVersion = 3
 
 // stateMagic prefixes on-disk snapshots so a wrong file fails fast with
 // a clear error instead of a gob panic deep in decode.
@@ -74,6 +79,12 @@ type MachineState struct {
 	// accumulators needed to resume the measurement exactly where it
 	// paused. Restoring it re-opens the quantum in the target simulator.
 	Quantum *QuantumState
+
+	// Multi is non-nil for snapshots of a MultiSimulator: the whole-die
+	// state. Multi-core snapshots leave the single-core fields above
+	// (Core, Model, Thermal, Monitor, ...) zero and restore only into a
+	// MultiSimulator of matching configuration.
+	Multi *MultiState
 }
 
 // QuantumState is the serializable state of a measurement quantum in
@@ -118,6 +129,15 @@ func (q QuantumState) Clone() QuantumState {
 // tests).
 func (ms *MachineState) Clone() *MachineState {
 	out := *ms
+	if ms.Multi != nil {
+		// Whole-die snapshot: the single-core composites are zero values
+		// (cloning them would perturb their nil slices), all state lives
+		// under Multi.
+		out.Multi = ms.Multi.Clone()
+		out.Reports = slices.Clone(ms.Reports)
+		out.Events = slices.Clone(ms.Events)
+		return &out
+	}
 	out.Core = ms.Core.Clone()
 	out.Thermal = ms.Thermal.Clone()
 	out.Monitor = ms.Monitor.Clone()
@@ -134,6 +154,9 @@ func (ms *MachineState) Clone() *MachineState {
 	if ms.Quantum != nil {
 		qs := ms.Quantum.Clone()
 		out.Quantum = &qs
+	}
+	if ms.Multi != nil {
+		out.Multi = ms.Multi.Clone()
 	}
 	return &out
 }

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"github.com/heatstroke-sim/heatstroke/internal/config"
 	"github.com/heatstroke-sim/heatstroke/internal/dtm"
 )
 
@@ -299,19 +300,79 @@ func TestStateFileRoundTrip(t *testing.T) {
 
 // FuzzSnapshotContinuation snapshots at a fuzz-chosen sensor boundary
 // mid-attack (with a gob round-trip thrown in) and checks continuation
-// equality under a fuzz-chosen policy.
+// equality under a fuzz-chosen policy — on the single-core lumped
+// machine and, when gridSel selects it, on a 2-core grid die with a
+// fuzz-chosen mesh resolution (exercising the solver's snapshot
+// boundaries and the chip DTM scope).
 func FuzzSnapshotContinuation(f *testing.F) {
-	f.Add(uint8(3), uint8(1))
-	f.Add(uint8(0), uint8(4))
-	f.Add(uint8(7), uint8(2))
-	f.Fuzz(func(t *testing.T, splitSel, policySel uint8) {
+	f.Add(uint8(3), uint8(1), uint8(0))
+	f.Add(uint8(0), uint8(4), uint8(0))
+	f.Add(uint8(7), uint8(2), uint8(0))
+	f.Add(uint8(2), uint8(4), uint8(1)) // 2-core grid, per-core sedation
+	f.Add(uint8(5), uint8(5), uint8(3)) // 2-core grid, chip scope
+	f.Fuzz(func(t *testing.T, splitSel, policySel, gridSel uint8) {
 		cfg := quickCfg()
 		sensor := int64(cfg.Thermal.SensorIntervalCycles)
 		// Snapshot after 1..8 sensor intervals, continue to a fixed total.
 		split := (1 + int64(splitSel)%8) * sensor
 		total := 10 * sensor
-		policy := dtm.Kinds()[int(policySel)%len(dtm.Kinds())]
+		kinds := append(dtm.Kinds(), dtm.ChipRoundRobin)
+		policy := kinds[int(policySel)%len(kinds)]
 		threads := []Thread{specThread(t, "crafty"), variantThread(t, 2)}
+
+		if gridSel != 0 {
+			// Multi-core grid path: the attack pair split across two cores.
+			cfg.Topology = config.Topology{Cores: 2, Solver: config.SolverGrid,
+				GridN: 8 * (1 + int(gridSel)%3)}
+			mo := MultiOptions{WarmupCycles: 60_000, TraceTemps: true, CollectEvents: true}
+			if policy == dtm.ChipRoundRobin {
+				mo.Scope = dtm.ScopeChip
+			} else {
+				mo.Scope, mo.Policy = dtm.ScopePerCore, policy
+			}
+			coreThreads := [][]Thread{{threads[1]}, {threads[0]}}
+			a, err := NewMulti(cfg, coreThreads, mo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := a.RunCycles(split); err != nil {
+				t.Fatal(err)
+			}
+			ms, err := a.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			straight, err := a.RunCycles(total - split)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := WriteState(&buf, ms); err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := ReadState(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewMulti(cfg, coreThreads, mo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Restore(decoded); err != nil {
+				t.Fatal(err)
+			}
+			restored, err := b.RunCycles(total - split)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(straight, restored) {
+				t.Errorf("grid %s split %d: continuation diverges after gob round-trip", policy, split)
+			}
+			return
+		}
+		if policy == dtm.ChipRoundRobin {
+			policy = dtm.StopAndGo // chip scope has no single-core form
+		}
 
 		a, err := New(cfg, threads, stateOptions(policy))
 		if err != nil {

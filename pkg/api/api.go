@@ -51,6 +51,13 @@ type JobRequest struct {
 	Warmup int64 `json:"warmup,omitempty"`
 	// Scale overrides the thermal scale factor (0 = config default).
 	Scale float64 `json:"scale,omitempty"`
+	// Cores overrides the die's core count (0 = config default, which
+	// is 1 for single-core experiments and what multi-core experiments
+	// raise to 2). More than one core requires the grid solver.
+	Cores int `json:"cores,omitempty"`
+	// Solver overrides the thermal solver: "lumped" (single-core fast
+	// path) or "grid" ("" = config default).
+	Solver string `json:"solver,omitempty"`
 	// Seed seeds workload generation. A present-but-zero seed is
 	// honoured as literal seed 0; an absent seed means the config
 	// default (the pointer distinguishes the two).
@@ -128,6 +135,11 @@ type ExperimentInfo struct {
 	Name        string `json:"name"`
 	Title       string `json:"title"`
 	Description string `json:"description"`
+	// Cores is the experiment's default die core count (0 for entries
+	// that run no simulations); Solver names the thermal solver it runs
+	// on by default ("lumped" or "grid").
+	Cores  int    `json:"cores,omitempty"`
+	Solver string `json:"solver,omitempty"`
 }
 
 // Stats are the daemon's serving counters (GET /v1/stats).

@@ -46,7 +46,7 @@ func TestClientEndToEnd(t *testing.T) {
 		t.Fatalf("healthy: %v", err)
 	}
 	infos, err := c.Experiments(ctx)
-	if err != nil || len(infos) != 15 {
+	if err != nil || len(infos) != 17 {
 		t.Fatalf("experiments: %d, %v", len(infos), err)
 	}
 
